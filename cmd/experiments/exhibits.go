@@ -1,0 +1,236 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"powercap/internal/core"
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+	"powercap/internal/pareto"
+	"powercap/internal/sim"
+	"powercap/internal/workloads"
+)
+
+// comdForceTaskShape extracts the CoMD force-kernel shape used by Figures
+// 1 and 12 (one representative task, as in the paper).
+func comdForceTaskShape(cfg config) (machine.Shape, float64) {
+	w := workloads.CoMD(workloads.Params{Ranks: 2, Iterations: 1, Seed: cfg.seed, WorkScale: cfg.scale})
+	for _, t := range w.Graph.Tasks {
+		if t.Class == "force" {
+			return t.Shape, t.Work
+		}
+	}
+	return machine.DefaultShape(), 1
+}
+
+// runFig1 prints the time-vs-power configuration cloud of one CoMD task
+// with its convex Pareto frontier (paper Fig. 1).
+func runFig1(cfg config) error {
+	header("Figure 1 — Normalized Time vs. Power",
+		"One CoMD task across all (threads, DVFS) configurations; * marks the convex Pareto frontier")
+	m := machine.Default()
+	shape, work := comdForceTaskShape(cfg)
+
+	cfgs := m.Configs()
+	cloud := make([]pareto.Point, len(cfgs))
+	maxTime := 0.0
+	for i, c := range cfgs {
+		cloud[i] = pareto.Point{
+			PowerW: m.Power(shape, c, 1),
+			TimeS:  m.Duration(work, shape, c),
+			Index:  i,
+		}
+		if cloud[i].TimeS > maxTime {
+			maxTime = cloud[i].TimeS
+		}
+	}
+	hull := pareto.ConvexFrontier(cloud)
+	onHull := map[int]bool{}
+	for _, h := range hull {
+		onHull[h.Index] = true
+	}
+
+	fmt.Printf("%-12s%10s%12s%16s%10s\n", "config", "power(W)", "time(s)", "normalized", "frontier")
+	sorted := append([]pareto.Point(nil), cloud...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].PowerW < sorted[j].PowerW })
+	for _, p := range sorted {
+		mark := ""
+		if onHull[p.Index] {
+			mark = "*"
+		}
+		fmt.Printf("%-12s%10.1f%12.4f%16.3f%10s\n",
+			cfgs[p.Index].String(), p.PowerW, p.TimeS, p.TimeS/maxTime, mark)
+	}
+	fmt.Printf("\n%d configurations, %d on the convex Pareto frontier\n", len(cloud), len(hull))
+	return nil
+}
+
+// runTable1 prints the frontier sample of Table 1.
+func runTable1(cfg config) error {
+	header("Table 1 — Pareto-efficient configurations",
+		"Convex frontier of the Fig. 1 task, fastest first (paper's Ci,1 ... Ci,19)")
+	m := machine.Default()
+	shape, work := comdForceTaskShape(cfg)
+
+	cfgs := m.Configs()
+	cloud := make([]pareto.Point, len(cfgs))
+	for i, c := range cfgs {
+		cloud[i] = pareto.Point{PowerW: m.Power(shape, c, 1), TimeS: m.Duration(work, shape, c), Index: i}
+	}
+	hull := pareto.ConvexFrontier(cloud)
+
+	fmt.Printf("%-16s%12s%10s%12s%12s\n", "Configuration", "Freq (GHz)", "Threads", "Power (W)", "Time (s)")
+	for i := len(hull) - 1; i >= 0; i-- {
+		p := hull[i]
+		c := cfgs[p.Index]
+		fmt.Printf("C_i,%-12d%12.1f%10d%12.1f%12.4f\n", len(hull)-i, c.FreqGHz, c.Threads, p.PowerW, p.TimeS)
+	}
+	return nil
+}
+
+// fig2Graph builds the paper's Fig. 2 example: a two-rank exchange with
+// Isend/Wait on rank 0 and Recv on rank 1.
+func fig2Graph(scale float64) *dag.Graph {
+	sh := machine.DefaultShape()
+	b := dag.NewBuilder(2)
+	b.Compute(0, 0.8*scale, sh, "A1")
+	b.Isend(0, 1, 1<<20)
+	b.Compute(0, 0.6*scale, sh, "A2")
+	b.Wait(0)
+	b.Compute(0, 0.4*scale, sh, "A3")
+	b.Compute(1, 1.0*scale, sh, "A4")
+	b.Recv(1, 0)
+	b.Compute(1, 0.5*scale, sh, "A5")
+	return b.Finalize()
+}
+
+// runFig2 prints the example task graph and its timeline (paper Fig. 2).
+func runFig2(cfg config) error {
+	header("Figure 2 — Example task graph and timeline", "")
+	g := fig2Graph(cfg.scale)
+	m := machine.Default()
+
+	fmt.Println("Vertices (MPI calls):")
+	for _, v := range g.Vertices {
+		rank := "all"
+		if v.Rank != dag.AllRanks {
+			rank = fmt.Sprintf("r%d", v.Rank)
+		}
+		fmt.Printf("  V%-3d %-10s %-5s %s\n", v.ID, v.Kind, rank, v.Label)
+	}
+	fmt.Println("Edges (tasks and messages):")
+	for _, t := range g.Tasks {
+		switch t.Kind {
+		case dag.Compute:
+			fmt.Printf("  %-4s r%d  V%d → V%-3d work=%.2fs\n", t.Class, t.Rank, t.Src, t.Dst, t.Work)
+		case dag.Message:
+			fmt.Printf("  msg  r%d→ V%d → V%-3d %dB (%.4fs)\n", t.Rank, t.Src, t.Dst, t.Bytes, t.FixedDur)
+		}
+	}
+
+	pts := sim.Points(g)
+	for i, t := range g.Tasks {
+		if t.Kind == dag.Compute {
+			pts[i] = sim.TaskPoint{
+				Duration: m.Duration(t.Work, t.Shape, m.MaxConfig()),
+				PowerW:   m.Power(t.Shape, m.MaxConfig(), 1),
+			}
+		}
+	}
+	res, err := sim.Evaluate(g, pts, sim.SlackHoldsTaskPower, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Timeline (maximum configuration):")
+	for r := 0; r < g.NumRanks; r++ {
+		fmt.Printf("  r%d: ", r)
+		for _, t := range g.Tasks {
+			if t.Kind == dag.Compute && t.Rank == r && t.Work > 0 {
+				fmt.Printf("[%s %.3f–%.3f] ", t.Class, res.Start[t.ID], res.End[t.ID])
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  makespan %.3f s\n", res.Makespan)
+	return nil
+}
+
+// runFig3 demonstrates the co-scheduling problem: slowing one task changes
+// which tasks overlap in time (paper Fig. 3).
+func runFig3(cfg config) error {
+	header("Figure 3 — Task overlap shifts when a task is slowed",
+		"Slowing task a changes the set of tasks co-scheduled at b's start")
+	sh := machine.DefaultShape()
+	scale := cfg.scale
+	b := dag.NewBuilder(2)
+	b.Compute(0, 1.0*scale, sh, "a") // then b on rank 0
+	b.Send(0, 1, 1024)
+	b.Compute(0, 1.0*scale, sh, "b")
+	b.Compute(1, 2.0*scale, sh, "c") // then d on rank 1
+	b.Recv(1, 0)
+	b.Compute(1, 1.0*scale, sh, "d")
+	g := b.Finalize()
+	m := machine.Default()
+
+	evaluate := func(slowA bool) (*sim.Result, error) {
+		pts := sim.Points(g)
+		for i, t := range g.Tasks {
+			if t.Kind != dag.Compute {
+				continue
+			}
+			c := m.MaxConfig()
+			if slowA && t.Class == "a" {
+				c = machine.Config{FreqGHz: m.FreqMinGHz, Threads: m.Cores}
+			}
+			pts[i] = sim.TaskPoint{Duration: m.Duration(t.Work, t.Shape, c), PowerW: m.Power(t.Shape, c, 1)}
+		}
+		return sim.Evaluate(g, pts, sim.SlackHoldsTaskPower, 0)
+	}
+
+	for _, slow := range []bool{false, true} {
+		res, err := evaluate(slow)
+		if err != nil {
+			return err
+		}
+		label := "a at maximum configuration"
+		if slow {
+			label = "a slowed to the DVFS floor"
+		}
+		// Which rank-1 task is running midway through b?
+		var bStart, bMid float64
+		for _, t := range g.Tasks {
+			if t.Class == "b" {
+				bStart = res.Start[t.ID]
+				bMid = (res.Start[t.ID] + res.End[t.ID]) / 2
+			}
+		}
+		overlap := "none"
+		for _, t := range g.Tasks {
+			if t.Kind == dag.Compute && t.Rank == 1 && t.Work > 0 &&
+				res.Start[t.ID] <= bMid && bMid < res.End[t.ID] {
+				overlap = t.Class
+			}
+		}
+		fmt.Printf("  %-32s b starts at %.3fs, co-scheduled rank-1 task: %s\n", label+":", bStart, overlap)
+	}
+	return nil
+}
+
+// lpSolverFor builds a core solver for a workload.
+func lpSolverFor(w *workloads.Workload) *core.Solver {
+	return core.NewSolver(machine.Default(), w.EffScale)
+}
+
+// sliceAll returns the per-iteration subgraphs of a workload.
+func sliceAll(w *workloads.Workload) ([]*dag.Graph, error) {
+	slices, err := dag.SliceAll(w.Graph)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*dag.Graph, len(slices))
+	for i, s := range slices {
+		out[i] = s.Graph
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"powercap"
+)
+
+// capsFor returns each benchmark's per-socket power sweep, matching the
+// paper's figure axes (SP and LULESH were not schedulable/plotted at 30 W;
+// BT's figure stops at 70 W).
+func capsFor(name string) []float64 {
+	switch name {
+	case "CoMD":
+		return []float64{30, 40, 50, 60, 70, 80}
+	case "BT":
+		return []float64{30, 40, 50, 60, 70}
+	case "SP", "LULESH":
+		return []float64{40, 50, 60, 70, 80}
+	default:
+		return []float64{30, 40, 50, 60, 70, 80}
+	}
+}
+
+// sweepKey memoizes Compare results across exhibits in one invocation.
+type sweepKey struct {
+	name string
+	cap  float64
+}
+
+var sweepMemo = map[sweepKey]*powercap.Comparison{}
+
+// compareAt runs (or recalls) the three-way comparison for one benchmark
+// at one per-socket cap.
+func compareAt(cfg config, name string, capW float64) (*powercap.Comparison, error) {
+	key := sweepKey{name, capW}
+	if c, ok := sweepMemo[key]; ok {
+		return c, nil
+	}
+	w, err := powercap.WorkloadByName(name, powercap.WorkloadParams{
+		Ranks: cfg.ranks, Iterations: cfg.iters, Seed: cfg.seed, WorkScale: cfg.scale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys := powercap.SystemFor(w, nil)
+	fmt.Fprintf(os.Stderr, "  solving %s @ %.0f W/socket...\n", name, capW)
+	cmp, err := sys.Compare(w, capW)
+	if err != nil {
+		return nil, err
+	}
+	sweepMemo[key] = cmp
+	return cmp, nil
+}
+
+// allCaps returns the union of the benchmarks' sweeps, sorted.
+func allCaps() []float64 {
+	set := map[float64]bool{}
+	for _, name := range powercap.WorkloadNames() {
+		for _, c := range capsFor(name) {
+			set[c] = true
+		}
+	}
+	var out []float64
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// runFig9 prints LP-vs-Static potential improvement for all benchmarks.
+func runFig9(cfg config) error {
+	header("Figure 9 — LP vs Static", "Potential speedup of LP-derived schedules vs. Static (%)")
+	return runCrossBenchmark(cfg, func(c *powercap.Comparison) (float64, bool) {
+		return c.LPvsStaticPct, !c.LPInfeasible
+	})
+}
+
+// runFig10 prints LP-vs-Conductor potential improvement for all benchmarks.
+func runFig10(cfg config) error {
+	header("Figure 10 — LP vs Conductor", "Potential speedup of LP-derived schedules vs. Conductor (%)")
+	return runCrossBenchmark(cfg, func(c *powercap.Comparison) (float64, bool) {
+		return c.LPvsConductorPct, !c.LPInfeasible
+	})
+}
+
+func runCrossBenchmark(cfg config, metric func(*powercap.Comparison) (float64, bool)) error {
+	names := []string{"BT", "CoMD", "LULESH", "SP"}
+	fmt.Printf("%-10s", "W/socket")
+	for _, n := range names {
+		fmt.Printf("%10s", n)
+	}
+	fmt.Println()
+	for _, capW := range allCaps() {
+		fmt.Printf("%-10.0f", capW)
+		for _, n := range names {
+			inRange := false
+			for _, c := range capsFor(n) {
+				if c == capW {
+					inRange = true
+				}
+			}
+			if !inRange {
+				fmt.Printf("%10s", "-")
+				continue
+			}
+			cmp, err := compareAt(cfg, n, capW)
+			if err != nil {
+				return err
+			}
+			v, ok := metric(cmp)
+			if !ok {
+				fmt.Printf("%10s", "infeas")
+				continue
+			}
+			fmt.Printf("%10.1f", v)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// runBenchFigure prints one benchmark's LP and Conductor improvement over
+// Static (Figures 11, 13, 14, 15).
+func runBenchFigure(cfg config, name, figure string) error {
+	header(fmt.Sprintf("%s — %s improvement vs Static", figure, name),
+		"Improvement (%) of LP (potential) and Conductor (demonstrated) over Static")
+	fmt.Printf("%-10s%12s%12s%14s%14s%14s\n", "W/socket", "LP(%)", "Conductor(%)",
+		"Static(s)", "Conductor(s)", "LPbound(s)")
+	for _, capW := range capsFor(name) {
+		cmp, err := compareAt(cfg, name, capW)
+		if err != nil {
+			return err
+		}
+		lpStr := "infeas"
+		lpBound := "-"
+		if !cmp.LPInfeasible {
+			lpStr = fmt.Sprintf("%.1f", cmp.LPvsStaticPct)
+			lpBound = fmt.Sprintf("%.3f", cmp.LPBoundS)
+		}
+		fmt.Printf("%-10.0f%12s%12.1f%14.3f%14.3f%14s\n",
+			capW, lpStr, cmp.ConductorVsStaticPct, cmp.StaticS, cmp.ConductorS, lpBound)
+	}
+	return nil
+}
+
+// runSummary prints the paper's headline numbers from the full sweep.
+func runSummary(cfg config) error {
+	header("Summary — headline numbers",
+		"Paper: Static trails LP by up to 74.9%; Conductor trails LP by up to 41.1%;\n"+
+			"Conductor improves on Static by 6.7% on average vs the LP's 10.8% potential.")
+	maxLPvsStatic, maxLPvsCond := 0.0, 0.0
+	var maxLPvsStaticAt, maxLPvsCondAt string
+	var sumCond, sumLP float64
+	n := 0
+	for _, name := range powercap.WorkloadNames() {
+		for _, capW := range capsFor(name) {
+			cmp, err := compareAt(cfg, name, capW)
+			if err != nil {
+				return err
+			}
+			if cmp.LPInfeasible {
+				continue
+			}
+			if cmp.LPvsStaticPct > maxLPvsStatic {
+				maxLPvsStatic = cmp.LPvsStaticPct
+				maxLPvsStaticAt = fmt.Sprintf("%s @ %.0f W", name, capW)
+			}
+			if cmp.LPvsConductorPct > maxLPvsCond {
+				maxLPvsCond = cmp.LPvsConductorPct
+				maxLPvsCondAt = fmt.Sprintf("%s @ %.0f W", name, capW)
+			}
+			sumCond += cmp.ConductorVsStaticPct
+			sumLP += cmp.LPvsStaticPct
+			n++
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("no feasible points")
+	}
+	fmt.Printf("Static trails LP by up to     %6.1f%%  (%s; paper: 74.9%%)\n", maxLPvsStatic, maxLPvsStaticAt)
+	fmt.Printf("Conductor trails LP by up to  %6.1f%%  (%s; paper: 41.1%%)\n", maxLPvsCond, maxLPvsCondAt)
+	fmt.Printf("Mean Conductor gain vs Static %6.1f%%  (paper: 6.7%%)\n", sumCond/float64(n))
+	fmt.Printf("Mean LP potential vs Static   %6.1f%%  (paper: 10.8%%)\n", sumLP/float64(n))
+	return nil
+}

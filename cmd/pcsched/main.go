@@ -1,0 +1,155 @@
+// Command pcsched generates a workload trace, solves the paper's
+// fixed-vertex-order LP under a power constraint, and prints the resulting
+// schedule with its replay validation — the end-to-end pipeline of the
+// paper in one invocation.
+//
+// Usage:
+//
+//	pcsched -workload LULESH -ranks 16 -cap 50
+//	pcsched -workload BT -cap 30 -policy all
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"powercap"
+	"powercap/internal/machine"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "CoMD", "workload: CoMD, LULESH, SP, or BT")
+		ranks  = flag.Int("ranks", 16, "MPI ranks (one socket each)")
+		iters  = flag.Int("iters", 8, "application iterations")
+		seed   = flag.Int64("seed", 1, "workload seed")
+		scale  = flag.Float64("scale", 1.0, "task work scale")
+		capW   = flag.Float64("cap", 50, "per-socket average power cap (W)")
+		policy = flag.String("policy", "lp", "lp, static, conductor, or all")
+		gantt  = flag.Bool("gantt", false, "render an ASCII timeline of the replayed LP schedule")
+	)
+	flag.Parse()
+
+	w, err := powercap.WorkloadByName(*name, powercap.WorkloadParams{
+		Ranks: *ranks, Iterations: *iters, Seed: *seed, WorkScale: *scale,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sys := powercap.SystemFor(w, nil)
+	jobCap := *capW * float64(*ranks)
+	fmt.Printf("%s: %d ranks, %d iterations, %d tasks, %d MPI-call vertices\n",
+		w.Name, *ranks, *iters, len(w.Graph.Tasks), len(w.Graph.Vertices))
+	fmt.Printf("power constraint: %.0f W per socket, %.0f W job-level\n\n", *capW, jobCap)
+
+	runLP := *policy == "lp" || *policy == "all"
+	runStatic := *policy == "static" || *policy == "all"
+	runConductor := *policy == "conductor" || *policy == "all"
+	if !runLP && !runStatic && !runConductor {
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	if runStatic {
+		res, err := sys.RunStatic(w.Graph, *capW)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Static:    %.3f s (peak power %.1f W, avg %.1f W)\n",
+			res.Makespan, res.PeakPowerW, res.AvgPower())
+	}
+	if runConductor {
+		res, err := sys.RunConductor(w.Graph, jobCap)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Conductor: %.3f s total, %.3f s measured (%d reallocations, %d misidentifications)\n",
+			res.TotalS, res.MeasuredS, res.Reallocations, res.MisIdentified)
+	}
+	if runLP {
+		sched, err := sys.UpperBound(w.Graph, jobCap)
+		if err != nil {
+			if errors.Is(err, powercap.ErrInfeasible) {
+				fmt.Printf("LP: infeasible at %.0f W per socket\n", *capW)
+				return
+			}
+			fatal(err)
+		}
+		fmt.Printf("LP bound:  %.3f s (%d LP solves, %d simplex pivots)\n",
+			sched.MakespanS, sched.Stats.Solves, sched.Stats.SimplexIter)
+
+		printScheduleSummary(w, sched)
+
+		rep, err := sys.Replay(w.Graph, sched, false)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nreplay (discrete rounding): %.3f s, %d switches (%d suppressed), cap violation %.2f W\n",
+			rep.MakespanS, rep.Switches, rep.Suppressed, rep.CapViolationW)
+		if *gantt {
+			fmt.Println()
+			fmt.Print(rep.Result.Gantt(w.Graph, 100))
+		}
+	}
+}
+
+// printScheduleSummary aggregates the LP's choices per task class.
+func printScheduleSummary(w *powercap.Workload, sched *powercap.Schedule) {
+	type agg struct {
+		n        int
+		power    float64
+		duration float64
+		threads  map[int]int
+	}
+	classes := map[string]*agg{}
+	for tid, task := range w.Graph.Tasks {
+		ch := sched.Choices[tid]
+		if len(ch.Mix) == 0 {
+			continue
+		}
+		a := classes[task.Class]
+		if a == nil {
+			a = &agg{threads: map[int]int{}}
+			classes[task.Class] = a
+		}
+		a.n++
+		a.power += ch.PowerW
+		a.duration += ch.DurationS
+		a.threads[ch.Discrete.Threads]++
+	}
+	var names []string
+	for c := range classes {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%-12s%8s%14s%14s%12s\n", "class", "tasks", "avg power(W)", "avg time(s)", "threads")
+	for _, c := range names {
+		a := classes[c]
+		fmt.Printf("%-12s%8d%14.1f%14.3f%12s\n", c, a.n,
+			a.power/float64(a.n), a.duration/float64(a.n), threadSet(a.threads))
+	}
+	_ = machine.Default()
+}
+
+func threadSet(ts map[int]int) string {
+	var ks []int
+	for k := range ts {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	s := ""
+	for i, k := range ks {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", k)
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcsched:", err)
+	os.Exit(1)
+}

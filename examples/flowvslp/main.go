@@ -1,0 +1,54 @@
+// Flowvslp: compare the appendix's flow ILP (solver-chosen event order)
+// against the fixed-vertex-order LP on a small asynchronous message
+// exchange — the paper's Fig. 8 experiment in miniature.
+//
+// Run with:
+//
+//	go run ./examples/flowvslp
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"powercap"
+)
+
+func main() {
+	// The Fig. 2 program: rank 0 computes, Isends, computes, Waits,
+	// computes; rank 1 computes, Recvs, computes.
+	tb := powercap.NewTrace(2)
+	sh := powercap.DefaultShape()
+	tb.Compute(0, 0.8, sh, "A1")
+	tb.Isend(0, 1, 1<<20)
+	tb.Compute(0, 0.6, sh, "A2")
+	tb.Wait(0)
+	tb.Compute(0, 0.4, sh, "A3")
+	tb.Compute(1, 1.0, sh, "A4")
+	tb.Recv(1, 0)
+	tb.Compute(1, 0.5, sh, "A5")
+	g := tb.Finalize()
+
+	sys := powercap.NewSystem(nil)
+	fmt.Printf("%-14s%14s%14s%10s\n", "total W", "fixed LP(s)", "flow ILP(s)", "gap")
+	for capW := 35.0; capW <= 110; capW += 5 {
+		flow, ferr := sys.FlowILP(g, capW)
+		fixed, lerr := sys.UpperBoundWhole(g, capW)
+		if errors.Is(ferr, powercap.ErrFlowInfeasible) || errors.Is(lerr, powercap.ErrInfeasible) {
+			fmt.Printf("%-14.0f%14s%14s\n", capW, "infeasible", "infeasible")
+			continue
+		}
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		fmt.Printf("%-14.0f%14.4f%14.4f%9.2f%%\n",
+			capW, fixed.MakespanS, flow.MakespanS,
+			(fixed.MakespanS/flow.MakespanS-1)*100)
+	}
+	fmt.Println("\nFixing the event order costs almost nothing beyond the tightest caps,")
+	fmt.Println("while turning an intractable ILP into a polynomial-time LP (Sec. 3.3).")
+}

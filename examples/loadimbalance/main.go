@@ -1,0 +1,44 @@
+// Loadimbalance: the paper's BT scenario — a workload with residual static
+// load imbalance run under a tight power cap, where nonuniform power
+// allocation buys large speedups over uniform Static capping.
+//
+// Run with:
+//
+//	go run ./examples/loadimbalance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powercap"
+)
+
+func main() {
+	w := powercap.NewWorkload("BT", powercap.WorkloadParams{
+		Ranks: 8, Iterations: 10, Seed: 7, WorkScale: 0.5,
+	})
+	sys := powercap.SystemFor(w, nil)
+
+	fmt.Println("BT proxy: residual zone imbalance, ring exchange, per-iteration collectives")
+	fmt.Printf("%-12s%12s%14s%12s%16s%16s\n",
+		"W/socket", "Static(s)", "Conductor(s)", "LP(s)", "LP vs Static", "Cond vs Static")
+	for _, perSocket := range []float64{30, 40, 50, 60, 70} {
+		cmp, err := sys.Compare(w, perSocket)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lp := "infeasible"
+		lpGain := "-"
+		if !cmp.LPInfeasible {
+			lp = fmt.Sprintf("%.3f", cmp.LPBoundS)
+			lpGain = fmt.Sprintf("%.1f%%", cmp.LPvsStaticPct)
+		}
+		fmt.Printf("%-12.0f%12.3f%14.3f%12s%16s%15.1f%%\n",
+			perSocket, cmp.StaticS, cmp.ConductorS, lp, lpGain, cmp.ConductorVsStaticPct)
+	}
+
+	fmt.Println("\nAt 30 W the uniform cap forces RAPL into duty-cycle modulation on every")
+	fmt.Println("socket while the LP escapes by running fewer threads at higher frequency")
+	fmt.Println("and shifting watts toward the heavy ranks — the paper's Fig. 13 story.")
+}

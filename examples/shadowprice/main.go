@@ -1,0 +1,47 @@
+// Shadowprice: the LP's dual values price power in seconds per watt — the
+// marginal information a power-aware job scheduler needs when deciding
+// which job should receive the next watt (the paper's motivating setting:
+// "total machine power will be divided across multiple simultaneous jobs").
+//
+// Run with:
+//
+//	go run ./examples/shadowprice
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"powercap"
+)
+
+func main() {
+	// Two jobs compete for one power budget: a power-hungry BT and a
+	// contention-limited LULESH.
+	bt := powercap.NewWorkload("BT", powercap.WorkloadParams{Ranks: 4, Iterations: 5, Seed: 2, WorkScale: 0.4})
+	lu := powercap.NewWorkload("LULESH", powercap.WorkloadParams{Ranks: 4, Iterations: 5, Seed: 2, WorkScale: 0.4})
+
+	fmt.Println("Marginal value of power (seconds of makespan per extra watt):")
+	fmt.Printf("%-12s%16s%16s\n", "W/socket", "BT (s/W)", "LULESH (s/W)")
+	for _, perSocket := range []float64{30, 35, 40, 50, 60, 70} {
+		row := fmt.Sprintf("%-12.0f", perSocket)
+		for _, w := range []*powercap.Workload{bt, lu} {
+			sys := powercap.SystemFor(w, nil)
+			sched, err := sys.UpperBound(w.Graph, perSocket*4)
+			if err != nil {
+				if errors.Is(err, powercap.ErrInfeasible) {
+					row += fmt.Sprintf("%16s", "infeasible")
+					continue
+				}
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("%16.4f", sched.MarginalSecPerW)
+		}
+		fmt.Println(row)
+	}
+
+	fmt.Println("\nA job scheduler holding a shared budget should grant the next watt to")
+	fmt.Println("the job with the most negative shadow price; as caps loosen, the prices")
+	fmt.Println("decay toward zero and extra power stops buying time.")
+}

@@ -1,0 +1,153 @@
+package powercap_test
+
+// End-to-end integration tests spanning the full paper pipeline:
+// workload generation → trace serialization → LP bound → replay →
+// policy comparison → discrete-ILP cross-check.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"powercap"
+)
+
+// TestPipelineEndToEnd runs the whole pipeline on every workload and
+// asserts the cross-cutting invariants that make the reproduction a
+// reproduction.
+func TestPipelineEndToEnd(t *testing.T) {
+	for _, name := range powercap.WorkloadNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := powercap.NewWorkload(name, powercap.WorkloadParams{
+				Ranks: 4, Iterations: 5, Seed: 13, WorkScale: 0.25,
+			})
+
+			// 1. Serialize and re-read the trace; the graph must survive.
+			var buf bytes.Buffer
+			if err := powercap.WriteTrace(&buf, name, w.Graph, w.EffScale); err != nil {
+				t.Fatal(err)
+			}
+			g, eff, err := powercap.ReadTrace(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sys := powercap.NewSystem(nil)
+			sys.EffScale = eff
+
+			const perSocket = 42.0
+			jobCap := perSocket * float64(g.NumRanks)
+
+			// 2. LP bound from the deserialized trace.
+			sched, err := sys.UpperBound(g, jobCap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sched.MakespanS <= 0 {
+				t.Fatal("empty LP bound")
+			}
+			if sched.MarginalSecPerW > 1e-12 {
+				t.Fatalf("positive marginal value of power: %v", sched.MarginalSecPerW)
+			}
+
+			// 3. Continuous replay respects the cap and the bound.
+			rep, err := sys.Replay(g, sched, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.CapViolationW > 1e-6 {
+				t.Fatalf("continuous replay violates cap by %v W", rep.CapViolationW)
+			}
+
+			// 4. Policies never beat the bound.
+			st, err := sys.RunStatic(g, perSocket)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Makespan < sched.MakespanS*(1-1e-9) {
+				t.Fatalf("Static %v beat the LP bound %v", st.Makespan, sched.MakespanS)
+			}
+			if v := st.MaxCapViolation(jobCap); v > 1e-9 {
+				t.Fatalf("Static violates the job cap by %v W", v)
+			}
+			cd, err := sys.RunConductor(g, jobCap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cd.PeakPowerW > jobCap+1e-6 {
+				t.Fatalf("Conductor violates the job cap: %v > %v", cd.PeakPowerW, jobCap)
+			}
+		})
+	}
+}
+
+// TestDiscreteILPThroughFacade cross-checks the continuous bound against
+// the exact discrete optimum on a small trace.
+func TestDiscreteILPThroughFacade(t *testing.T) {
+	tb := powercap.NewTrace(3)
+	sh := powercap.DefaultShape()
+	for r := 0; r < 3; r++ {
+		tb.Compute(r, 0.4+0.2*float64(r), sh, "w")
+	}
+	tb.Collective("sync")
+	for r := 0; r < 3; r++ {
+		tb.Compute(r, 0.3, sh, "w2")
+	}
+	g := tb.Finalize()
+
+	sys := powercap.NewSystem(nil)
+	cont, err := sys.UpperBoundWhole(g, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := sys.UpperBoundDiscrete(g, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disc.MakespanS < cont.MakespanS-1e-6 {
+		t.Fatalf("discrete optimum %v below the continuous bound %v", disc.MakespanS, cont.MakespanS)
+	}
+	if disc.MakespanS > cont.MakespanS*1.06 {
+		t.Fatalf("rounding gap suspiciously large: %v vs %v", disc.MakespanS, cont.MakespanS)
+	}
+}
+
+// TestSeededDeterminism: the same parameters must give bit-identical
+// comparisons (the whole pipeline is seeded, with no wall-clock inputs).
+func TestSeededDeterminism(t *testing.T) {
+	run := func() float64 {
+		w := powercap.NewWorkload("BT", powercap.WorkloadParams{Ranks: 4, Iterations: 5, Seed: 77, WorkScale: 0.3})
+		sys := powercap.SystemFor(w, nil)
+		cmp, err := sys.Compare(w, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cmp.StaticS + cmp.ConductorS + cmp.LPBoundS
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic pipeline: %v vs %v", a, b)
+	}
+}
+
+// TestMarginalPricesConsistentWithSweep: shadow prices must predict the
+// local slope of the bound-vs-power curve.
+func TestMarginalPricesConsistentWithSweep(t *testing.T) {
+	w := powercap.NewWorkload("LULESH", powercap.WorkloadParams{Ranks: 4, Iterations: 4, Seed: 3, WorkScale: 0.25})
+	sys := powercap.SystemFor(w, nil)
+	const cap = 150.0
+	a, err := sys.UpperBound(w.Graph, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const d = 0.2
+	b, err := sys.UpperBound(w.Graph, cap+d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := (b.MakespanS - a.MakespanS) / d
+	if math.Abs(fd-a.MarginalSecPerW) > 0.1*math.Abs(a.MarginalSecPerW)+1e-5 {
+		t.Fatalf("marginal %v vs finite difference %v", a.MarginalSecPerW, fd)
+	}
+}

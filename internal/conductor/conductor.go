@@ -1,0 +1,524 @@
+// Package conductor reimplements the Conductor adaptive power-allocation
+// runtime the paper evaluates against its LP bound (Sec. 4.2, [19]).
+//
+// Conductor runs two mechanisms on top of the iteration structure exposed
+// by MPI_Pcontrol:
+//
+//   - configuration exploration: during the first few iterations each rank
+//     profiles candidate configurations, building per-task-class Pareto
+//     frontiers (the paper discards these iterations from comparisons and
+//     so do the experiments);
+//   - power reallocation: at Pcontrol boundaries (every ReallocPeriod
+//     iterations) it first applies an Adagio-style step — lowering
+//     non-critical ranks' budgets to the minimum power that still finishes
+//     their work inside the iteration span — then grants the freed power to
+//     the rank it estimates to be on the critical path.
+//
+// Crucially, the runtime is imperfect in exactly the ways the paper
+// diagnoses (Sec. 6): it reacts to the previous iteration (so workload
+// noise causes allocation thrashing and induced imbalance), it can
+// misidentify the critical path (the SP failure mode, controlled by
+// MisIDProb), and it pays real overheads for reallocation decisions and
+// configuration switches (Sec. 6.2's 566 µs and per-task DVFS costs).
+package conductor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+	"powercap/internal/pareto"
+	"powercap/internal/sim"
+)
+
+// Conductor is the adaptive runtime. Zero values take paper defaults via
+// New.
+type Conductor struct {
+	Model    *machine.Model
+	EffScale []float64
+
+	// ExploreIters is the number of leading iterations spent exploring
+	// configurations (run under uniform static allocation; the paper
+	// discards "the first three iterations of every application").
+	ExploreIters int
+	// ReallocPeriod is how many iterations pass between power
+	// reallocation decisions ("after every 5-10 MPI_Pcontrol calls").
+	ReallocPeriod int
+	// MeasureNoise is the relative noise on per-rank busy-time
+	// measurements used to estimate the critical path. On imbalanced
+	// workloads the true bottleneck dominates the noise; on balanced
+	// ones (SP) the ranking is essentially random, so Conductor
+	// "frequently misidentifies the critical path" exactly as the paper
+	// observes.
+	MeasureNoise float64
+	// MisIDProb is an additional per-decision probability of outright
+	// misidentifying the critical rank regardless of measurements.
+	MisIDProb float64
+	// ReallocOverheadS is added to the makespan at every reallocation
+	// ("an average overhead of 566 microseconds per invocation").
+	ReallocOverheadS float64
+	// SwitchOverheadS is the per-task configuration-switch cost, paid when
+	// a task runs in a different configuration than its rank's previous
+	// task ("a median per-task overhead of 145 microseconds").
+	SwitchOverheadS float64
+	// MinSwitchTaskS suppresses switches for short tasks, the replay
+	// threshold of Sec. 6.1 ("we use a threshold of 1ms").
+	MinSwitchTaskS float64
+	// AdagioMargin is the fraction of the iteration span Adagio leaves as
+	// safety margin when slowing non-critical ranks.
+	AdagioMargin float64
+	// BoostHeadroomFrac bounds how far above the uniform per-socket share
+	// a rank's budget may rise. Conductor profiles configurations during
+	// exploration *under the power cap*, so operating points drawing much
+	// more than the uniform share were never observed and cannot be
+	// selected — the paper's CoMD analysis shows Conductor "allocates up
+	// to 32 watts per processor in contrast to the LP's 36 watts" at a
+	// 30 W cap, i.e. roughly 10% headroom.
+	BoostHeadroomFrac float64
+	// Seed drives the misidentification draw.
+	Seed int64
+
+	frontiers map[frontierKey]*taskFrontier
+}
+
+// NewConfigOnly returns the configuration-selection-only variant the paper
+// discusses in Sec. 6: "If only the configuration selection is performed
+// (but not power reallocation), there is less overhead than Conductor, but
+// also lower performance due to the use of uniform power allocation."
+// Budgets stay at the uniform share forever; per-task Pareto-frontier
+// configuration selection (and its switch costs) still runs.
+func NewConfigOnly(model *machine.Model, effScale []float64) *Conductor {
+	c := New(model, effScale)
+	c.ReallocPeriod = 1 << 30 // never reallocate
+	c.ReallocOverheadS = 0
+	return c
+}
+
+// New returns a Conductor with the paper's parameters.
+func New(model *machine.Model, effScale []float64) *Conductor {
+	return &Conductor{
+		Model:             model,
+		EffScale:          effScale,
+		ExploreIters:      3,
+		ReallocPeriod:     5,
+		MeasureNoise:      0.01,
+		MisIDProb:         0.05,
+		ReallocOverheadS:  566e-6,
+		SwitchOverheadS:   145e-6,
+		MinSwitchTaskS:    1e-3,
+		AdagioMargin:      0.01,
+		BoostHeadroomFrac: 0.10,
+		Seed:              1,
+	}
+}
+
+func (c *Conductor) eff(rank int) float64 {
+	if c.EffScale == nil || rank < 0 || rank >= len(c.EffScale) {
+		return 1
+	}
+	return c.EffScale[rank]
+}
+
+type frontierKey struct {
+	shape machine.Shape
+	rank  int
+}
+
+type taskFrontier struct {
+	pts  []pareto.Point // work-normalized durations
+	cfgs []machine.Config
+}
+
+func (c *Conductor) frontier(shape machine.Shape, rank int) *taskFrontier {
+	if c.frontiers == nil {
+		c.frontiers = make(map[frontierKey]*taskFrontier)
+	}
+	key := frontierKey{shape, rank}
+	if f, ok := c.frontiers[key]; ok {
+		return f
+	}
+	cfgs := c.Model.Configs()
+	cloud := make([]pareto.Point, len(cfgs))
+	for i, cfg := range cfgs {
+		cloud[i] = pareto.Point{
+			PowerW: c.Model.Power(shape, cfg, c.eff(rank)),
+			TimeS:  c.Model.Duration(1.0, shape, cfg),
+			Index:  i,
+		}
+	}
+	hull := pareto.ConvexFrontier(cloud)
+	f := &taskFrontier{pts: hull, cfgs: make([]machine.Config, len(hull))}
+	for i, p := range hull {
+		f.cfgs[i] = cfgs[p.Index]
+	}
+	c.frontiers[key] = f
+	return f
+}
+
+// RunResult is the outcome of a Conductor execution.
+type RunResult struct {
+	// TotalS is the summed makespan of all iterations including overheads.
+	TotalS float64
+	// MeasuredS excludes the exploration iterations, matching how the
+	// paper compares policies.
+	MeasuredS float64
+	// IterTimesS records each iteration's span (prologue first).
+	IterTimesS []float64
+	// ExploreSkipped reports how many leading slices MeasuredS excludes.
+	ExploreSkipped int
+	// Points are the operating points Conductor chose per original task.
+	Points []sim.TaskPoint
+	// Configs are the configurations behind those points (zero-valued for
+	// messages and degenerate tasks).
+	Configs []machine.Config
+	// Reallocations counts power-reallocation invocations.
+	Reallocations int
+	// MisIdentified counts decisions where the wrong critical rank was
+	// boosted.
+	MisIdentified int
+	// PeakPowerW is the highest per-iteration instantaneous job power.
+	PeakPowerW float64
+	// Budgets is the final per-rank power allocation.
+	Budgets []float64
+}
+
+// Run executes the application under Conductor with a job-level cap.
+func (c *Conductor) Run(g *dag.Graph, jobCapW float64) (*RunResult, error) {
+	slices, err := dag.SliceAll(g)
+	if err != nil {
+		return nil, err
+	}
+	if len(slices) == 0 {
+		return nil, fmt.Errorf("conductor: graph has no iterations")
+	}
+	nr := g.NumRanks
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	budgets := make([]float64, nr)
+	for r := range budgets {
+		budgets[r] = jobCapW / float64(nr)
+	}
+
+	res := &RunResult{
+		Points:  sim.Points(g),
+		Configs: make([]machine.Config, len(g.Tasks)),
+		Budgets: budgets,
+	}
+
+	// prevCfg tracks each rank's last configuration for switch-overhead
+	// accounting across iteration boundaries.
+	prevCfg := make([]machine.Config, nr)
+	for r := range prevCfg {
+		prevCfg[r] = machine.Config{}
+	}
+
+	sinceRealloc := 0
+	for si, sl := range slices {
+		exploring := si < c.ExploreIters
+
+		iterPts := make([]sim.TaskPoint, len(sl.Graph.Tasks))
+		iterCfg := make([]machine.Config, len(sl.Graph.Tasks))
+		for i := range sl.Graph.Tasks {
+			t := &sl.Graph.Tasks[i]
+			if t.Kind == dag.Message {
+				iterPts[i] = sim.TaskPoint{Duration: t.FixedDur}
+				continue
+			}
+			if t.Work <= 0 {
+				iterPts[i] = sim.TaskPoint{Duration: 0, PowerW: c.Model.IdlePower(c.eff(t.Rank))}
+				continue
+			}
+			var cfg machine.Config
+			var duty, pw float64
+			if exploring {
+				// Exploration runs under the uniform cap with full
+				// threads (the profiling configuration assignment is
+				// per-rank; its average behaviour is static-like).
+				r := c.Model.CapConfig(t.Shape, c.Model.Cores, budgets[t.Rank], c.eff(t.Rank))
+				cfg, duty, pw = r.Config, r.Duty, r.PowerW
+			} else {
+				f := c.frontier(t.Shape, t.Rank)
+				if p, ok := pareto.BestUnderCap(f.pts, budgets[t.Rank]); ok {
+					idx := hullIndex(f, p)
+					cfg, duty, pw = f.cfgs[idx], 1, p.PowerW
+				} else {
+					// Budget below the cheapest configuration: RAPL
+					// duty-cycles at the floor.
+					r := c.Model.CapConfig(t.Shape, 1, budgets[t.Rank], c.eff(t.Rank))
+					cfg, duty, pw = r.Config, r.Duty, r.PowerW
+				}
+			}
+			d := c.Model.DurationDuty(t.Work, t.Shape, cfg, duty)
+			if cfg != prevCfg[t.Rank] && d >= c.MinSwitchTaskS {
+				d += c.SwitchOverheadS
+			}
+			prevCfg[t.Rank] = cfg
+			iterCfg[i] = cfg
+			iterPts[i] = sim.TaskPoint{Duration: d, PowerW: pw}
+		}
+
+		iterRes, err := sim.Evaluate(sl.Graph, iterPts, sim.SlackHoldsTaskPower, 0)
+		if err != nil {
+			return nil, err
+		}
+		span := iterRes.Makespan
+
+		// Reallocation decision at the closing Pcontrol.
+		sinceRealloc++
+		if !exploring && sinceRealloc >= c.ReallocPeriod {
+			sinceRealloc = 0
+			c.reallocate(sl.Graph, iterRes, budgets, jobCapW, rng, res)
+			span += c.ReallocOverheadS
+			res.Reallocations++
+		}
+
+		res.IterTimesS = append(res.IterTimesS, span)
+		res.TotalS += span
+		if si >= c.ExploreIters {
+			res.MeasuredS += span
+		} else {
+			res.ExploreSkipped++
+		}
+		if iterRes.PeakPowerW > res.PeakPowerW {
+			res.PeakPowerW = iterRes.PeakPowerW
+		}
+		for i := range sl.Graph.Tasks {
+			res.Points[sl.TaskMap[i]] = iterPts[i]
+			res.Configs[sl.TaskMap[i]] = iterCfg[i]
+		}
+	}
+	return res, nil
+}
+
+// reallocate performs the Adagio slow-down step followed by critical-path
+// boosting, mutating budgets in place.
+//
+// Adagio reasons per task, not per rank aggregate: a rank's tasks sit
+// between synchronization points, so a task may only be slowed by the
+// factor by which its rank as a whole trails the critical rank — slowing
+// it to "fill the iteration" would push the phase barrier and perturb the
+// critical path (the co-scheduling trap of the paper's Fig. 3). Each
+// non-critical rank's budget becomes the maximum over its tasks of the
+// minimum power at which the task still fits its proportionally stretched
+// duration; the estimated critical rank asks for its maximum useful power;
+// and the results are scaled into the job cap.
+func (c *Conductor) reallocate(g *dag.Graph, r *sim.Result, budgets []float64, jobCapW float64, rng *rand.Rand, res *RunResult) {
+	nr := g.NumRanks
+	busy := make([]float64, nr)
+	for i, t := range g.Tasks {
+		if t.Kind == dag.Compute {
+			busy[t.Rank] += r.End[i] - r.Start[i]
+		}
+	}
+	// Conductor reasons over noisy measurements of the previous iteration
+	// (sampling error plus genuine iteration-to-iteration variation). The
+	// noise corrupts both the critical-path ranking and the Adagio
+	// stretch targets below — the "thrashing in the per-rank power
+	// allocation (which induces load imbalance)" of Sec. 6. Near the
+	// duty-cycle cliff a one-configuration planning error costs several
+	// percent, which is where Conductor bleeds against the LP.
+	noisy := make([]float64, nr)
+	for rk := range noisy {
+		noisy[rk] = busy[rk] * (1 + c.MeasureNoise*rng.NormFloat64())
+	}
+
+	// Critical rank estimation: argmax of the noisy busy measurement,
+	// with an extra chance of an outright wrong pick. On balanced
+	// workloads the noise swamps the true ranking and the estimate is
+	// effectively random.
+	crit := 0
+	for rk := 1; rk < nr; rk++ {
+		if noisy[rk] > noisy[crit] {
+			crit = rk
+		}
+	}
+	if nr > 1 && rng.Float64() < c.MisIDProb {
+		w := rng.Intn(nr - 1)
+		if w >= crit {
+			w++
+		}
+		crit = w
+	}
+
+	// Budget ceiling: configurations drawing much above the uniform share
+	// were never profiled under the cap, so Conductor cannot allocate
+	// beyond this (see BoostHeadroomFrac).
+	ceil := jobCapW / float64(nr)
+	if c.BoostHeadroomFrac > 0 {
+		ceil *= 1 + c.BoostHeadroomFrac
+	}
+
+	// Abundant power: when every rank fits at its maximum useful power,
+	// there is nothing to reallocate — hand out the maxima and leave the
+	// estimation machinery (and its misidentification risk) idle.
+	maxSum := 0.0
+	maxes := make([]float64, nr)
+	for rk := 0; rk < nr; rk++ {
+		maxes[rk] = math.Min(c.rankMaxPower(g, rk), ceil)
+		maxSum += maxes[rk]
+	}
+	if maxSum <= jobCapW {
+		copy(budgets, maxes)
+		return
+	}
+
+	// Deadline bisection: find the smallest per-iteration compute deadline
+	// T for which the sum of per-rank power needs fits the job cap. Each
+	// rank's share of T is split across its tasks in proportion to their
+	// measured durations (phases between synchronization points cannot
+	// borrow time from each other — the co-scheduling constraint of the
+	// paper's Fig. 3), and its need is the cheapest discrete frontier
+	// point meeting every task's share.
+	needsAt := func(T float64) ([]float64, float64) {
+		needs := make([]float64, nr)
+		sum := 0.0
+		for rk := 0; rk < nr; rk++ {
+			if busy[rk] <= 0 {
+				needs[rk] = c.Model.IdlePower(c.eff(rk))
+				sum += needs[rk]
+				continue
+			}
+			needs[rk] = math.Min(c.rankPowerNeed(g, r, rk, T/noisy[rk]*(1-c.AdagioMargin)), ceil)
+			sum += needs[rk]
+		}
+		return needs, sum
+	}
+
+	lo, hi := 0.0, 0.0
+	for rk := 0; rk < nr; rk++ {
+		t := c.predictBusy(g, rk, math.Min(c.rankMaxPower(g, rk), ceil))
+		if t > lo {
+			lo = t // fastest conceivable pacing rank
+		}
+		if bt := busy[rk] * 4; bt > hi {
+			hi = bt
+		}
+	}
+	if _, s := needsAt(hi); s > jobCapW {
+		// Even deeply relaxed deadlines do not fit: fall back to uniform.
+		for rk := range budgets {
+			budgets[rk] = jobCapW / float64(nr)
+		}
+		return
+	}
+	for it := 0; it < 30; it++ {
+		mid := (lo + hi) / 2
+		if _, s := needsAt(mid); s <= jobCapW {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	needs, _ := needsAt(hi)
+
+	// Spend any leftover budget on the estimated critical rank — the
+	// paper's reallocation step proper. When the critical path was
+	// misidentified, Conductor additionally treats the true bottleneck as
+	// a slack-rich process and nudges its allocation down roughly one
+	// configuration step, handing the proceeds to the wrong rank —
+	// "inappropriately reducing the power allocation to specific
+	// processes … selecting suboptimal configurations for a subset of
+	// tasks" (Sec. 6.4, the SP failure mode).
+	truecrit := 0
+	for rk := 1; rk < nr; rk++ {
+		if busy[rk] > busy[truecrit] {
+			truecrit = rk
+		}
+	}
+	if crit != truecrit {
+		res.MisIdentified++
+		floor := c.Model.IdlePower(c.eff(truecrit))
+		cut := 0.1 * (needs[truecrit] - floor)
+		if cut > 0 {
+			needs[truecrit] -= cut
+			needs[crit] += cut
+		}
+	}
+	sum := 0.0
+	for _, n := range needs {
+		sum += n
+	}
+	if surplus := jobCapW - sum; surplus > 0 {
+		needs[crit] += surplus
+	}
+	if maxUse := math.Min(c.rankMaxPower(g, crit), ceil); needs[crit] > maxUse {
+		needs[crit] = maxUse
+	}
+	copy(budgets, needs)
+}
+
+// predictBusy estimates rank rk's total compute time if every task ran at
+// uniform power p on its frontier.
+func (c *Conductor) predictBusy(g *dag.Graph, rk int, p float64) float64 {
+	total := 0.0
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		if t.Kind != dag.Compute || t.Rank != rk || t.Work <= 0 {
+			continue
+		}
+		f := c.frontier(t.Shape, t.Rank)
+		total += pareto.InterpolateTime(f.pts, p) * t.Work
+	}
+	return total
+}
+
+// rankPowerNeed finds the lowest power level at which every one of rank
+// rk's tasks still completes within its measured duration stretched by
+// ratio (Adagio's "low-power configuration that finishes computation
+// without perturbing the critical path").
+func (c *Conductor) rankPowerNeed(g *dag.Graph, r *sim.Result, rk int, ratio float64) float64 {
+	need := c.Model.IdlePower(c.eff(rk))
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		if t.Kind != dag.Compute || t.Rank != rk || t.Work <= 0 {
+			continue
+		}
+		allowed := (r.End[t.ID] - r.Start[t.ID]) * ratio
+		f := c.frontier(t.Shape, t.Rank)
+		p := minPowerFor(f, t.Work, allowed)
+		if p > need {
+			need = p
+		}
+	}
+	return need
+}
+
+// minPowerFor returns the lowest-power *discrete* frontier point at which
+// work completes within allowed seconds, or the frontier maximum when even
+// full power is too slow. Planning over the same discrete points the
+// runtime will later select keeps allocations honest: interpolated
+// (continuous) planning promises times a single configuration cannot
+// deliver and systematically under-allocates.
+func minPowerFor(f *taskFrontier, work, allowed float64) float64 {
+	for _, p := range f.pts {
+		if p.TimeS*work <= allowed {
+			return p.PowerW
+		}
+	}
+	return f.pts[len(f.pts)-1].PowerW
+}
+
+// rankMaxPower is the highest power rank rk can usefully consume.
+func (c *Conductor) rankMaxPower(g *dag.Graph, rk int) float64 {
+	max := c.Model.IdlePower(c.eff(rk))
+	for _, t := range g.Tasks {
+		if t.Kind == dag.Compute && t.Rank == rk && t.Work > 0 {
+			f := c.frontier(t.Shape, t.Rank)
+			if p := f.pts[len(f.pts)-1].PowerW; p > max {
+				max = p
+			}
+		}
+	}
+	return max
+}
+
+func hullIndex(f *taskFrontier, p pareto.Point) int {
+	for i := range f.pts {
+		if f.pts[i].Index == p.Index {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,237 @@
+package conductor
+
+import (
+	"testing"
+
+	"powercap/internal/core"
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+	"powercap/internal/policy"
+	"powercap/internal/workloads"
+)
+
+// sliceGraphs returns the per-iteration subgraphs of a workload.
+func sliceGraphs(w *workloads.Workload) ([]*dag.Graph, error) {
+	slices, err := dag.SliceAll(w.Graph)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*dag.Graph, len(slices))
+	for i, s := range slices {
+		out[i] = s.Graph
+	}
+	return out, nil
+}
+
+func btInstance() *workloads.Workload {
+	return workloads.BT(workloads.Params{Ranks: 4, Iterations: 8, Seed: 5, WorkScale: 0.3})
+}
+
+func TestConductorRespectsJobCap(t *testing.T) {
+	w := btInstance()
+	c := New(machine.Default(), w.EffScale)
+	for _, perSocket := range []float64{30, 45, 60} {
+		jobCap := perSocket * float64(w.Graph.NumRanks)
+		res, err := c.Run(w.Graph, jobCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PeakPowerW > jobCap+1e-6 {
+			t.Fatalf("per-socket %v: peak %v exceeds job cap %v", perSocket, res.PeakPowerW, jobCap)
+		}
+		if res.TotalS <= 0 || res.MeasuredS <= 0 {
+			t.Fatalf("per-socket %v: empty result %+v", perSocket, res)
+		}
+		if res.MeasuredS >= res.TotalS {
+			t.Fatal("measured time should exclude exploration iterations")
+		}
+	}
+}
+
+func TestConductorBeatsStaticOnImbalance(t *testing.T) {
+	// BT's load imbalance is exactly what Conductor exploits: after
+	// exploration it must beat uniform Static at a tight cap (paper
+	// Fig. 13 shows ~50% improvement at 30 W).
+	w := btInstance()
+	m := machine.Default()
+	c := New(m, w.EffScale)
+	st := policy.NewStatic(m, w.EffScale)
+
+	perSocket := 30.0
+	jobCap := perSocket * float64(w.Graph.NumRanks)
+	cres, err := c.Run(w.Graph, jobCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := st.Run(w.Graph, perSocket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare post-exploration iterations only, as the paper does.
+	staticMeasured := measuredStatic(t, w, st, perSocket, cres.ExploreSkipped)
+	if cres.MeasuredS >= staticMeasured {
+		t.Fatalf("Conductor (%v) did not beat Static (%v) on imbalanced BT at %v W", cres.MeasuredS, staticMeasured, perSocket)
+	}
+	_ = sres
+}
+
+// measuredStatic evaluates Static per iteration and sums the same slices
+// Conductor counts.
+func measuredStatic(t *testing.T, w *workloads.Workload, st *policy.Static, perSocket float64, skip int) float64 {
+	t.Helper()
+	total := 0.0
+	slices, err := sliceGraphs(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sl := range slices {
+		if i < skip {
+			continue
+		}
+		r, err := st.Run(sl, perSocket)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += r.Makespan
+	}
+	return total
+}
+
+func TestConductorNeverBeatsLP(t *testing.T) {
+	// The LP is the theoretical bound; Conductor must not outrun it on
+	// the measured iterations.
+	w := btInstance()
+	m := machine.Default()
+	c := New(m, w.EffScale)
+	lp := core.NewSolver(m, w.EffScale)
+
+	perSocket := 35.0
+	jobCap := perSocket * float64(w.Graph.NumRanks)
+	cres, err := c.Run(w.Graph, jobCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slices, err := sliceGraphs(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpTotal := 0.0
+	for i, sl := range slices {
+		if i < cres.ExploreSkipped {
+			continue
+		}
+		s, err := lp.Solve(sl, jobCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpTotal += s.MakespanS
+	}
+	if cres.MeasuredS < lpTotal*(1-1e-9) {
+		t.Fatalf("Conductor (%v) beat the LP bound (%v)", cres.MeasuredS, lpTotal)
+	}
+}
+
+func TestMisIDHurts(t *testing.T) {
+	// Forcing every critical-path decision wrong must not help.
+	w := btInstance()
+	m := machine.Default()
+	good := New(m, w.EffScale)
+	good.MisIDProb = 0
+	bad := New(m, w.EffScale)
+	bad.MisIDProb = 1
+
+	jobCap := 30.0 * float64(w.Graph.NumRanks)
+	gres, err := good.Run(w.Graph, jobCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := bad.Run(w.Graph, jobCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.MisIdentified == 0 {
+		t.Fatal("MisIDProb=1 produced no misidentifications")
+	}
+	if bres.MeasuredS < gres.MeasuredS*(1-1e-9) {
+		t.Fatalf("always-wrong critical path (%v) beat always-right (%v)", bres.MeasuredS, gres.MeasuredS)
+	}
+}
+
+func TestOverheadsAccumulate(t *testing.T) {
+	w := btInstance()
+	m := machine.Default()
+	free := New(m, w.EffScale)
+	free.ReallocOverheadS = 0
+	free.SwitchOverheadS = 0
+	costly := New(m, w.EffScale)
+	costly.ReallocOverheadS = 5e-3
+	costly.SwitchOverheadS = 2e-3
+
+	jobCap := 40.0 * float64(w.Graph.NumRanks)
+	fres, err := free.Run(w.Graph, jobCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := costly.Run(w.Graph, jobCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.TotalS <= fres.TotalS {
+		t.Fatalf("overheads did not increase runtime: %v vs %v", cres.TotalS, fres.TotalS)
+	}
+}
+
+func TestReallocationsHappen(t *testing.T) {
+	w := btInstance()
+	c := New(machine.Default(), w.EffScale)
+	c.ReallocPeriod = 2
+	res, err := c.Run(w.Graph, 50*float64(w.Graph.NumRanks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reallocations == 0 {
+		t.Fatal("no reallocation decisions made")
+	}
+	sum := 0.0
+	for _, b := range res.Budgets {
+		sum += b
+	}
+	if sum > 50*float64(w.Graph.NumRanks)+1e-6 {
+		t.Fatalf("final budgets (%v) exceed the job cap", sum)
+	}
+}
+
+func TestConfigOnlyBetweenStaticAndConductor(t *testing.T) {
+	// Configuration selection without reallocation: beats Static when
+	// better-than-8-thread configs exist under the uniform share, but
+	// cannot exploit imbalance, so full Conductor beats it on BT.
+	w := workloads.BT(workloads.Params{Ranks: 4, Iterations: 10, Seed: 5, WorkScale: 0.3})
+	m := machine.Default()
+	perSocket := 30.0
+	jobCap := perSocket * 4
+
+	full := New(m, w.EffScale)
+	cfgOnly := NewConfigOnly(m, w.EffScale)
+	fres, err := full.Run(w.Graph, jobCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := cfgOnly.Run(w.Graph, jobCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Reallocations != 0 {
+		t.Fatalf("config-only performed %d reallocations", cres.Reallocations)
+	}
+	st := policy.NewStatic(m, w.EffScale)
+	staticTotal := measuredStatic(t, w, st, perSocket, cres.ExploreSkipped)
+
+	// At the 30 W duty-cliff, escaping 8 threads already wins big.
+	if cres.MeasuredS >= staticTotal {
+		t.Fatalf("config-only (%v) did not beat Static (%v) at the duty cliff", cres.MeasuredS, staticTotal)
+	}
+	// But reallocation adds more on an imbalanced workload.
+	if fres.MeasuredS >= cres.MeasuredS {
+		t.Fatalf("full Conductor (%v) did not beat config-only (%v) on imbalanced BT", fres.MeasuredS, cres.MeasuredS)
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+	"powercap/internal/workloads"
+)
+
+// BenchmarkSolve16RankSPSlice tracks the dense simplex's behaviour on the
+// default experiment scale. At the paper's full 32 ranks the same slice
+// needs ~22k pivots and ~70 s (the repository's known performance
+// limitation; see README "Limitations") — kept out of the default harness
+// for runtime's sake.
+func BenchmarkSolve16RankSPSlice(b *testing.B) {
+	w := workloads.SP(workloads.Params{Ranks: 16, Iterations: 4, Seed: 1})
+	slices, err := dag.SliceAll(w.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sl := slices[2]
+	s := NewSolver(machine.Default(), w.EffScale)
+	b.ResetTimer()
+	var pivots int
+	for i := 0; i < b.N; i++ {
+		sched, err := s.Solve(sl.Graph, 50*16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pivots = sched.Stats.SimplexIter
+	}
+	b.ReportMetric(float64(pivots), "pivots")
+}

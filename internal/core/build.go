@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"powercap/internal/dag"
+	"powercap/internal/lp"
+	"powercap/internal/machine"
+	"powercap/internal/pareto"
+	"powercap/internal/sim"
+)
+
+// initialSchedule computes the power-unconstrained schedule (every task at
+// the maximum configuration) that fixes the event order and the activity
+// sets R_j (Sec. 3.3).
+func (s *Solver) initialSchedule(g *dag.Graph) (*sim.Result, error) {
+	pts := sim.Points(g)
+	maxCfg := s.Model.MaxConfig()
+	for i, t := range g.Tasks {
+		if t.Kind != dag.Compute {
+			continue
+		}
+		pts[i] = sim.TaskPoint{
+			Duration: s.Model.Duration(t.Work, t.Shape, maxCfg),
+			PowerW:   s.Model.Power(t.Shape, maxCfg, s.eff(t.Rank)),
+		}
+	}
+	return sim.Evaluate(g, pts, sim.SlackHoldsTaskPower, 0)
+}
+
+// activitySets computes, for every vertex/event, the set of compute tasks
+// active there: per rank, the task whose occupancy window — from its start
+// until the rank's next task starts (task + its slack, which holds the
+// task's power) — contains the event time. Events exactly at a window
+// boundary belong to the newly starting task ("tasks are considered active
+// at an event if they start at or are running at the time of the event").
+func activitySets(g *dag.Graph, init *sim.Result) [][]dag.TaskID {
+	byRank := make([][]dag.TaskID, g.NumRanks)
+	for _, t := range g.Tasks {
+		if t.Kind == dag.Compute {
+			byRank[t.Rank] = append(byRank[t.Rank], t.ID)
+		}
+	}
+	for r := range byRank {
+		ids := byRank[r]
+		sort.Slice(ids, func(i, j int) bool {
+			if init.Start[ids[i]] != init.Start[ids[j]] {
+				return init.Start[ids[i]] < init.Start[ids[j]]
+			}
+			return ids[i] < ids[j]
+		})
+	}
+
+	active := make([][]dag.TaskID, len(g.Vertices))
+	for vi := range g.Vertices {
+		tj := init.VertexTime[vi]
+		for r := 0; r < g.NumRanks; r++ {
+			ids := byRank[r]
+			if len(ids) == 0 {
+				continue
+			}
+			// Last task whose start ≤ tj; ties in start resolved to the
+			// later task ID (the one actually about to run).
+			k := sort.Search(len(ids), func(k int) bool { return init.Start[ids[k]] > tj }) - 1
+			if k < 0 {
+				k = 0 // event precedes the rank's first task: charge it
+			}
+			active[vi] = append(active[vi], ids[k])
+		}
+	}
+	return active
+}
+
+// solveInto builds and solves the LP for graph g under capW, writing task
+// choices through taskMap into out.Choices and vertex times into vt.
+func (s *Solver) solveInto(g *dag.Graph, capW float64, out *Schedule, taskMap []dag.TaskID, vt []float64) error {
+	init, err := s.initialSchedule(g)
+	if err != nil {
+		return err
+	}
+	active := activitySets(g, init)
+
+	prob := lp.NewProblem(lp.Minimize)
+
+	// Vertex-time variables (Eq. 2 pins Init; objective is vM, Eq. 1).
+	vVar := make([]lp.Var, len(g.Vertices))
+	for i := range g.Vertices {
+		obj := 0.0
+		if g.Vertices[i].Kind == dag.VFinalize {
+			obj = 1
+		}
+		vVar[i] = prob.AddVar(fmt.Sprintf("v%d", i), obj)
+		if g.Vertices[i].Kind == dag.VInit {
+			prob.MustConstraint("init0", lp.Expr{}.Plus(vVar[i], 1), lp.EQ, 0)
+		}
+	}
+
+	// Configuration-fraction variables per tunable compute task
+	// (Eqs. 6–9), with the power tiebreak on the objective.
+	type taskVars struct {
+		f    *frontier
+		durs []float64 // per frontier point, scaled by task work
+		cs   []lp.Var
+	}
+	tv := make(map[dag.TaskID]*taskVars)
+	fixedPower := make([]float64, len(g.Tasks)) // zero-work tasks' constant draw
+
+	for _, t := range g.Tasks {
+		switch {
+		case t.Kind == dag.Message:
+			// Fixed duration, no socket power.
+		case t.Work <= 0:
+			// Degenerate compute edge (a rank passing straight between
+			// two MPI calls): instantaneous, drawing idle power through
+			// its slack window.
+			fixedPower[t.ID] = s.Model.IdlePower(s.eff(t.Rank))
+		default:
+			f := s.Frontier(t.Shape, t.Rank)
+			v := &taskVars{f: f, durs: make([]float64, len(f.pts)), cs: make([]lp.Var, len(f.pts))}
+			var convex lp.Expr
+			for k, p := range f.pts {
+				v.durs[k] = p.TimeS * t.Work
+				v.cs[k] = prob.AddVar(fmt.Sprintf("c%d_%d", t.ID, k), s.PowerTiebreak*p.PowerW)
+				convex = convex.Plus(v.cs[k], 1)
+			}
+			prob.MustConstraint(fmt.Sprintf("cvx%d", t.ID), convex, lp.EQ, 1)
+			tv[t.ID] = v
+		}
+	}
+
+	// Task precedence (Eqs. 3–4 with s and d substituted):
+	// v_dst − v_src ≥ Σ_k d_{i,k} c_{i,k}  (or the fixed duration).
+	for _, t := range g.Tasks {
+		expr := lp.Expr{}.Plus(vVar[t.Dst], 1).Plus(vVar[t.Src], -1)
+		rhs := 0.0
+		switch {
+		case t.Kind == dag.Message:
+			rhs = t.FixedDur
+		case t.Work <= 0:
+			// ≥ 0: ordering only.
+		default:
+			v := tv[t.ID]
+			for k := range v.cs {
+				expr = expr.Plus(v.cs[k], -v.durs[k])
+			}
+		}
+		prob.MustConstraint(fmt.Sprintf("prec%d", t.ID), expr, lp.GE, rhs)
+	}
+
+	// Fixed event order (Eqs. 12–13): chain the vertices in initial-time
+	// order; simultaneous events are pinned equal.
+	order := make([]dag.VertexID, len(g.Vertices))
+	for i := range order {
+		order[i] = dag.VertexID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := init.VertexTime[order[a]], init.VertexTime[order[b]]
+		if ta != tb {
+			return ta < tb
+		}
+		return order[a] < order[b]
+	})
+	for i := 1; i < len(order); i++ {
+		prev, cur := order[i-1], order[i]
+		expr := lp.Expr{}.Plus(vVar[cur], 1).Plus(vVar[prev], -1)
+		if init.VertexTime[prev] == init.VertexTime[cur] {
+			prob.MustConstraint(fmt.Sprintf("eq%d", i), expr, lp.EQ, 0)
+		} else {
+			prob.MustConstraint(fmt.Sprintf("ord%d", i), expr, lp.GE, 0)
+		}
+	}
+
+	// Event power (Eqs. 10–11 with P_j substituted): for every event, the
+	// powers of the active tasks sum to at most PC; constant draws of
+	// degenerate tasks move to the right-hand side. Row indices are kept
+	// so the power constraint's shadow price can be read from the duals.
+	var powerRows []int
+	for vi := range g.Vertices {
+		var expr lp.Expr
+		rhs := capW
+		for _, tid := range active[vi] {
+			if v, ok := tv[tid]; ok {
+				for k := range v.cs {
+					expr = expr.Plus(v.cs[k], v.f.pts[k].PowerW)
+				}
+			} else {
+				rhs -= fixedPower[tid]
+			}
+		}
+		if len(expr) == 0 {
+			if rhs < 0 {
+				return fmt.Errorf("%w: fixed idle power exceeds cap %.1f W at event %d", ErrInfeasible, capW, vi)
+			}
+			continue
+		}
+		powerRows = append(powerRows, prob.NumConstraints())
+		prob.MustConstraint(fmt.Sprintf("pow%d", vi), expr, lp.LE, rhs)
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return err
+	}
+	out.Stats.Solves++
+	out.Stats.Vars += prob.NumVars()
+	out.Stats.Rows += prob.NumConstraints()
+	out.Stats.SimplexIter += sol.Iters
+
+	switch sol.Status {
+	case lp.Optimal:
+		// fall through to extraction
+	case lp.Infeasible:
+		return fmt.Errorf("%w: cap %.1f W", ErrInfeasible, capW)
+	default:
+		return fmt.Errorf("core: LP solver returned %v (cap %.1f W)", sol.Status, capW)
+	}
+
+	for i := range g.Vertices {
+		vt[i] = sol.Value(vVar[i])
+	}
+	// Raising PC relaxes every event-power row at once, so the makespan
+	// sensitivity is the sum of their duals.
+	for _, row := range powerRows {
+		out.MarginalSecPerW += sol.DualOf(row)
+	}
+
+	for _, t := range g.Tasks {
+		choice := TaskChoice{}
+		switch {
+		case t.Kind == dag.Message:
+			choice.DurationS = t.FixedDur
+		case t.Work <= 0:
+			choice.PowerW = fixedPower[t.ID]
+			choice.DiscretePowerW = fixedPower[t.ID]
+			choice.Discrete = machine.Config{FreqGHz: s.Model.FreqMinGHz, Threads: 1}
+		default:
+			v := tv[t.ID]
+			const fracTol = 1e-9
+			for k, cv := range v.cs {
+				frac := sol.Value(cv)
+				if frac <= fracTol {
+					continue
+				}
+				choice.Mix = append(choice.Mix, MixEntry{
+					Config:    v.f.cfgs[k],
+					Frac:      frac,
+					DurationS: v.durs[k],
+					PowerW:    v.f.pts[k].PowerW,
+				})
+				choice.DurationS += frac * v.durs[k]
+				choice.PowerW += frac * v.f.pts[k].PowerW
+			}
+			// Discrete rounding: nearest frontier point by power.
+			if p, ok := pareto.NearestToMix(v.f.pts, choice.PowerW); ok {
+				idx := frontierIndex(v.f, p)
+				choice.Discrete = v.f.cfgs[idx]
+				choice.DiscreteDurationS = v.durs[idx]
+				choice.DiscretePowerW = v.f.pts[idx].PowerW
+			}
+		}
+		out.Choices[taskMap[t.ID]] = choice
+	}
+	return nil
+}
+
+// frontierIndex locates a pareto point within its frontier by config index.
+func frontierIndex(f *frontier, p pareto.Point) int {
+	for i := range f.pts {
+		if f.pts[i].Index == p.Index {
+			return i
+		}
+	}
+	return 0
+}

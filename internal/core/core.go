@@ -1,0 +1,246 @@
+// Package core implements the paper's primary contribution: the
+// fixed-vertex-order linear programming formulation of the power-constrained
+// performance optimization problem for hybrid MPI + OpenMP applications
+// (Sec. 3.1–3.3).
+//
+// Given an application DAG (internal/dag), a machine model
+// (internal/machine), and a job-level power constraint PC, the solver builds
+// and solves the LP of Figures 4–6:
+//
+//	minimize  vM                                        (1)
+//	v_Init = 0                                          (2)
+//	s_j − s_i ≥ d_i              ∀ (i,j) ∈ E            (3)
+//	s_i = v_src(i)                                      (4)
+//	0 ≤ c_{i,j} ≤ 1                                     (6)  continuous configs
+//	d_i = Σ_j d_{i,j} c_{i,j}                           (7)
+//	p_i = Σ_j p_{i,j} c_{i,j}                           (8)
+//	Σ_j c_{i,j} = 1                                     (9)
+//	P_j ≥ Σ_{i∈R_j} p_i                                 (10)
+//	P_j ≤ PC                                            (11)
+//	v_i ≤ v_j  when event(v_i) < event(v_j)             (12)
+//	v_i = v_j  when event(v_i) = event(v_j)             (13)
+//
+// with the derived quantities s, d, p, and P substituted away so the solved
+// LP contains only the vertex times v and the configuration fractions c
+// (substitution preserves the optimum exactly and keeps instances at
+// simplex-friendly sizes; see DESIGN.md).
+//
+// Per Sec. 3.2, each task's configuration set is restricted to the convex
+// Pareto frontier of its (power, time) cloud (internal/pareto), which makes
+// the continuous relaxation exact up to rounding. Per Sec. 3.3, the event
+// (vertex) order is fixed from a power-unconstrained initial schedule whose
+// activity sets R_j determine which tasks pay power at which events, with
+// slack power equal to task power and tasks preceding their slack.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+	"powercap/internal/pareto"
+)
+
+// ErrInfeasible reports that no schedule exists under the given power
+// constraint: even the lowest-power configuration of every co-scheduled
+// task exceeds PC at some event. The paper hits the same wall ("Some
+// benchmarks were not able to be scheduled at the lowest average per-socket
+// power constraint", Figs. 9–10).
+var ErrInfeasible = errors.New("core: power constraint infeasible")
+
+// MixEntry is one frontier configuration participating in a task's convex
+// mix, with the duration and power the task would have if run entirely in
+// that configuration.
+type MixEntry struct {
+	Config    machine.Config
+	Frac      float64
+	DurationS float64
+	PowerW    float64
+}
+
+// TaskChoice is the LP's decision for one compute task.
+type TaskChoice struct {
+	// Mix is the continuous solution: fractions over frontier
+	// configurations (at most two adjacent ones in a nondegenerate basic
+	// solution).
+	Mix []MixEntry
+	// DurationS and PowerW are the mixed duration (Eq. 7) and
+	// time-weighted average power (Eq. 8).
+	DurationS float64
+	PowerW    float64
+	// Discrete is the rounded single configuration — "the configuration
+	// closest to the optimal point on the Pareto frontier" (Sec. 3.2) —
+	// with its duration and power.
+	Discrete          machine.Config
+	DiscreteDurationS float64
+	DiscretePowerW    float64
+}
+
+// Schedule is a solved LP schedule.
+type Schedule struct {
+	// CapW is the job-level power constraint PC the schedule respects.
+	CapW float64
+	// MakespanS is the LP objective vM: the theoretical lower bound on
+	// time to solution under PC (and thus the upper bound on performance).
+	MakespanS float64
+	// Choices is indexed by dag.TaskID; message and zero-work tasks have
+	// an empty Mix.
+	Choices []TaskChoice
+	// VertexTimeS gives each vertex's LP-scheduled time. For per-iteration
+	// solves, times are local to each iteration's origin.
+	VertexTimeS []float64
+	// IterationMakespans, for SolveIterations, records each slice's
+	// contribution (prologue first).
+	IterationMakespans []float64
+	// MarginalSecPerW is the shadow price of the power constraint:
+	// d(makespan)/d(PC), summed over the binding event-power rows
+	// (non-positive — more power can only help). It quantifies what one
+	// more watt of job budget would buy, the marginal information a
+	// power-aware job scheduler needs.
+	MarginalSecPerW float64
+	// Stats aggregates solver effort.
+	Stats Stats
+}
+
+// Stats summarizes LP solver effort for a schedule.
+type Stats struct {
+	Solves      int // LP instances solved
+	Vars        int // total variables across instances
+	Rows        int // total constraint rows across instances
+	SimplexIter int // total simplex pivots
+}
+
+// Solver builds and solves fixed-vertex-order LPs against a machine model.
+type Solver struct {
+	Model *machine.Model
+	// EffScale is the per-rank socket power-efficiency multiplier
+	// (manufacturing variation); nil means 1.0 everywhere.
+	EffScale []float64
+	// PowerTiebreak is a tiny objective weight on total task power that
+	// resolves the degeneracy among off-critical-path tasks in favor of
+	// low power, mirroring the paper's initial-schedule modification that
+	// "slows tasks off the critical path as much as possible". It
+	// perturbs the reported makespan by < 1e-4 relative.
+	PowerTiebreak float64
+
+	frontierCache map[frontierKey]*frontier
+}
+
+// NewSolver returns a Solver over the given model. effScale may be nil.
+func NewSolver(model *machine.Model, effScale []float64) *Solver {
+	return &Solver{
+		Model:         model,
+		EffScale:      effScale,
+		PowerTiebreak: 1e-7,
+		frontierCache: make(map[frontierKey]*frontier),
+	}
+}
+
+func (s *Solver) eff(rank int) float64 {
+	if s.EffScale == nil || rank < 0 || rank >= len(s.EffScale) {
+		return 1
+	}
+	return s.EffScale[rank]
+}
+
+type frontierKey struct {
+	shape machine.Shape
+	rank  int
+}
+
+// frontier is a work-normalized convex Pareto frontier: TimeS entries are
+// durations for work = 1 and scale linearly with task work (power does
+// not depend on work), so one frontier serves every task of a (shape, rank)
+// class.
+type frontier struct {
+	pts  []pareto.Point
+	cfgs []machine.Config
+}
+
+// Frontier returns the convex Pareto frontier for a task shape on a rank's
+// socket, cached per (shape, rank).
+func (s *Solver) Frontier(shape machine.Shape, rank int) *frontier {
+	key := frontierKey{shape: shape, rank: rank}
+	if f, ok := s.frontierCache[key]; ok {
+		return f
+	}
+	cfgs := s.Model.Configs()
+	cloud := make([]pareto.Point, len(cfgs))
+	for i, c := range cfgs {
+		cloud[i] = pareto.Point{
+			PowerW: s.Model.Power(shape, c, s.eff(rank)),
+			TimeS:  s.Model.Duration(1.0, shape, c),
+			Index:  i,
+		}
+	}
+	hull := pareto.ConvexFrontier(cloud)
+	f := &frontier{pts: hull, cfgs: make([]machine.Config, len(hull))}
+	for i, p := range hull {
+		f.cfgs[i] = cfgs[p.Index]
+	}
+	s.frontierCache[key] = f
+	return f
+}
+
+// Solve solves the fixed-vertex-order LP for the whole graph under the
+// job-level power constraint capW (watts across all sockets).
+func (s *Solver) Solve(g *dag.Graph, capW float64) (*Schedule, error) {
+	sched := &Schedule{
+		CapW:        capW,
+		Choices:     make([]TaskChoice, len(g.Tasks)),
+		VertexTimeS: make([]float64, len(g.Vertices)),
+	}
+	if err := s.solveInto(g, capW, sched, identityTaskMap(len(g.Tasks)), sched.VertexTimeS); err != nil {
+		return nil, err
+	}
+	sched.MakespanS = finalizeTime(g, sched.VertexTimeS)
+	return sched, nil
+}
+
+// SolveIterations decomposes the graph at its MPI_Pcontrol boundaries
+// (global synchronization points in the paper's instrumented benchmarks),
+// solves each iteration's LP independently, and recombines: the job
+// makespan is the sum of iteration makespans, and task choices are mapped
+// back to the original task IDs.
+func (s *Solver) SolveIterations(g *dag.Graph, capW float64) (*Schedule, error) {
+	slices, err := dag.SliceAll(g)
+	if err != nil {
+		return nil, err
+	}
+	if len(slices) == 0 {
+		return s.Solve(g, capW)
+	}
+	sched := &Schedule{
+		CapW:        capW,
+		Choices:     make([]TaskChoice, len(g.Tasks)),
+		VertexTimeS: nil, // per-iteration local times are not global
+	}
+	for _, sl := range slices {
+		vt := make([]float64, len(sl.Graph.Vertices))
+		if err := s.solveInto(sl.Graph, capW, sched, sl.TaskMap, vt); err != nil {
+			return nil, fmt.Errorf("iteration slice: %w", err)
+		}
+		m := finalizeTime(sl.Graph, vt)
+		sched.IterationMakespans = append(sched.IterationMakespans, m)
+		sched.MakespanS += m
+	}
+	return sched, nil
+}
+
+func identityTaskMap(n int) []dag.TaskID {
+	m := make([]dag.TaskID, n)
+	for i := range m {
+		m[i] = dag.TaskID(i)
+	}
+	return m
+}
+
+func finalizeTime(g *dag.Graph, vt []float64) float64 {
+	for i := range g.Vertices {
+		if g.Vertices[i].Kind == dag.VFinalize {
+			return vt[i]
+		}
+	}
+	return 0
+}

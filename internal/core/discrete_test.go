@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+)
+
+func TestSolveDiscreteBoundsAndOrdering(t *testing.T) {
+	g := imbalancedGraph()
+	s := solver()
+	for _, cap := range []float64{55, 70, 90, 140} {
+		cont, err := s.Solve(g, cap)
+		if err != nil {
+			t.Fatalf("cap %v: %v", cap, err)
+		}
+		disc, err := s.SolveDiscrete(g, cap)
+		if err != nil {
+			t.Fatalf("cap %v: %v", cap, err)
+		}
+		// The continuous relaxation lower-bounds the discrete optimum
+		// (Sec. 3.2: the LP "results in a shorter time to solution").
+		if disc.MakespanS < cont.MakespanS-1e-6 {
+			t.Fatalf("cap %v: discrete %v beat continuous %v", cap, disc.MakespanS, cont.MakespanS)
+		}
+		// And the exact discrete optimum is at least as good as naive
+		// rounding of the continuous solution evaluated at fixed order:
+		// check each task picked exactly one frontier config.
+		for tid, task := range g.Tasks {
+			if task.Kind != dag.Compute || task.Work <= 0 {
+				continue
+			}
+			ch := disc.Choices[tid]
+			if len(ch.Mix) != 1 || ch.Mix[0].Frac != 1 {
+				t.Fatalf("cap %v task %d: not a single discrete config: %+v", cap, tid, ch.Mix)
+			}
+		}
+	}
+}
+
+func TestSolveDiscreteRoundingGapSmall(t *testing.T) {
+	// On convex frontiers the relaxation is tight: the discrete optimum
+	// should be within a few percent of the continuous bound.
+	g := imbalancedGraph()
+	s := solver()
+	cont, err := s.Solve(g, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := s.SolveDiscrete(g, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := disc.MakespanS/cont.MakespanS - 1
+	if gap > 0.05 {
+		t.Fatalf("rounding gap %.2f%% > 5%%", gap*100)
+	}
+}
+
+func TestSolveDiscreteInfeasibleAndTooLarge(t *testing.T) {
+	g := imbalancedGraph()
+	s := solver()
+	if _, err := s.SolveDiscrete(g, 15); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("expected ErrInfeasible, got %v", err)
+	}
+	b := dag.NewBuilder(5)
+	sh := machine.DefaultShape()
+	for it := 0; it < 6; it++ {
+		for r := 0; r < 5; r++ {
+			b.Compute(r, 0.2, sh, "w")
+		}
+		b.Collective("s")
+	}
+	big := b.Finalize()
+	if _, err := s.SolveDiscrete(big, 200); !errors.Is(err, ErrDiscreteTooLarge) {
+		t.Fatalf("expected ErrDiscreteTooLarge, got %v", err)
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"powercap/internal/dag"
+	"powercap/internal/lp"
+	"powercap/internal/machine"
+	"powercap/internal/pareto"
+)
+
+// SolveSlackAware solves the fixed-vertex-order formulation with slack
+// priced separately from computation — the alternative Sec. 3.3 describes
+// but does not adopt for the main LP: "If a task's slack power were
+// treated as distinct from the active power (as in the Appendix),
+// additional power would be available for use in other simultaneously
+// running tasks, at the expense of introducing additional events at
+// task/slack boundaries."
+//
+// This variant introduces one boundary event per tunable task (its
+// execution end, v_src + d_i) and prices each rank at its task's power
+// while running but only at idle power while slacking. Whether a task is
+// still running at a given event is fixed from the power-unconstrained
+// initial schedule, in the same spirit as the fixed event order — so like
+// the main LP this is a near-optimal model, trading the main LP's
+// conservatism (slack holds task power) for twice the event count and a
+// fixed running/slacking classification.
+//
+// Its bound is never above the main LP's (idle ≤ task power frees budget),
+// and it approaches the flow ILP's from above (the ILP also chooses event
+// order). DESIGN.md §5.3 lists this as the slack-pricing ablation.
+func (s *Solver) SolveSlackAware(g *dag.Graph, capW float64) (*Schedule, error) {
+	init, err := s.initialSchedule(g)
+	if err != nil {
+		return nil, err
+	}
+
+	prob := lp.NewProblem(lp.Minimize)
+
+	vVar := make([]lp.Var, len(g.Vertices))
+	for i := range g.Vertices {
+		obj := 0.0
+		if g.Vertices[i].Kind == dag.VFinalize {
+			obj = 1
+		}
+		vVar[i] = prob.AddVar(fmt.Sprintf("v%d", i), obj)
+		if g.Vertices[i].Kind == dag.VInit {
+			prob.MustConstraint("init0", lp.Expr{}.Plus(vVar[i], 1), lp.EQ, 0)
+		}
+	}
+
+	type taskVars struct {
+		f    *frontier
+		durs []float64
+		cs   []lp.Var
+	}
+	tv := make(map[dag.TaskID]*taskVars)
+	fixedPower := make([]float64, len(g.Tasks))
+	for _, t := range g.Tasks {
+		switch {
+		case t.Kind == dag.Message:
+		case t.Work <= 0:
+			fixedPower[t.ID] = s.Model.IdlePower(s.eff(t.Rank))
+		default:
+			f := s.Frontier(t.Shape, t.Rank)
+			v := &taskVars{f: f, durs: make([]float64, len(f.pts)), cs: make([]lp.Var, len(f.pts))}
+			var convex lp.Expr
+			for k, p := range f.pts {
+				v.durs[k] = p.TimeS * t.Work
+				v.cs[k] = prob.AddVar(fmt.Sprintf("c%d_%d", t.ID, k), s.PowerTiebreak*p.PowerW)
+				convex = convex.Plus(v.cs[k], 1)
+			}
+			prob.MustConstraint(fmt.Sprintf("cvx%d", t.ID), convex, lp.EQ, 1)
+			tv[t.ID] = v
+		}
+	}
+
+	// Precedence rows as in the main LP.
+	for _, t := range g.Tasks {
+		expr := lp.Expr{}.Plus(vVar[t.Dst], 1).Plus(vVar[t.Src], -1)
+		rhs := 0.0
+		switch {
+		case t.Kind == dag.Message:
+			rhs = t.FixedDur
+		case t.Work <= 0:
+		default:
+			v := tv[t.ID]
+			for k := range v.cs {
+				expr = expr.Plus(v.cs[k], -v.durs[k])
+			}
+		}
+		prob.MustConstraint(fmt.Sprintf("prec%d", t.ID), expr, lp.GE, rhs)
+	}
+
+	// Event set: vertices plus per-task boundary events at their initial
+	// end times. Order fixed from the initial schedule (Eqs. 12–13
+	// generalized to the enlarged event set).
+	type event struct {
+		time   float64
+		vertex dag.VertexID // valid when task < 0
+		task   dag.TaskID   // boundary event of this task when ≥ 0
+	}
+	var events []event
+	for i := range g.Vertices {
+		events = append(events, event{time: init.VertexTime[i], vertex: dag.VertexID(i), task: -1})
+	}
+	for _, t := range g.Tasks {
+		if t.Kind == dag.Compute && t.Work > 0 {
+			events = append(events, event{time: init.End[t.ID], vertex: -1, task: t.ID})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].time < events[b].time })
+
+	// exprOf gives each event's time as an LP expression: the vertex
+	// variable, or v_src + Σ d·c for a boundary.
+	exprOf := func(e event) lp.Expr {
+		if e.task < 0 {
+			return lp.Expr{}.Plus(vVar[e.vertex], 1)
+		}
+		t := g.Task(e.task)
+		ex := lp.Expr{}.Plus(vVar[t.Src], 1)
+		v := tv[e.task]
+		for k := range v.cs {
+			ex = ex.Plus(v.cs[k], v.durs[k])
+		}
+		return ex
+	}
+	for i := 1; i < len(events); i++ {
+		prev := exprOf(events[i-1])
+		cur := exprOf(events[i])
+		for _, term := range prev {
+			cur = cur.Plus(term.Var, -term.Coef)
+		}
+		rel := lp.GE
+		if events[i-1].time == events[i].time {
+			rel = lp.EQ
+		}
+		prob.MustConstraint(fmt.Sprintf("ord%d", i), cur, rel, 0)
+	}
+
+	// Per-rank occupancy from the initial schedule: at each event, which
+	// task occupies the rank, and is it running or slacking there?
+	byRank := make([][]dag.TaskID, g.NumRanks)
+	for _, t := range g.Tasks {
+		if t.Kind == dag.Compute {
+			byRank[t.Rank] = append(byRank[t.Rank], t.ID)
+		}
+	}
+	for r := range byRank {
+		ids := byRank[r]
+		sort.Slice(ids, func(i, j int) bool {
+			if init.Start[ids[i]] != init.Start[ids[j]] {
+				return init.Start[ids[i]] < init.Start[ids[j]]
+			}
+			return ids[i] < ids[j]
+		})
+	}
+
+	// Power rows: every event gets one. A running task contributes its
+	// configuration power; a slacking rank contributes idle power.
+	for ei, e := range events {
+		var expr lp.Expr
+		rhs := capW
+		tj := e.time
+		for r := 0; r < g.NumRanks; r++ {
+			ids := byRank[r]
+			if len(ids) == 0 {
+				continue
+			}
+			k := sort.Search(len(ids), func(k int) bool { return init.Start[ids[k]] > tj }) - 1
+			if k < 0 {
+				k = 0
+			}
+			tid := ids[k]
+			running := tj < init.End[tid] || init.Start[tid] == tj
+			if v, ok := tv[tid]; ok && running {
+				for kk := range v.cs {
+					expr = expr.Plus(v.cs[kk], v.f.pts[kk].PowerW)
+				}
+			} else {
+				rhs -= s.Model.IdlePower(s.eff(r))
+			}
+		}
+		if len(expr) == 0 {
+			if rhs < 0 {
+				return nil, fmt.Errorf("%w: idle floor exceeds cap %.1f W", ErrInfeasible, capW)
+			}
+			continue
+		}
+		prob.MustConstraint(fmt.Sprintf("pow%d", ei), expr, lp.LE, rhs)
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.Infeasible:
+		return nil, fmt.Errorf("%w: cap %.1f W", ErrInfeasible, capW)
+	default:
+		return nil, fmt.Errorf("core: slack-aware LP returned %v", sol.Status)
+	}
+
+	sched := &Schedule{
+		CapW:        capW,
+		Choices:     make([]TaskChoice, len(g.Tasks)),
+		VertexTimeS: make([]float64, len(g.Vertices)),
+	}
+	for i := range g.Vertices {
+		sched.VertexTimeS[i] = sol.Value(vVar[i])
+		if g.Vertices[i].Kind == dag.VFinalize {
+			sched.MakespanS = sched.VertexTimeS[i]
+		}
+	}
+	for _, t := range g.Tasks {
+		choice := TaskChoice{}
+		switch {
+		case t.Kind == dag.Message:
+			choice.DurationS = t.FixedDur
+		case t.Work <= 0:
+			choice.PowerW = fixedPower[t.ID]
+			choice.DiscretePowerW = fixedPower[t.ID]
+			choice.Discrete = machine.Config{FreqGHz: s.Model.FreqMinGHz, Threads: 1}
+		default:
+			v := tv[t.ID]
+			for k, cv := range v.cs {
+				frac := sol.Value(cv)
+				if frac <= 1e-9 {
+					continue
+				}
+				choice.Mix = append(choice.Mix, MixEntry{
+					Config: v.f.cfgs[k], Frac: frac, DurationS: v.durs[k], PowerW: v.f.pts[k].PowerW,
+				})
+				choice.DurationS += frac * v.durs[k]
+				choice.PowerW += frac * v.f.pts[k].PowerW
+			}
+			if p, ok := pareto.NearestToMix(v.f.pts, choice.PowerW); ok {
+				idx := frontierIndex(v.f, p)
+				choice.Discrete = v.f.cfgs[idx]
+				choice.DiscreteDurationS = v.durs[idx]
+				choice.DiscretePowerW = v.f.pts[idx].PowerW
+			}
+		}
+		sched.Choices[t.ID] = choice
+	}
+	sched.Stats = Stats{Solves: 1, Vars: prob.NumVars(), Rows: prob.NumConstraints(), SimplexIter: sol.Iters}
+	return sched, nil
+}

@@ -1,0 +1,254 @@
+package dag
+
+import (
+	"fmt"
+
+	"powercap/internal/machine"
+)
+
+// Default point-to-point message cost parameters, an InfiniBand-QDR-like
+// α–β model (Sec. 3.1: message edges are "weighted by a linear function of
+// message size").
+const (
+	// MsgAlphaS is the per-message latency in seconds.
+	MsgAlphaS = 2e-6
+	// MsgBetaSPerByte is the inverse bandwidth in seconds per byte
+	// (≈ 3.2 GB/s effective).
+	MsgBetaSPerByte = 1.0 / 3.2e9
+)
+
+// MessageDuration is the α + β·bytes cost model for point-to-point edges.
+func MessageDuration(bytes int) float64 {
+	return MsgAlphaS + MsgBetaSPerByte*float64(bytes)
+}
+
+// Builder incrementally constructs a Graph by replaying an MPI + OpenMP
+// program's call sequence. Each rank accumulates compute work between MPI
+// calls; issuing an MPI call materializes the pending compute as an edge
+// into the call's vertex.
+type Builder struct {
+	g *Graph
+
+	cur []VertexID // each rank's most recent vertex
+
+	pendingWork  []float64
+	pendingShape []machine.Shape
+	pendingClass []string
+	hasPending   []bool
+
+	// unmatched sends per (src,dst) pair, in issue order.
+	pendingSends map[[2]int][]VertexID
+	// sendBytes records the payload size declared at Isend/Send time,
+	// consumed when the matching Recv creates the message edge.
+	sendBytes map[VertexID]int
+
+	iteration int
+	finalized bool
+	seq       int // per-builder label sequence
+}
+
+// NewBuilder starts a graph for numRanks MPI processes with a shared Init
+// vertex (the paper's Eq. 2 pins it to time zero).
+func NewBuilder(numRanks int) *Builder {
+	if numRanks < 1 {
+		panic("dag: builder needs at least one rank")
+	}
+	g := &Graph{NumRanks: numRanks}
+	init := Vertex{ID: 0, Kind: VInit, Rank: AllRanks, Iteration: -1, Label: "MPI_Init"}
+	g.Vertices = append(g.Vertices, init)
+	b := &Builder{
+		g:            g,
+		cur:          make([]VertexID, numRanks),
+		pendingWork:  make([]float64, numRanks),
+		pendingShape: make([]machine.Shape, numRanks),
+		pendingClass: make([]string, numRanks),
+		hasPending:   make([]bool, numRanks),
+		pendingSends: make(map[[2]int][]VertexID),
+		sendBytes:    make(map[VertexID]int),
+		iteration:    -1,
+	}
+	for r := range b.cur {
+		b.cur[r] = 0
+	}
+	return b
+}
+
+func (b *Builder) checkRank(rank int) {
+	if rank < 0 || rank >= b.g.NumRanks {
+		panic(fmt.Sprintf("dag: rank %d out of range [0,%d)", rank, b.g.NumRanks))
+	}
+	if b.finalized {
+		panic("dag: builder already finalized")
+	}
+}
+
+// Compute accumulates an OpenMP region on rank: work seconds (single
+// thread, max frequency) with the given response shape, labeled with a task
+// class for profiling. Consecutive Compute calls merge into a single task,
+// matching the paper's task definition ("sections of computation between
+// consecutive MPI calls").
+func (b *Builder) Compute(rank int, work float64, shape machine.Shape, class string) {
+	b.checkRank(rank)
+	if work < 0 {
+		panic("dag: negative work")
+	}
+	if b.hasPending[rank] {
+		// Merge: keep the first shape/class, accumulate work. Real traces
+		// cannot observe sub-task structure between two MPI calls either.
+		b.pendingWork[rank] += work
+		return
+	}
+	b.hasPending[rank] = true
+	b.pendingWork[rank] = work
+	b.pendingShape[rank] = shape
+	b.pendingClass[rank] = class
+}
+
+// newVertex appends a vertex and returns its id.
+func (b *Builder) newVertex(kind VertexKind, rank int, label string) VertexID {
+	id := VertexID(len(b.g.Vertices))
+	b.g.Vertices = append(b.g.Vertices, Vertex{
+		ID: id, Kind: kind, Rank: rank, Iteration: b.iteration, Label: label,
+	})
+	return id
+}
+
+// flushCompute adds the pending compute edge (possibly zero work) from the
+// rank's current vertex into dst.
+func (b *Builder) flushCompute(rank int, dst VertexID) {
+	work := 0.0
+	shape := machine.DefaultShape()
+	class := "idle"
+	if b.hasPending[rank] {
+		work = b.pendingWork[rank]
+		shape = b.pendingShape[rank]
+		class = b.pendingClass[rank]
+		b.hasPending[rank] = false
+	}
+	id := TaskID(len(b.g.Tasks))
+	b.g.Tasks = append(b.g.Tasks, Task{
+		ID: id, Kind: Compute, Rank: rank,
+		Src: b.cur[rank], Dst: dst,
+		Work: work, Shape: shape, Class: class,
+		Iteration: b.iteration,
+	})
+	b.cur[rank] = dst
+}
+
+// Collective synchronizes all ranks at a single shared vertex (e.g.
+// MPI_Allreduce or MPI_Barrier). Every rank's pending compute becomes an
+// edge into the shared vertex; per Eq. 4, all post-collective tasks then
+// share that source vertex and start simultaneously.
+func (b *Builder) Collective(label string) VertexID {
+	if b.finalized {
+		panic("dag: builder already finalized")
+	}
+	if label == "" {
+		label = fmt.Sprintf("collective#%d", b.seq)
+	}
+	b.seq++
+	v := b.newVertex(VCollective, AllRanks, label)
+	for r := 0; r < b.g.NumRanks; r++ {
+		b.flushCompute(r, v)
+	}
+	return v
+}
+
+// Pcontrol marks an iteration boundary, implemented as a collective vertex
+// flagged IterBoundary. The benchmarks in the paper were modified to call
+// MPI_Pcontrol at iteration boundaries "to simplify LP data processing and
+// help Conductor identify application phases" (Sec. 5.2); our workload
+// proxies do the same.
+func (b *Builder) Pcontrol() VertexID {
+	v := b.Collective(fmt.Sprintf("MPI_Pcontrol(iter=%d)", b.iteration+1))
+	b.g.Vertices[v].Kind = VPcontrol
+	b.g.Vertices[v].IterBoundary = true
+	b.iteration++
+	b.g.Vertices[v].Iteration = b.iteration
+	return v
+}
+
+// Isend issues a non-blocking send from rank to dst of the given size; the
+// sender proceeds immediately. The message edge is attached when the
+// matching Recv is issued. Returns the Isend vertex.
+func (b *Builder) Isend(rank, dst, bytes int) VertexID {
+	b.checkRank(rank)
+	b.checkRank(dst)
+	if rank == dst {
+		panic("dag: send to self")
+	}
+	v := b.newVertex(VIsend, rank, fmt.Sprintf("Isend(%d→%d,%dB)", rank, dst, bytes))
+	b.flushCompute(rank, v)
+	key := [2]int{rank, dst}
+	b.pendingSends[key] = append(b.pendingSends[key], v)
+	b.sendBytes[v] = bytes
+	return v
+}
+
+// Send is a blocking standard-mode send. With eager delivery (the message
+// sizes in our workloads are small relative to buffer space), the sender
+// may proceed once the message is handed to the transport, so Send is
+// modeled as Isend; the matching Recv still waits for transmission.
+func (b *Builder) Send(rank, dst, bytes int) VertexID {
+	v := b.Isend(rank, dst, bytes)
+	b.g.Vertices[v].Kind = VSend
+	return v
+}
+
+// Recv issues a blocking receive on rank from src, matching the earliest
+// unmatched send in program order (MPI non-overtaking semantics for a
+// single communicator and tag). A message edge with duration α + β·bytes
+// connects the send vertex to the Recv vertex.
+func (b *Builder) Recv(rank, src int) VertexID {
+	b.checkRank(rank)
+	b.checkRank(src)
+	key := [2]int{src, rank}
+	sends := b.pendingSends[key]
+	if len(sends) == 0 {
+		panic(fmt.Sprintf("dag: Recv(%d←%d) has no matching send", rank, src))
+	}
+	sv := sends[0]
+	b.pendingSends[key] = sends[1:]
+	bytes := b.sendBytes[sv]
+
+	v := b.newVertex(VRecv, rank, fmt.Sprintf("Recv(%d←%d,%dB)", rank, src, bytes))
+	b.flushCompute(rank, v)
+	id := TaskID(len(b.g.Tasks))
+	b.g.Tasks = append(b.g.Tasks, Task{
+		ID: id, Kind: Message, Rank: src,
+		Src: sv, Dst: v,
+		Bytes: bytes, FixedDur: MessageDuration(bytes),
+		Iteration: b.iteration,
+	})
+	return v
+}
+
+// Wait issues an MPI_Wait on rank. With the eager-send model the request is
+// already complete, so Wait is a local ordering vertex: it ends the
+// preceding compute region, as any MPI call does.
+func (b *Builder) Wait(rank int) VertexID {
+	b.checkRank(rank)
+	v := b.newVertex(VWait, rank, fmt.Sprintf("Wait(r%d)", rank))
+	b.flushCompute(rank, v)
+	return v
+}
+
+// Finalize closes the graph with a shared MPI_Finalize vertex — the vM
+// whose time the LP minimizes (Eq. 1) — and returns the finished Graph.
+// Unmatched sends are a program error and panic.
+func (b *Builder) Finalize() *Graph {
+	if b.finalized {
+		panic("dag: builder already finalized")
+	}
+	for key, sends := range b.pendingSends {
+		if len(sends) > 0 {
+			panic(fmt.Sprintf("dag: %d unmatched send(s) from rank %d to %d", len(sends), key[0], key[1]))
+		}
+	}
+	v := b.newVertex(VFinalize, AllRanks, "MPI_Finalize")
+	for r := 0; r < b.g.NumRanks; r++ {
+		b.flushCompute(r, v)
+	}
+	b.finalized = true
+	return b.g
+}

@@ -1,0 +1,283 @@
+// Package dag models hybrid MPI + OpenMP applications as the directed
+// acyclic graphs the paper's formulations consume (Sec. 3.1, Fig. 2):
+// vertices correspond to MPI function calls and edges correspond either to
+// computation tasks between two consecutive MPI calls on the same process
+// (tunable via DVFS + thread count) or to message transmissions between
+// processes (fixed duration, a linear function of message size).
+//
+// Graphs are constructed with a Builder whose methods mirror the MPI calls
+// of a traced program (Compute, Collective, Send/Recv, Isend/Wait,
+// Pcontrol), so workload generators read like the programs they stand in
+// for.
+package dag
+
+import (
+	"fmt"
+
+	"powercap/internal/machine"
+)
+
+// VertexID indexes a vertex within its Graph.
+type VertexID int
+
+// TaskID indexes a task (edge) within its Graph.
+type TaskID int
+
+// VertexKind classifies the MPI call a vertex represents.
+type VertexKind int
+
+// Vertex kinds.
+const (
+	VInit VertexKind = iota
+	VFinalize
+	VCollective
+	VSend
+	VIsend
+	VRecv
+	VWait
+	VPcontrol
+)
+
+// String names the vertex kind like the MPI call it stands for.
+func (k VertexKind) String() string {
+	switch k {
+	case VInit:
+		return "Init"
+	case VFinalize:
+		return "Finalize"
+	case VCollective:
+		return "Collective"
+	case VSend:
+		return "Send"
+	case VIsend:
+		return "Isend"
+	case VRecv:
+		return "Recv"
+	case VWait:
+		return "Wait"
+	case VPcontrol:
+		return "Pcontrol"
+	default:
+		return fmt.Sprintf("VertexKind(%d)", int(k))
+	}
+}
+
+// Vertex is an MPI call event. Collective (and Init/Finalize) vertices are
+// shared by every rank and carry Rank = AllRanks.
+type Vertex struct {
+	ID   VertexID
+	Kind VertexKind
+	// Rank owning the call, or AllRanks for global synchronization points.
+	Rank int
+	// Iteration is the application iteration (delimited by Pcontrol calls)
+	// the vertex belongs to; -1 before the first Pcontrol.
+	Iteration int
+	// IterBoundary marks Pcontrol vertices, which delimit the
+	// per-iteration subproblems the LP decomposes over.
+	IterBoundary bool
+	Label        string
+}
+
+// AllRanks is the Rank value of globally shared vertices.
+const AllRanks = -1
+
+// TaskKind distinguishes the two edge types of the application DAG.
+type TaskKind int
+
+// Task kinds.
+const (
+	// Compute is an OpenMP region between two MPI calls on one rank; its
+	// duration and power depend on the chosen configuration.
+	Compute TaskKind = iota
+	// Message is a point-to-point transmission between two ranks; its
+	// duration is fixed (α + β·bytes) and it draws no socket power (NIC
+	// and switch power are outside the socket-level RAPL domain the
+	// paper constrains).
+	Message
+)
+
+// String names the task kind.
+func (k TaskKind) String() string {
+	if k == Compute {
+		return "compute"
+	}
+	return "message"
+}
+
+// Task is a DAG edge.
+type Task struct {
+	ID   TaskID
+	Kind TaskKind
+	// Rank executing a compute task, or the sending rank of a message.
+	Rank int
+	Src  VertexID
+	Dst  VertexID
+
+	// Compute fields.
+	Work  float64       // seconds at one thread, max frequency
+	Shape machine.Shape // response surface of this task
+	// Class groups recurring tasks of the same code region; Conductor's
+	// configuration exploration profiles per class (Sec. 4.2), and the
+	// LP shares Pareto frontiers within a class.
+	Class string
+	// Iteration the task belongs to (-1 before the first Pcontrol).
+	Iteration int
+
+	// Message fields.
+	Bytes    int
+	FixedDur float64
+}
+
+// Graph is the application DAG.
+type Graph struct {
+	NumRanks int
+	Vertices []Vertex
+	Tasks    []Task
+
+	// adjacency caches, built lazily by Freeze/ensureAdj.
+	out [][]TaskID
+	in  [][]TaskID
+}
+
+// Vertex returns the vertex with the given id.
+func (g *Graph) Vertex(id VertexID) *Vertex { return &g.Vertices[id] }
+
+// Task returns the task with the given id.
+func (g *Graph) Task(id TaskID) *Task { return &g.Tasks[id] }
+
+// ensureAdj (re)builds adjacency lists when the graph has grown.
+func (g *Graph) ensureAdj() {
+	if len(g.out) == len(g.Vertices) && g.countAdj() == len(g.Tasks) {
+		return
+	}
+	g.out = make([][]TaskID, len(g.Vertices))
+	g.in = make([][]TaskID, len(g.Vertices))
+	for _, t := range g.Tasks {
+		g.out[t.Src] = append(g.out[t.Src], t.ID)
+		g.in[t.Dst] = append(g.in[t.Dst], t.ID)
+	}
+}
+
+func (g *Graph) countAdj() int {
+	n := 0
+	for _, l := range g.out {
+		n += len(l)
+	}
+	return n
+}
+
+// TasksFrom lists tasks whose source is v.
+func (g *Graph) TasksFrom(v VertexID) []TaskID {
+	g.ensureAdj()
+	return g.out[v]
+}
+
+// TasksInto lists tasks whose destination is v.
+func (g *Graph) TasksInto(v VertexID) []TaskID {
+	g.ensureAdj()
+	return g.in[v]
+}
+
+// TopoVertices returns the vertices in a topological order, or an error if
+// the graph contains a cycle (which would indicate a builder bug: message
+// matching and per-rank chaining can only create forward edges).
+func (g *Graph) TopoVertices() ([]VertexID, error) {
+	g.ensureAdj()
+	indeg := make([]int, len(g.Vertices))
+	for _, t := range g.Tasks {
+		indeg[t.Dst]++
+	}
+	queue := make([]VertexID, 0, len(g.Vertices))
+	for i := range g.Vertices {
+		if indeg[i] == 0 {
+			queue = append(queue, VertexID(i))
+		}
+	}
+	order := make([]VertexID, 0, len(g.Vertices))
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, tid := range g.out[v] {
+			d := g.Tasks[tid].Dst
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if len(order) != len(g.Vertices) {
+		return nil, fmt.Errorf("dag: cycle detected (%d of %d vertices ordered)", len(order), len(g.Vertices))
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants: edge endpoints in range, compute
+// tasks owned by a valid rank, message endpoints distinct, acyclicity, and
+// exactly one Init and one Finalize vertex.
+func (g *Graph) Validate() error {
+	inits, finals := 0, 0
+	for _, v := range g.Vertices {
+		switch v.Kind {
+		case VInit:
+			inits++
+		case VFinalize:
+			finals++
+		}
+		if v.Rank != AllRanks && (v.Rank < 0 || v.Rank >= g.NumRanks) {
+			return fmt.Errorf("dag: vertex %d has invalid rank %d", v.ID, v.Rank)
+		}
+	}
+	if inits != 1 || finals != 1 {
+		return fmt.Errorf("dag: want exactly one Init and one Finalize, got %d/%d", inits, finals)
+	}
+	for _, t := range g.Tasks {
+		if int(t.Src) < 0 || int(t.Src) >= len(g.Vertices) || int(t.Dst) < 0 || int(t.Dst) >= len(g.Vertices) {
+			return fmt.Errorf("dag: task %d has out-of-range endpoints", t.ID)
+		}
+		if t.Src == t.Dst {
+			return fmt.Errorf("dag: task %d is a self-loop on vertex %d", t.ID, t.Src)
+		}
+		switch t.Kind {
+		case Compute:
+			if t.Rank < 0 || t.Rank >= g.NumRanks {
+				return fmt.Errorf("dag: compute task %d has invalid rank %d", t.ID, t.Rank)
+			}
+			if t.Work < 0 {
+				return fmt.Errorf("dag: compute task %d has negative work", t.ID)
+			}
+		case Message:
+			if t.FixedDur < 0 {
+				return fmt.Errorf("dag: message task %d has negative duration", t.ID)
+			}
+		}
+	}
+	if _, err := g.TopoVertices(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ComputeTasks returns the IDs of all compute tasks, the objects the LP
+// assigns configurations to.
+func (g *Graph) ComputeTasks() []TaskID {
+	var out []TaskID
+	for _, t := range g.Tasks {
+		if t.Kind == Compute {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// Iterations returns the largest iteration index present, or -1 when the
+// graph has no Pcontrol boundaries.
+func (g *Graph) Iterations() int {
+	max := -1
+	for _, t := range g.Tasks {
+		if t.Iteration > max {
+			max = t.Iteration
+		}
+	}
+	return max
+}

@@ -1,0 +1,216 @@
+package flowilp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"powercap/internal/core"
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+	"powercap/internal/sim"
+)
+
+func shape() machine.Shape { return machine.DefaultShape() }
+
+// exchange builds the paper's Fig. 8 instance: a two-process asynchronous
+// message exchange.
+func exchange() *dag.Graph {
+	b := dag.NewBuilder(2)
+	b.Compute(0, 0.8, shape(), "A1")
+	b.Isend(0, 1, 1<<20)
+	b.Compute(0, 0.6, shape(), "A2")
+	b.Wait(0)
+	b.Compute(0, 0.4, shape(), "A3")
+	b.Compute(1, 1.0, shape(), "A4")
+	b.Recv(1, 0)
+	b.Compute(1, 0.5, shape(), "A5")
+	return b.Finalize()
+}
+
+func TestSingleTaskMatchesLP(t *testing.T) {
+	b := dag.NewBuilder(1)
+	b.Compute(0, 1.0, shape(), "only")
+	g := b.Finalize()
+	m := machine.Default()
+	fs := NewSolver(m, nil)
+	ls := core.NewSolver(m, nil)
+	for _, cap := range []float64{25, 35, 50, 80, 200} {
+		fres, err := fs.Solve(g, cap)
+		if err != nil {
+			t.Fatalf("cap %v: %v", cap, err)
+		}
+		lres, err := ls.Solve(g, cap)
+		if err != nil {
+			t.Fatalf("cap %v: %v", cap, err)
+		}
+		if math.Abs(fres.MakespanS-lres.MakespanS) > 1e-5*lres.MakespanS {
+			t.Fatalf("cap %v: flow %v vs fixed %v", cap, fres.MakespanS, lres.MakespanS)
+		}
+	}
+}
+
+func TestUnconstrainedMatchesMaxConfig(t *testing.T) {
+	g := exchange()
+	m := machine.Default()
+	fs := NewSolver(m, nil)
+	res, err := fs.Solve(g, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max-config evaluation.
+	pts := sim.Points(g)
+	for i, task := range g.Tasks {
+		if task.Kind == dag.Compute {
+			pts[i] = sim.TaskPoint{
+				Duration: m.Duration(task.Work, task.Shape, m.MaxConfig()),
+				PowerW:   m.Power(task.Shape, m.MaxConfig(), 1),
+			}
+		}
+	}
+	ref, err := sim.Evaluate(g, pts, sim.SlackIdle, m.IdlePower(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MakespanS-ref.Makespan) > 1e-5*ref.Makespan {
+		t.Fatalf("unconstrained flow %v vs max-config %v", res.MakespanS, ref.Makespan)
+	}
+}
+
+func TestFlowNeverWorseThanFixedOrder(t *testing.T) {
+	// The flow ILP optimizes over event orders and prices slack at idle,
+	// both relaxations of the fixed-order LP's assumptions, so its
+	// makespan can never exceed the LP's (Fig. 8: "providing less than a
+	// watt of additional power to the fixed-order formulation would allow
+	// it to achieve an equivalent schedule").
+	g := exchange()
+	m := machine.Default()
+	fs := NewSolver(m, nil)
+	ls := core.NewSolver(m, nil)
+	for _, cap := range []float64{40, 45, 50, 60, 80, 120} {
+		fres, ferr := fs.Solve(g, cap)
+		lres, lerr := ls.Solve(g, cap)
+		if ferr != nil {
+			if errors.Is(ferr, ErrInfeasible) && lerr != nil {
+				continue // both infeasible: consistent
+			}
+			t.Fatalf("cap %v: flow error %v", cap, ferr)
+		}
+		if lerr != nil {
+			continue // LP infeasible where flow is not: flow is a relaxation
+		}
+		if fres.MakespanS > lres.MakespanS*(1+1e-6) {
+			t.Fatalf("cap %v: flow %v worse than fixed-order %v", cap, fres.MakespanS, lres.MakespanS)
+		}
+	}
+}
+
+func TestAgreementAtModerateCaps(t *testing.T) {
+	// Paper Fig. 8: beyond the tightest caps the two formulations agree
+	// within 1.9%.
+	g := exchange()
+	m := machine.Default()
+	fs := NewSolver(m, nil)
+	ls := core.NewSolver(m, nil)
+	for _, cap := range []float64{70, 90, 110, 140} {
+		fres, err := fs.Solve(g, cap)
+		if err != nil {
+			t.Fatalf("cap %v: %v", cap, err)
+		}
+		lres, err := ls.Solve(g, cap)
+		if err != nil {
+			t.Fatalf("cap %v: %v", cap, err)
+		}
+		gap := (lres.MakespanS - fres.MakespanS) / fres.MakespanS
+		if gap > 0.05 {
+			t.Fatalf("cap %v: fixed-order trails flow by %.1f%% (flow %v, fixed %v)", cap, gap*100, fres.MakespanS, lres.MakespanS)
+		}
+	}
+}
+
+func TestCapMonotonic(t *testing.T) {
+	g := exchange()
+	fs := NewSolver(machine.Default(), nil)
+	prev := 0.0
+	for _, cap := range []float64{200, 120, 80, 60, 50} {
+		res, err := fs.Solve(g, cap)
+		if err != nil {
+			t.Fatalf("cap %v: %v", cap, err)
+		}
+		if res.MakespanS < prev-1e-9 {
+			t.Fatalf("makespan decreased at tighter cap %v: %v < %v", cap, res.MakespanS, prev)
+		}
+		prev = res.MakespanS
+	}
+}
+
+func TestInfeasibleTinyCap(t *testing.T) {
+	g := exchange()
+	fs := NewSolver(machine.Default(), nil)
+	_, err := fs.Solve(g, 5)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("expected ErrInfeasible, got %v", err)
+	}
+}
+
+func TestTooLargeRejected(t *testing.T) {
+	b := dag.NewBuilder(4)
+	for iter := 0; iter < 10; iter++ {
+		for r := 0; r < 4; r++ {
+			b.Compute(r, 0.1, shape(), "w")
+		}
+		b.Collective("sync")
+	}
+	g := b.Finalize()
+	fs := NewSolver(machine.Default(), nil)
+	_, err := fs.Solve(g, 100)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("expected ErrTooLarge, got %v", err)
+	}
+}
+
+func TestSlackHoldTightensSchedule(t *testing.T) {
+	// Pricing slack at the task's power (the LP's assumption) can only
+	// consume more budget than idle slack, so SlackHold makespans are ≥
+	// SlackObserved makespans.
+	g := exchange()
+	m := machine.Default()
+	obs := NewSolver(m, nil)
+	hold := NewSolver(m, nil)
+	hold.Slack = SlackHold
+	for _, cap := range []float64{55, 70, 90} {
+		ro, err := obs.Solve(g, cap)
+		if err != nil {
+			t.Fatalf("cap %v: %v", cap, err)
+		}
+		rh, err := hold.Solve(g, cap)
+		if err != nil {
+			t.Fatalf("cap %v (hold): %v", cap, err)
+		}
+		if rh.MakespanS < ro.MakespanS-1e-9 {
+			t.Fatalf("cap %v: slack-hold %v beat slack-observed %v", cap, rh.MakespanS, ro.MakespanS)
+		}
+	}
+}
+
+func TestResultFieldsPopulated(t *testing.T) {
+	g := exchange()
+	fs := NewSolver(machine.Default(), nil)
+	res, err := fs.Solve(g, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Binaries == 0 {
+		t.Fatal("expected free sequencing binaries in the exchange instance")
+	}
+	for tid, task := range g.Tasks {
+		if task.Kind == dag.Compute && task.Work > 0 {
+			if res.TaskDuration[tid] <= 0 || res.TaskPower[tid] <= 0 {
+				t.Fatalf("task %d has empty solution: %v / %v", tid, res.TaskDuration[tid], res.TaskPower[tid])
+			}
+		}
+		if task.Kind == dag.Message && res.TaskDuration[tid] != task.FixedDur {
+			t.Fatalf("message duration mangled: %v", res.TaskDuration[tid])
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFreqStatesDegenerateStep(t *testing.T) {
+	m := Default()
+	m.FreqStepGHz = 0 // must not loop forever; falls back to 0.1 GHz
+	fs := m.FreqStates()
+	if len(fs) != 15 {
+		t.Fatalf("got %d states with zero step, want fallback 15", len(fs))
+	}
+}
+
+func TestRelFreqZeroMax(t *testing.T) {
+	m := Default()
+	m.FreqMaxGHz = 0
+	// Duration must not divide by zero.
+	d := m.Duration(1, DefaultShape(), Config{FreqGHz: 1.2, Threads: 4})
+	if math.IsInf(d, 0) || math.IsNaN(d) {
+		t.Fatalf("degenerate model produced %v", d)
+	}
+}
+
+func TestThreadClamping(t *testing.T) {
+	m := Default()
+	s := DefaultShape()
+	// Out-of-range thread counts clamp rather than misbehave.
+	lo := m.Duration(1, s, Config{FreqGHz: 2.6, Threads: 0})
+	one := m.Duration(1, s, Config{FreqGHz: 2.6, Threads: 1})
+	if lo != one {
+		t.Fatalf("threads=0 not clamped to 1: %v vs %v", lo, one)
+	}
+	hi := m.Power(s, Config{FreqGHz: 2.6, Threads: 99}, 1)
+	eight := m.Power(s, Config{FreqGHz: 2.6, Threads: 8}, 1)
+	if hi != eight {
+		t.Fatalf("threads=99 not clamped to 8: %v vs %v", hi, eight)
+	}
+}
+
+func TestIntensityZeroTreatedAsNominal(t *testing.T) {
+	m := Default()
+	s := DefaultShape()
+	s.Intensity = 0
+	p0 := m.Power(s, Config{FreqGHz: 2.0, Threads: 4}, 1)
+	s.Intensity = 1
+	p1 := m.Power(s, Config{FreqGHz: 2.0, Threads: 4}, 1)
+	if p0 != p1 {
+		t.Fatalf("zero intensity should default to 1: %v vs %v", p0, p1)
+	}
+}
+
+func TestCapConfigDutyFloor(t *testing.T) {
+	m := Default()
+	s := DefaultShape()
+	// A cap below even the heavily modulated floor pins duty at the
+	// hardware minimum rather than going to zero.
+	r := m.CapConfig(s, 8, 1, 1)
+	if r.Duty != 0.125 {
+		t.Fatalf("duty = %v, want the 0.125 modulation floor", r.Duty)
+	}
+}
+
+func TestMinPowerMatchesBottomState(t *testing.T) {
+	m := Default()
+	s := DefaultShape()
+	for threads := 1; threads <= 8; threads++ {
+		got := m.MinPower(s, threads, 1)
+		want := m.Power(s, Config{FreqGHz: m.FreqMinGHz, Threads: threads}, 1)
+		if got != want {
+			t.Fatalf("threads=%d: MinPower %v != bottom state %v", threads, got, want)
+		}
+	}
+}
+
+func TestDurationDutyMemPartUnaffected(t *testing.T) {
+	// Clock modulation gates the core clock; the memory-bound part is
+	// modeled as unaffected. A fully memory-bound task therefore sees no
+	// slowdown from duty.
+	m := Default()
+	s := Shape{MemFrac: 1.0, MemSatThreads: 8, Intensity: 0.5}
+	d1 := m.DurationDuty(1, s, Config{FreqGHz: 1.2, Threads: 8}, 1.0)
+	d2 := m.DurationDuty(1, s, Config{FreqGHz: 1.2, Threads: 8}, 0.25)
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Fatalf("memory-bound duration changed under duty: %v vs %v", d1, d2)
+	}
+}
+
+func TestEffScaleNonPositiveIgnored(t *testing.T) {
+	m := Default()
+	s := DefaultShape()
+	cfg := Config{FreqGHz: 2.0, Threads: 4}
+	if m.Power(s, cfg, 0) != m.Power(s, cfg, 1) {
+		t.Fatal("non-positive effScale should be treated as nominal")
+	}
+	if m.IdlePower(-1) != m.IdlePower(1) {
+		t.Fatal("non-positive effScale should be treated as nominal for idle")
+	}
+}

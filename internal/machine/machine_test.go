@@ -1,0 +1,237 @@
+package machine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFreqStates(t *testing.T) {
+	m := Default()
+	fs := m.FreqStates()
+	if len(fs) != 15 {
+		t.Fatalf("got %d DVFS states, want 15 (2.6..1.2 by 0.1)", len(fs))
+	}
+	if fs[0] != 2.6 || fs[len(fs)-1] != 1.2 {
+		t.Fatalf("range = [%v..%v], want [2.6..1.2]", fs[0], fs[len(fs)-1])
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i] >= fs[i-1] {
+			t.Fatalf("states not strictly decreasing at %d: %v >= %v", i, fs[i], fs[i-1])
+		}
+	}
+}
+
+func TestConfigSpaceSize(t *testing.T) {
+	m := Default()
+	cfgs := m.Configs()
+	if len(cfgs) != 15*8 {
+		t.Fatalf("config space = %d, want 120", len(cfgs))
+	}
+}
+
+func TestDurationMonotonicInFrequency(t *testing.T) {
+	m := Default()
+	s := DefaultShape()
+	prev := math.Inf(1)
+	for _, f := range m.FreqStates() {
+		// FreqStates is high→low, so duration must be non-decreasing.
+		d := m.Duration(1.0, s, Config{FreqGHz: f, Threads: 8})
+		if d < prev-1e-12 {
+			// iterating high→low freq means durations should increase
+		}
+		if d+1e-12 < prev && f != m.FreqMaxGHz {
+			_ = d
+		}
+		prev = d
+	}
+	dHi := m.Duration(1.0, s, Config{FreqGHz: m.FreqMaxGHz, Threads: 8})
+	dLo := m.Duration(1.0, s, Config{FreqGHz: m.FreqMinGHz, Threads: 8})
+	if dHi >= dLo {
+		t.Fatalf("high freq (%v) not faster than low freq (%v)", dHi, dLo)
+	}
+}
+
+func TestDurationMonotonicInThreadsWithoutContention(t *testing.T) {
+	m := Default()
+	s := DefaultShape()
+	s.ContentionCoef = 0
+	prev := math.Inf(1)
+	for n := 1; n <= 8; n++ {
+		d := m.Duration(1.0, s, Config{FreqGHz: 2.6, Threads: n})
+		if d > prev+1e-12 {
+			t.Fatalf("duration increased from %d to %d threads: %v > %v", n-1, n, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestContentionMakesFewerThreadsCompetitive(t *testing.T) {
+	// With strong contention, some thread count below 8 should be the
+	// fastest at a fixed frequency — the LULESH effect (paper Table 3).
+	m := Default()
+	s := DefaultShape()
+	s.ContentionCoef = 0.035
+	best, bestN := math.Inf(1), 0
+	for n := 1; n <= 8; n++ {
+		d := m.Duration(1.0, s, Config{FreqGHz: 1.6, Threads: n})
+		if d < best {
+			best, bestN = d, n
+		}
+	}
+	if bestN == 8 {
+		t.Fatalf("contention model never favors < 8 threads (best=%d)", bestN)
+	}
+}
+
+func TestPowerMonotonic(t *testing.T) {
+	m := Default()
+	s := DefaultShape()
+	// More threads at equal frequency draws more power.
+	for n := 2; n <= 8; n++ {
+		p0 := m.Power(s, Config{FreqGHz: 2.0, Threads: n - 1}, 1)
+		p1 := m.Power(s, Config{FreqGHz: 2.0, Threads: n}, 1)
+		if p1 <= p0 {
+			t.Fatalf("power not increasing with threads: %v <= %v at %d", p1, p0, n)
+		}
+	}
+	// Higher frequency at equal threads draws more power.
+	fs := m.FreqStates()
+	for i := 1; i < len(fs); i++ {
+		pHi := m.Power(s, Config{FreqGHz: fs[i-1], Threads: 8}, 1)
+		pLo := m.Power(s, Config{FreqGHz: fs[i], Threads: 8}, 1)
+		if pHi <= pLo {
+			t.Fatalf("power not increasing with frequency: %v <= %v", pHi, pLo)
+		}
+	}
+}
+
+func TestPowerCalibrationRange(t *testing.T) {
+	// The paper sweeps 30–80 W per socket; the model's configuration range
+	// must straddle that window for the sweep to be meaningful.
+	m := Default()
+	s := DefaultShape()
+	pMax := m.Power(s, m.MaxConfig(), 1)
+	pMin := m.Power(s, Config{FreqGHz: m.FreqMinGHz, Threads: 1}, 1)
+	if pMax < 70 || pMax > 100 {
+		t.Fatalf("max power %v out of expected 70–100 W band", pMax)
+	}
+	if pMin > 20 {
+		t.Fatalf("min power %v above 20 W", pMin)
+	}
+}
+
+func TestEffScaleScalesPower(t *testing.T) {
+	m := Default()
+	s := DefaultShape()
+	cfg := Config{FreqGHz: 2.0, Threads: 4}
+	base := m.Power(s, cfg, 1.0)
+	hot := m.Power(s, cfg, 1.05)
+	if math.Abs(hot-1.05*base) > 1e-9 {
+		t.Fatalf("effScale not multiplicative: %v vs %v", hot, 1.05*base)
+	}
+}
+
+func TestCapConfigRespectsCap(t *testing.T) {
+	m := Default()
+	s := DefaultShape()
+	for cap := 15.0; cap <= 90; cap += 2.5 {
+		r := m.CapConfig(s, 8, cap, 1)
+		if r.PowerW > cap+1e-9 && r.Duty > 0.125+1e-9 {
+			t.Fatalf("cap %v: settled at %v W with duty %v", cap, r.PowerW, r.Duty)
+		}
+		if r.Config.Threads != 8 {
+			t.Fatalf("RAPL must not change threads: got %d", r.Config.Threads)
+		}
+	}
+}
+
+func TestCapConfigPicksFastestFit(t *testing.T) {
+	m := Default()
+	s := DefaultShape()
+	r := m.CapConfig(s, 8, 1000, 1) // effectively uncapped
+	if r.Config.FreqGHz != m.FreqMaxGHz || r.Duty != 1 {
+		t.Fatalf("uncapped RAPL should pick max freq: got %v duty %v", r.Config, r.Duty)
+	}
+	// A cap below the bottom DVFS state engages duty-cycle modulation.
+	pFloor := m.Power(s, Config{FreqGHz: m.FreqMinGHz, Threads: 8}, 1)
+	r = m.CapConfig(s, 8, pFloor-3, 1)
+	if r.Duty >= 1 {
+		t.Fatalf("expected duty-cycle modulation below DVFS floor, duty = %v", r.Duty)
+	}
+	if r.Config.FreqGHz != m.FreqMinGHz {
+		t.Fatalf("modulation must sit at bottom DVFS state, got %v", r.Config.FreqGHz)
+	}
+}
+
+func TestDutyCycleSlowsCPUPart(t *testing.T) {
+	m := Default()
+	s := DefaultShape()
+	cfg := Config{FreqGHz: m.FreqMinGHz, Threads: 8}
+	d1 := m.DurationDuty(1.0, s, cfg, 1.0)
+	d2 := m.DurationDuty(1.0, s, cfg, 0.5)
+	if d2 <= d1 {
+		t.Fatalf("duty 0.5 not slower: %v <= %v", d2, d1)
+	}
+}
+
+func TestIdlePowerBelowAnyActiveConfig(t *testing.T) {
+	m := Default()
+	s := DefaultShape()
+	idle := m.IdlePower(1)
+	for _, cfg := range m.Configs() {
+		if m.Power(s, cfg, 1) < idle {
+			t.Fatalf("active config %v draws less than idle (%v)", cfg, idle)
+		}
+	}
+}
+
+func TestPropertyDurationPowerTradeoff(t *testing.T) {
+	// For random shapes and any two configs, if config A is both faster
+	// and lower-power than B, then B is dominated — the model must allow
+	// this (no invariant violated), but a config with strictly higher
+	// frequency AND more threads must never be slower per the monotone
+	// model when contention is zero.
+	m := Default()
+	cfgCheck := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := Shape{
+			SerialFrac:     rng.Float64() * 0.2,
+			MemFrac:        rng.Float64() * 0.5,
+			MemSatThreads:  1 + rng.Intn(8),
+			ContentionCoef: 0,
+			Intensity:      0.5 + rng.Float64(),
+		}
+		w := 0.1 + rng.Float64()*2
+		fs := m.FreqStates()
+		fi := rng.Intn(len(fs) - 1)
+		n := 1 + rng.Intn(7)
+		faster := Config{FreqGHz: fs[fi], Threads: n + 1}
+		slower := Config{FreqGHz: fs[fi+1], Threads: n}
+		if m.Duration(w, s, faster) > m.Duration(w, s, slower)+1e-12 {
+			return false
+		}
+		if m.Power(s, faster, 1) < m.Power(s, slower, 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(cfgCheck, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroWorkZeroDuration(t *testing.T) {
+	m := Default()
+	if d := m.Duration(0, DefaultShape(), m.MaxConfig()); d != 0 {
+		t.Fatalf("zero work should take zero time, got %v", d)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{FreqGHz: 2.6, Threads: 8}
+	if c.String() != "2.6GHz/8t" {
+		t.Fatalf("String() = %q", c.String())
+	}
+}

@@ -1,0 +1,302 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"powercap/internal/lp"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c  s.t. 3a + 4b + 2c <= 6, binaries.
+	// Best: a+c (weight 5, value 17)? b+c = weight 6, value 20. → 20.
+	p := NewProblem(lp.Maximize)
+	a := p.AddBinary("a", 10)
+	b := p.AddBinary("b", 13)
+	c := p.AddBinary("c", 7)
+	p.MustConstraint("cap", lp.Expr{}.Plus(a, 3).Plus(b, 4).Plus(c, 2), lp.LE, 6)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-20) > 1e-6 {
+		t.Fatalf("objective = %v, want 20", sol.Objective)
+	}
+	if sol.Value(b) != 1 || sol.Value(c) != 1 || sol.Value(a) != 0 {
+		t.Fatalf("solution = (%v,%v,%v), want (0,1,1)", sol.Value(a), sol.Value(b), sol.Value(c))
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// max x  s.t. 2x <= 7, x integer → x = 3 (LP relaxation 3.5).
+	p := NewProblem(lp.Maximize)
+	x := p.AddVar("x", 1)
+	p.SetInteger(x)
+	p.MustConstraint("cap", lp.Expr{}.Plus(x, 2), lp.LE, 7)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Value(x) != 3 {
+		t.Fatalf("got %v x=%v, want optimal x=3", sol.Status, sol.Value(x))
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min y  s.t. y >= 1.3 x, y >= 2.6 - 1.3 x, x binary.
+	// x=0 → y=2.6; x=1 → y=1.3. Optimal y=1.3.
+	p := NewProblem(lp.Minimize)
+	x := p.AddBinary("x", 0)
+	y := p.AddVar("y", 1)
+	p.MustConstraint("c1", lp.Expr{}.Plus(y, 1).Plus(x, -1.3), lp.GE, 0)
+	p.MustConstraint("c2", lp.Expr{}.Plus(y, 1).Plus(x, 1.3), lp.GE, 2.6)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-1.3) > 1e-6 {
+		t.Fatalf("objective = %v, want 1.3", sol.Objective)
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	// x binary, x >= 0.4, x <= 0.6 → LP feasible, no integer point.
+	p := NewProblem(lp.Minimize)
+	x := p.AddBinary("x", 1)
+	p.MustConstraint("lo", lp.Expr{}.Plus(x, 1), lp.GE, 0.4)
+	p.MustConstraint("hi", lp.Expr{}.Plus(x, 1), lp.LE, 0.6)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnboundedMILP(t *testing.T) {
+	p := NewProblem(lp.Maximize)
+	x := p.AddVar("x", 1)
+	p.SetInteger(x)
+	p.MustConstraint("lo", lp.Expr{}.Plus(x, 1), lp.GE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNoIntegersRejected(t *testing.T) {
+	p := NewProblem(lp.Minimize)
+	p.AddVar("x", 1)
+	if _, err := p.Solve(); err != ErrNoIntegers {
+		t.Fatalf("expected ErrNoIntegers, got %v", err)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A knapsack big enough to need several nodes, with the node budget
+	// forced to 1: must return NodeLimit, not hang.
+	p := NewProblem(lp.Maximize)
+	var e lp.Expr
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 12; i++ {
+		v := p.AddBinary("", 1+rng.Float64())
+		e = e.Plus(v, 1+rng.Float64()*3)
+	}
+	p.MustConstraint("cap", e, lp.LE, 8)
+	p.SetMaxNodes(1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != NodeLimit {
+		t.Fatalf("status = %v, want node limit", sol.Status)
+	}
+}
+
+// bruteForceBinary enumerates all 0/1 assignments of the binary variables,
+// treating the instance as pure binary (tests only build such instances),
+// and returns the best feasible objective.
+func bruteForceBinary(obj []float64, rows []bfRow, sense lp.Sense, n int) (float64, bool) {
+	best := math.Inf(1)
+	if sense == lp.Maximize {
+		best = math.Inf(-1)
+	}
+	found := false
+	for mask := 0; mask < 1<<n; mask++ {
+		x := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				x[i] = 1
+			}
+		}
+		ok := true
+		for _, r := range rows {
+			lhs := 0.0
+			for j, c := range r.coef {
+				lhs += c * x[j]
+			}
+			switch r.rel {
+			case lp.LE:
+				if lhs > r.rhs+1e-9 {
+					ok = false
+				}
+			case lp.GE:
+				if lhs < r.rhs-1e-9 {
+					ok = false
+				}
+			case lp.EQ:
+				if math.Abs(lhs-r.rhs) > 1e-9 {
+					ok = false
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		v := 0.0
+		for j, c := range obj {
+			v += c * x[j]
+		}
+		if sense == lp.Minimize {
+			if v < best {
+				best = v
+			}
+		} else if v > best {
+			best = v
+		}
+		found = true
+	}
+	return best, found
+}
+
+type bfRow struct {
+	coef []float64
+	rel  lp.Rel
+	rhs  float64
+}
+
+func TestPropertyBinaryMILPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(6)
+		sense := lp.Minimize
+		if rng.Intn(2) == 0 {
+			sense = lp.Maximize
+		}
+		p := NewProblem(sense)
+		obj := make([]float64, n)
+		vars := make([]lp.Var, n)
+		for i := range vars {
+			obj[i] = float64(rng.Intn(21) - 10)
+			vars[i] = p.AddBinary("", obj[i])
+		}
+		var rows []bfRow
+		for r := 0; r < 1+rng.Intn(4); r++ {
+			coef := make([]float64, n)
+			var e lp.Expr
+			for i := range vars {
+				coef[i] = float64(rng.Intn(9) - 4)
+				if coef[i] != 0 {
+					e = e.Plus(vars[i], coef[i])
+				}
+			}
+			if len(e) == 0 {
+				continue
+			}
+			rel := lp.Rel(rng.Intn(2)) // LE or GE; EQ too often infeasible
+			rhs := float64(rng.Intn(13) - 4)
+			p.MustConstraint("", e, rel, rhs)
+			rows = append(rows, bfRow{coef, rel, rhs})
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfObj, bfFound := bruteForceBinary(obj, rows, sense, n)
+		switch sol.Status {
+		case Optimal:
+			if !bfFound {
+				t.Fatalf("trial %d: MILP optimal %v but brute force infeasible", trial, sol.Objective)
+			}
+			if math.Abs(sol.Objective-bfObj) > 1e-6 {
+				t.Fatalf("trial %d: MILP %v vs brute force %v", trial, sol.Objective, bfObj)
+			}
+		case Infeasible:
+			if bfFound {
+				t.Fatalf("trial %d: MILP infeasible but brute force found %v", trial, bfObj)
+			}
+		default:
+			t.Fatalf("trial %d: unexpected status %v", trial, sol.Status)
+		}
+	}
+}
+
+func TestMaximizeMixedInteger(t *testing.T) {
+	// max 5x + 4y  s.t. 6x + 4y <= 24, x + 2y <= 6, x integer, y continuous.
+	// LP optimum (3, 1.5) → obj 21; x already integral, so MILP = 21.
+	p := NewProblem(lp.Maximize)
+	x := p.AddVar("x", 5)
+	p.SetInteger(x)
+	y := p.AddVar("y", 4)
+	p.MustConstraint("c1", lp.Expr{}.Plus(x, 6).Plus(y, 4), lp.LE, 24)
+	p.MustConstraint("c2", lp.Expr{}.Plus(x, 1).Plus(y, 2), lp.LE, 6)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-21) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 21", sol.Status, sol.Objective)
+	}
+}
+
+func TestGapAllowsNearOptimal(t *testing.T) {
+	// With a huge gap, any incumbent within the gap is accepted; the
+	// solver must still return a feasible integer solution.
+	p := NewProblem(lp.Maximize)
+	var e lp.Expr
+	vals := []float64{5, 4, 3}
+	for i, v := range vals {
+		b := p.AddBinary("", v)
+		e = e.Plus(b, float64(i+2))
+	}
+	p.MustConstraint("cap", e, lp.LE, 5)
+	p.SetGap(100) // prune everything after the first incumbent
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	// Objective must be a genuinely attainable value.
+	if sol.Objective < 0 || sol.Objective > 12 {
+		t.Fatalf("objective %v out of attainable range", sol.Objective)
+	}
+}
+
+func TestSolutionValueOutOfRange(t *testing.T) {
+	p := NewProblem(lp.Minimize)
+	x := p.AddBinary("x", 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(sol.Value(lp.Var(99))) {
+		t.Fatal("out-of-range Value should be NaN")
+	}
+	_ = x
+}

@@ -1,0 +1,169 @@
+// Package pareto computes time/power Pareto frontiers of task
+// configurations, and the convex subset of a frontier.
+//
+// Section 3.2 of the paper requires "Pareto-efficient, convex (with respect
+// to power and time) sets of configurations for each task in order to create
+// a purely linear formulation": the continuous LP mixes configurations
+// convexly (Eqs. 6–9), so any configuration above the lower convex hull of
+// the (power, time) cloud can never appear in an optimal mix, and a
+// non-convex frontier would require integer variables. Figure 1 of the
+// paper shows such a cloud and its convex frontier for one CoMD task.
+package pareto
+
+import "sort"
+
+// Point is one configuration's operating point, tagged with the caller's
+// index into its configuration table.
+type Point struct {
+	PowerW float64
+	TimeS  float64
+	Index  int
+}
+
+// dominates reports whether a is at least as good as b in both dimensions
+// and strictly better in at least one (lower is better for both).
+func dominates(a, b Point) bool {
+	if a.PowerW > b.PowerW || a.TimeS > b.TimeS {
+		return false
+	}
+	return a.PowerW < b.PowerW || a.TimeS < b.TimeS
+}
+
+// Filter returns the Pareto-efficient subset of points: those not dominated
+// by any other point. The result is sorted by increasing power (and thus
+// non-increasing time). Duplicate operating points are collapsed to one.
+func Filter(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), points...)
+	// Sort by power ascending, time ascending as tiebreak.
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].PowerW != sorted[j].PowerW {
+			return sorted[i].PowerW < sorted[j].PowerW
+		}
+		return sorted[i].TimeS < sorted[j].TimeS
+	})
+	var out []Point
+	bestTime := 0.0
+	for _, p := range sorted {
+		if len(out) == 0 {
+			out = append(out, p)
+			bestTime = p.TimeS
+			continue
+		}
+		last := out[len(out)-1]
+		if p.PowerW == last.PowerW {
+			continue // same power, worse-or-equal time (sort order)
+		}
+		if p.TimeS >= bestTime {
+			continue // dominated: more power, no faster
+		}
+		out = append(out, p)
+		bestTime = p.TimeS
+	}
+	return out
+}
+
+// cross computes the z-component of (b−a) × (c−a) in the (power, time)
+// plane. Negative means the path a→b→c turns clockwise.
+func cross(a, b, c Point) float64 {
+	return (b.PowerW-a.PowerW)*(c.TimeS-a.TimeS) - (b.TimeS-a.TimeS)*(c.PowerW-a.PowerW)
+}
+
+// ConvexFrontier returns the convex Pareto frontier: the vertices of the
+// lower convex hull of the Pareto-efficient points, sorted by increasing
+// power. Linear interpolation between consecutive returned points is a
+// convex, non-increasing, piecewise-linear time-vs-power function lying on
+// or below every input point — exactly the structure the LP's continuous
+// configuration mixing needs.
+func ConvexFrontier(points []Point) []Point {
+	pf := Filter(points)
+	if len(pf) <= 2 {
+		return pf
+	}
+	// Andrew's monotone chain, lower hull. pf is already sorted by power
+	// with strictly decreasing time.
+	hull := make([]Point, 0, len(pf))
+	for _, p := range pf {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull
+}
+
+// InterpolateTime evaluates the piecewise-linear frontier at powerW:
+// the minimum task time achievable at that average power by convexly mixing
+// neighboring frontier configurations. Outside the frontier's power range it
+// clamps to the nearest endpoint (below minimum power the task is simply
+// infeasible at that budget; callers check Feasible).
+func InterpolateTime(frontier []Point, powerW float64) float64 {
+	if len(frontier) == 0 {
+		return 0
+	}
+	if powerW <= frontier[0].PowerW {
+		return frontier[0].TimeS
+	}
+	last := frontier[len(frontier)-1]
+	if powerW >= last.PowerW {
+		return last.TimeS
+	}
+	for i := 1; i < len(frontier); i++ {
+		a, b := frontier[i-1], frontier[i]
+		if powerW <= b.PowerW {
+			t := (powerW - a.PowerW) / (b.PowerW - a.PowerW)
+			return a.TimeS + t*(b.TimeS-a.TimeS)
+		}
+	}
+	return last.TimeS
+}
+
+// Feasible reports whether the frontier has any configuration fitting under
+// the power cap.
+func Feasible(frontier []Point, capW float64) bool {
+	return len(frontier) > 0 && frontier[0].PowerW <= capW
+}
+
+// BestUnderCap returns the frontier point with the lowest time whose power
+// does not exceed capW, and ok=false when none fits. This is the discrete
+// selection rule used when rounding LP solutions and inside Conductor's
+// configuration selection.
+func BestUnderCap(frontier []Point, capW float64) (Point, bool) {
+	best := Point{}
+	ok := false
+	for _, p := range frontier {
+		if p.PowerW <= capW {
+			best = p // frontier sorted by power asc, time desc ⇒ last fit is fastest
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// NearestToMix returns the frontier point closest (by power) to the target
+// average power, used for the paper's discrete rounding: "the discrete case
+// is rounded by selecting the configuration closest to the optimal point on
+// the Pareto frontier."
+func NearestToMix(frontier []Point, targetPowerW float64) (Point, bool) {
+	if len(frontier) == 0 {
+		return Point{}, false
+	}
+	best := frontier[0]
+	bestD := absf(best.PowerW - targetPowerW)
+	for _, p := range frontier[1:] {
+		d := absf(p.PowerW - targetPowerW)
+		if d < bestD {
+			best, bestD = p, d
+		}
+	}
+	return best, true
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

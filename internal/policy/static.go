@@ -1,0 +1,84 @@
+// Package policy implements the Static baseline of Sec. 4.1: application
+// power divided equally between sockets, enforced by the RAPL firmware
+// emulation, with the thread count pinned to the full core count.
+//
+// "The simplest method to allocate per-node power is to distribute
+// application-level power equally between the nodes … this method has been
+// used effectively in production clusters within the U.S. Department of
+// Energy. … Because RAPL is implemented in firmware, it is unable to change
+// application concurrency levels." Static therefore always runs 8 threads
+// and lets the DVFS/duty controller squeeze under the per-socket cap.
+package policy
+
+import (
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+	"powercap/internal/sim"
+)
+
+// Static is the fixed, uniform power allocation baseline.
+type Static struct {
+	Model *machine.Model
+	// EffScale is the per-rank socket power-efficiency multiplier;
+	// nil = 1.0. Inefficient sockets land in lower DVFS states under the
+	// same cap — the paper observes RAPL pushing some processors to 22%
+	// of maximum clock while others cruise.
+	EffScale []float64
+	// Threads fixes the concurrency level; 0 means all cores ("to
+	// maximize performance for most applications, we fix the thread
+	// concurrency level at eight per processor").
+	Threads int
+}
+
+// NewStatic returns the baseline policy over a model.
+func NewStatic(model *machine.Model, effScale []float64) *Static {
+	return &Static{Model: model, EffScale: effScale}
+}
+
+func (s *Static) eff(rank int) float64 {
+	if s.EffScale == nil || rank < 0 || rank >= len(s.EffScale) {
+		return 1
+	}
+	return s.EffScale[rank]
+}
+
+func (s *Static) threads() int {
+	if s.Threads > 0 {
+		return s.Threads
+	}
+	return s.Model.Cores
+}
+
+// Points chooses every compute task's operating point under a uniform
+// per-socket cap: the RAPL controller picks the DVFS state (or duty cycle)
+// for the fixed thread count.
+func (s *Static) Points(g *dag.Graph, perSocketCapW float64) []sim.TaskPoint {
+	pts := sim.Points(g)
+	for i, t := range g.Tasks {
+		if t.Kind != dag.Compute {
+			continue
+		}
+		if t.Work <= 0 {
+			pts[i] = sim.TaskPoint{Duration: 0, PowerW: s.Model.IdlePower(s.eff(t.Rank))}
+			continue
+		}
+		r := s.Model.CapConfig(t.Shape, s.threads(), perSocketCapW, s.eff(t.Rank))
+		pts[i] = sim.TaskPoint{
+			Duration: s.Model.DurationDuty(t.Work, t.Shape, r.Config, r.Duty),
+			PowerW:   r.PowerW,
+		}
+	}
+	return pts
+}
+
+// Run evaluates the whole graph under Static at the given per-socket cap.
+func (s *Static) Run(g *dag.Graph, perSocketCapW float64) (*sim.Result, error) {
+	return sim.Evaluate(g, s.Points(g, perSocketCapW), sim.SlackHoldsTaskPower, 0)
+}
+
+// RunJobCap evaluates Static at a job-level cap by dividing it uniformly
+// across sockets — the conversion the paper's figures use ("average power
+// per processor socket").
+func (s *Static) RunJobCap(g *dag.Graph, jobCapW float64) (*sim.Result, error) {
+	return s.Run(g, jobCapW/float64(g.NumRanks))
+}

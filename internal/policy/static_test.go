@@ -1,0 +1,99 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+	"powercap/internal/workloads"
+)
+
+func TestStaticRespectsPerSocketCap(t *testing.T) {
+	w := workloads.CoMD(workloads.Params{Ranks: 4, Iterations: 2, Seed: 3, WorkScale: 0.2})
+	s := NewStatic(machine.Default(), w.EffScale)
+	for _, cap := range []float64{30, 40, 60, 80} {
+		res, err := s.Run(w.Graph, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobCap := cap * float64(w.Graph.NumRanks)
+		// RAPL may sit fractionally above the cap only at the duty floor;
+		// at these caps the DVFS ladder suffices.
+		if v := res.MaxCapViolation(jobCap); v > 1e-9 {
+			t.Fatalf("cap %v: job power exceeded by %v W", cap, v)
+		}
+		if res.Makespan <= 0 {
+			t.Fatalf("cap %v: empty makespan", cap)
+		}
+	}
+}
+
+func TestStaticTighterCapSlower(t *testing.T) {
+	w := workloads.BT(workloads.Params{Ranks: 4, Iterations: 2, Seed: 3, WorkScale: 0.2})
+	s := NewStatic(machine.Default(), w.EffScale)
+	prev := 0.0
+	for _, cap := range []float64{80, 60, 45, 35, 28, 22} {
+		res, err := s.Run(w.Graph, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan < prev-1e-9 {
+			t.Fatalf("makespan decreased at tighter cap %v", cap)
+		}
+		prev = res.Makespan
+	}
+}
+
+func TestStaticUsesAllCores(t *testing.T) {
+	// Static pins threads to the core count; its per-task power must match
+	// the RAPL result for 8 threads.
+	m := machine.Default()
+	w := workloads.CoMD(workloads.Params{Ranks: 2, Iterations: 1, Seed: 3, WorkScale: 0.2})
+	s := NewStatic(m, nil)
+	pts := s.Points(w.Graph, 40)
+	for i, task := range w.Graph.Tasks {
+		if task.Kind != dag.Compute || task.Work <= 0 {
+			continue
+		}
+		r := m.CapConfig(task.Shape, m.Cores, 40, 1)
+		if math.Abs(pts[i].PowerW-r.PowerW) > 1e-9 {
+			t.Fatalf("task %d power %v, want RAPL %v", i, pts[i].PowerW, r.PowerW)
+		}
+	}
+}
+
+func TestRunJobCapDividesUniformly(t *testing.T) {
+	w := workloads.SP(workloads.Params{Ranks: 4, Iterations: 2, Seed: 3, WorkScale: 0.2})
+	s := NewStatic(machine.Default(), w.EffScale)
+	a, err := s.Run(w.Graph, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.RunJobCap(w.Graph, 45*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("RunJobCap mismatch: %v vs %v", a.Makespan, b.Makespan)
+	}
+}
+
+func TestStaticThreadsOverride(t *testing.T) {
+	w := workloads.CoMD(workloads.Params{Ranks: 2, Iterations: 1, Seed: 3, WorkScale: 0.2})
+	s := NewStatic(machine.Default(), nil)
+	s.Threads = 4
+	res4, err := s.Run(w.Graph, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Threads = 0 // all cores
+	res8, err := s.Run(w.Graph, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CoMD has no contention: 8 threads at 60 W must beat 4 threads.
+	if res8.Makespan >= res4.Makespan {
+		t.Fatalf("8 threads (%v) not faster than 4 (%v) at 60 W", res8.Makespan, res4.Makespan)
+	}
+}

@@ -1,0 +1,163 @@
+package replay
+
+import (
+	"math"
+	"testing"
+
+	"powercap/internal/core"
+	"powercap/internal/machine"
+	"powercap/internal/workloads"
+)
+
+func setup(t *testing.T) (*workloads.Workload, *core.Solver, *core.Schedule) {
+	t.Helper()
+	w := workloads.CoMD(workloads.Params{Ranks: 4, Iterations: 3, Seed: 11, WorkScale: 0.3})
+	s := core.NewSolver(machine.Default(), w.EffScale)
+	sched, err := s.SolveIterations(w.Graph, 45*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, s, sched
+}
+
+func TestDiscreteReplayRunsAndReportsSwitches(t *testing.T) {
+	w, _, sched := setup(t)
+	rep, err := Run(w.Graph, sched, DefaultOptions(machine.Default(), w.EffScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MakespanS <= 0 {
+		t.Fatal("empty makespan")
+	}
+	if rep.Switches == 0 {
+		t.Fatal("expected at least one configuration switch")
+	}
+}
+
+func TestContinuousReplayTracksLPMakespan(t *testing.T) {
+	w, _, sched := setup(t)
+	opts := DefaultOptions(machine.Default(), w.EffScale)
+	opts.Mode = Continuous
+	opts.SwitchOverheadS = 0 // isolate pure schedule timing
+	rep, err := Run(w.Graph, sched, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the exact mixed durations ASAP can only tighten slack, so
+	// the replayed makespan is bounded by the LP's (summed) makespan.
+	if rep.MakespanS > sched.MakespanS*(1+1e-9) {
+		t.Fatalf("continuous replay %v exceeds LP bound %v", rep.MakespanS, sched.MakespanS)
+	}
+	// And it should be close: the per-iteration LP's bound is tight for
+	// collective-synchronized workloads.
+	if rep.MakespanS < sched.MakespanS*0.9 {
+		t.Fatalf("continuous replay %v implausibly far below LP bound %v", rep.MakespanS, sched.MakespanS)
+	}
+}
+
+func TestContinuousReplayRespectsCap(t *testing.T) {
+	w, _, sched := setup(t)
+	opts := DefaultOptions(machine.Default(), w.EffScale)
+	opts.Mode = Continuous
+	opts.SwitchOverheadS = 0
+	rep, err := Run(w.Graph, sched, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CapViolationW > 1e-6 {
+		t.Fatalf("continuous replay violates cap by %v W", rep.CapViolationW)
+	}
+}
+
+func TestDiscreteReplayNearCap(t *testing.T) {
+	// Discrete rounding picks the nearest frontier point, which can sit
+	// slightly above the mixed power; the violation must stay small
+	// relative to the cap (the paper's replays also verify, not prove).
+	w, _, sched := setup(t)
+	opts := DefaultOptions(machine.Default(), w.EffScale)
+	rep, err := Run(w.Graph, sched, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CapViolationW > 0.05*sched.CapW {
+		t.Fatalf("discrete replay violates cap by %v W (cap %v)", rep.CapViolationW, sched.CapW)
+	}
+}
+
+func TestSwitchSuppressionThreshold(t *testing.T) {
+	w, _, sched := setup(t)
+	opts := DefaultOptions(machine.Default(), w.EffScale)
+	// With an enormous threshold every switch after the first per rank is
+	// suppressed.
+	opts.SwitchThresholdS = 1e9
+	rep, err := Run(w.Graph, sched, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Switches > w.Graph.NumRanks {
+		t.Fatalf("expected at most one switch per rank, got %d", rep.Switches)
+	}
+	// With a zero threshold nothing is suppressed.
+	opts.SwitchThresholdS = 0
+	rep2, err := Run(w.Graph, sched, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Suppressed != 0 {
+		t.Fatalf("zero threshold still suppressed %d switches", rep2.Suppressed)
+	}
+}
+
+func TestSwitchOverheadSlowsReplay(t *testing.T) {
+	w, _, sched := setup(t)
+	cheap := DefaultOptions(machine.Default(), w.EffScale)
+	cheap.SwitchOverheadS = 0
+	costly := DefaultOptions(machine.Default(), w.EffScale)
+	costly.SwitchOverheadS = 10e-3
+
+	r1, err := Run(w.Graph, sched, cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(w.Graph, sched, costly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.MakespanS <= r1.MakespanS {
+		t.Fatalf("switch overhead did not slow replay: %v vs %v", r2.MakespanS, r1.MakespanS)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	w, _, sched := setup(t)
+	if _, err := Run(w.Graph, sched, Options{}); err == nil {
+		t.Fatal("expected error for missing model")
+	}
+	bad := *sched
+	bad.Choices = bad.Choices[:1]
+	if _, err := Run(w.Graph, &bad, DefaultOptions(machine.Default(), nil)); err == nil {
+		t.Fatal("expected error for choice/task mismatch")
+	}
+}
+
+func TestReplayMatchesLPDurationsWithoutOverheads(t *testing.T) {
+	w, _, sched := setup(t)
+	opts := DefaultOptions(machine.Default(), w.EffScale)
+	opts.Mode = Continuous
+	opts.SwitchOverheadS = 0
+	opts.SwitchThresholdS = 0
+	rep, err := Run(w.Graph, sched, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := range w.Graph.Tasks {
+		ch := sched.Choices[tid]
+		if len(ch.Mix) == 0 {
+			continue
+		}
+		got := rep.Result.End[tid] - rep.Result.Start[tid]
+		if math.Abs(got-ch.DurationS) > 1e-9 {
+			t.Fatalf("task %d replay duration %v != LP %v", tid, got, ch.DurationS)
+		}
+	}
+}

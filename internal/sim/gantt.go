@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"powercap/internal/dag"
+)
+
+// Gantt renders an ASCII timeline of an evaluated execution: one row per
+// rank, time flowing left to right, '#' for computation and '.' for slack,
+// followed by the job power profile. width is the number of character
+// columns for the time axis (min 20).
+func (r *Result) Gantt(g *dag.Graph, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if r.Makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	colTime := r.Makespan / float64(width)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time: 0 .. %.3fs  (each column %.4fs)\n", r.Makespan, colTime)
+
+	byRank := make([][]dag.TaskID, g.NumRanks)
+	for _, t := range g.Tasks {
+		if t.Kind == dag.Compute {
+			byRank[t.Rank] = append(byRank[t.Rank], t.ID)
+		}
+	}
+	for rank := 0; rank < g.NumRanks; rank++ {
+		ids := byRank[rank]
+		sort.Slice(ids, func(i, j int) bool { return r.Start[ids[i]] < r.Start[ids[j]] })
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, tid := range ids {
+			s := int(r.Start[tid] / colTime)
+			e := int(r.End[tid] / colTime)
+			if e >= width {
+				e = width - 1
+			}
+			for c := s; c <= e && c < width; c++ {
+				row[c] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "r%-3d |%s|\n", rank, row)
+	}
+
+	// Power profile row: quantize instantaneous power into a 0-9 scale.
+	peak := r.PeakPowerW
+	if peak > 0 {
+		row := make([]byte, width)
+		for i := range row {
+			tm := (float64(i) + 0.5) * colTime
+			p := r.powerAtTime(tm)
+			level := int(p / peak * 9.999)
+			if level < 0 {
+				level = 0
+			}
+			if level > 9 {
+				level = 9
+			}
+			row[i] = byte('0' + level)
+		}
+		fmt.Fprintf(&b, "pow  |%s|  peak %.1f W\n", row, peak)
+	}
+	return b.String()
+}
+
+// powerAtTime interpolates the piecewise-constant event power at time tm.
+func (r *Result) powerAtTime(tm float64) float64 {
+	if len(r.EventPower) == 0 {
+		return 0
+	}
+	idx := sort.Search(len(r.EventPower), func(i int) bool { return r.EventPower[i].Time > tm }) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return r.EventPower[idx].PowerW
+}

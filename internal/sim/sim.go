@@ -1,0 +1,296 @@
+// Package sim executes application DAGs: given an operating point for every
+// compute task, it derives the full execution timeline (task starts/ends,
+// vertex times, makespan) and the job's instantaneous power profile.
+//
+// This is the reproduction's stand-in for running benchmarks on the paper's
+// Cab cluster: policies (Static, Conductor, LP replay) choose operating
+// points, and the simulator tells them how long the application takes and
+// whether the job-level power constraint was respected. Timing follows the
+// same event semantics as the LP (Sec. 3.1): a task starts at its source
+// vertex's time (Eq. 4), a vertex fires when all incoming tasks complete
+// (Eq. 3), and MPI_Init is time zero (Eq. 2).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"powercap/internal/dag"
+)
+
+// TaskPoint is the operating point chosen for one task: its duration and
+// the socket power drawn while it runs. Message tasks take their fixed
+// duration and zero socket power regardless of what callers put here; use
+// Points to allocate a correctly sized slice.
+type TaskPoint struct {
+	Duration float64
+	PowerW   float64
+}
+
+// Points allocates one TaskPoint per task of g, with message durations
+// prefilled from the graph. Callers fill in the compute entries.
+func Points(g *dag.Graph) []TaskPoint {
+	pts := make([]TaskPoint, len(g.Tasks))
+	for i, t := range g.Tasks {
+		if t.Kind == dag.Message {
+			pts[i] = TaskPoint{Duration: t.FixedDur, PowerW: 0}
+		}
+	}
+	return pts
+}
+
+// SlackPolicy determines the socket power attributed to a rank while it
+// waits between the end of one task and the start of its next.
+type SlackPolicy int
+
+const (
+	// SlackHoldsTaskPower matches the LP's assumption (Sec. 3.3): "slack
+	// power is assumed equal to its corresponding task power", with tasks
+	// preceding their slack.
+	SlackHoldsTaskPower SlackPolicy = iota
+	// SlackIdle charges a fixed idle power during slack, as the flow ILP
+	// does ("the ILP formulation assigns a specific power consumption to
+	// all slack based on observed slack power", Appendix).
+	SlackIdle
+)
+
+// Result is the outcome of evaluating a DAG under a task-point assignment.
+type Result struct {
+	// Makespan is the Finalize vertex time (the LP objective vM).
+	Makespan float64
+	// Start and End give each task's interval; message tasks included.
+	Start, End []float64
+	// VertexTime gives each vertex's firing time.
+	VertexTime []float64
+	// PeakPowerW is the maximum instantaneous job power over the run.
+	PeakPowerW float64
+	// EventPower lists (time, totalPower) at every task start/end event,
+	// sorted by time — the resolution at which the LP constrains power.
+	EventPower []PowerSample
+}
+
+// PowerSample is one point of the job power profile.
+type PowerSample struct {
+	Time   float64
+	PowerW float64
+}
+
+// Evaluate runs the DAG with the given per-task operating points.
+// idlePowerW is used only under SlackIdle (per-rank idle draw). The points
+// slice must have one entry per task in g.
+func Evaluate(g *dag.Graph, points []TaskPoint, slack SlackPolicy, idlePowerW float64) (*Result, error) {
+	if len(points) != len(g.Tasks) {
+		return nil, fmt.Errorf("sim: %d points for %d tasks", len(points), len(g.Tasks))
+	}
+	order, err := g.TopoVertices()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Start:      make([]float64, len(g.Tasks)),
+		End:        make([]float64, len(g.Tasks)),
+		VertexTime: make([]float64, len(g.Vertices)),
+	}
+
+	// Vertex times by forward sweep: a task starts at its source vertex's
+	// time; a vertex fires when all incoming tasks have completed.
+	for _, vid := range order {
+		vt := res.VertexTime[vid]
+		for _, tid := range g.TasksFrom(vid) {
+			t := g.Task(tid)
+			d := points[tid].Duration
+			if t.Kind == dag.Message {
+				d = t.FixedDur
+			}
+			if d < 0 {
+				return nil, fmt.Errorf("sim: task %d has negative duration %v", tid, d)
+			}
+			res.Start[tid] = vt
+			res.End[tid] = vt + d
+			if res.End[tid] > res.VertexTime[t.Dst] {
+				res.VertexTime[t.Dst] = res.End[tid]
+			}
+		}
+	}
+	for i := range g.Vertices {
+		if g.Vertices[i].Kind == dag.VFinalize {
+			res.Makespan = res.VertexTime[i]
+		}
+	}
+
+	res.EventPower = powerProfile(g, res, points, slack, idlePowerW)
+	for _, s := range res.EventPower {
+		if s.PowerW > res.PeakPowerW {
+			res.PeakPowerW = s.PowerW
+		}
+	}
+	return res, nil
+}
+
+// powerProfile computes total job power at every task start/end event. Each
+// rank contributes a piecewise-constant power: its running task's power
+// while the task executes, then (policy-dependent) slack power until its
+// next task starts.
+func powerProfile(g *dag.Graph, res *Result, points []TaskPoint, slack SlackPolicy, idlePowerW float64) []PowerSample {
+	type seg struct{ t0, t1, p float64 }
+	perRank := make([][]seg, g.NumRanks)
+
+	// Collect each rank's compute tasks ordered by start time.
+	byRank := make([][]dag.TaskID, g.NumRanks)
+	for _, t := range g.Tasks {
+		if t.Kind == dag.Compute {
+			byRank[t.Rank] = append(byRank[t.Rank], t.ID)
+		}
+	}
+	for r := range byRank {
+		ids := byRank[r]
+		sort.Slice(ids, func(i, j int) bool {
+			if res.Start[ids[i]] != res.Start[ids[j]] {
+				return res.Start[ids[i]] < res.Start[ids[j]]
+			}
+			return ids[i] < ids[j]
+		})
+		for k, tid := range ids {
+			start, end := res.Start[tid], res.End[tid]
+			next := res.Makespan
+			if k+1 < len(ids) {
+				next = res.Start[ids[k+1]]
+			}
+			p := points[tid].PowerW
+			perRank[r] = append(perRank[r], seg{start, end, p})
+			if next > end {
+				sp := p
+				if slack == SlackIdle {
+					sp = idlePowerW
+				}
+				perRank[r] = append(perRank[r], seg{end, next, sp})
+			}
+		}
+	}
+
+	// Event times: every task boundary.
+	events := make([]float64, 0, 2*len(g.Tasks))
+	for i := range g.Tasks {
+		events = append(events, res.Start[i], res.End[i])
+	}
+	sort.Float64s(events)
+	events = dedupFloats(events)
+
+	// Sweep events in time order with one advancing cursor per rank;
+	// segments are sorted and contiguous, so this is O(events + segments).
+	// At each event we report the power of the interval beginning there
+	// (events are exactly where power levels change).
+	cursor := make([]int, g.NumRanks)
+	samples := make([]PowerSample, 0, len(events))
+	for _, ev := range events {
+		total := 0.0
+		for r := 0; r < g.NumRanks; r++ {
+			segs := perRank[r]
+			for cursor[r]+1 < len(segs) && segs[cursor[r]].t1 <= ev {
+				cursor[r]++
+			}
+			if len(segs) > 0 {
+				s := segs[cursor[r]]
+				if ev >= s.t0 && (ev < s.t1 || cursor[r] == len(segs)-1) {
+					total += s.p
+				}
+			}
+		}
+		samples = append(samples, PowerSample{Time: ev, PowerW: total})
+	}
+	return samples
+}
+
+func dedupFloats(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// MaxCapViolation returns the largest amount by which the job power profile
+// exceeds capW (0 when the cap is respected everywhere).
+func (r *Result) MaxCapViolation(capW float64) float64 {
+	v := 0.0
+	for _, s := range r.EventPower {
+		if ex := s.PowerW - capW; ex > v {
+			v = ex
+		}
+	}
+	return v
+}
+
+// AvgPower integrates the piecewise-constant event power over the makespan
+// and returns the time-weighted average job power.
+func (r *Result) AvgPower() float64 {
+	if len(r.EventPower) == 0 || r.Makespan <= 0 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < len(r.EventPower); i++ {
+		t0 := r.EventPower[i].Time
+		t1 := r.Makespan
+		if i+1 < len(r.EventPower) {
+			t1 = r.EventPower[i+1].Time
+		}
+		if t1 > t0 {
+			total += r.EventPower[i].PowerW * (t1 - t0)
+		}
+	}
+	return total / r.Makespan
+}
+
+// CriticalPath returns the task IDs of one longest path through the DAG
+// under the evaluated durations, from Init to Finalize. Used by Conductor's
+// critical-path estimation and by diagnostics.
+func (r *Result) CriticalPath(g *dag.Graph) []dag.TaskID {
+	// Walk backwards from Finalize greedily choosing the in-task whose end
+	// equals the vertex time.
+	var fin dag.VertexID
+	for i := range g.Vertices {
+		if g.Vertices[i].Kind == dag.VFinalize {
+			fin = g.Vertices[i].ID
+		}
+	}
+	var path []dag.TaskID
+	cur := fin
+	const eps = 1e-12
+	for {
+		in := g.TasksInto(cur)
+		if len(in) == 0 {
+			break
+		}
+		chosen := dag.TaskID(-1)
+		for _, tid := range in {
+			if math.Abs(r.End[tid]-r.VertexTime[cur]) <= eps+1e-9*r.VertexTime[cur] {
+				chosen = tid
+				break
+			}
+		}
+		if chosen < 0 {
+			// Slack everywhere into this vertex: follow the latest-ending.
+			best := in[0]
+			for _, tid := range in[1:] {
+				if r.End[tid] > r.End[best] {
+					best = tid
+				}
+			}
+			chosen = best
+		}
+		path = append(path, chosen)
+		cur = g.Task(chosen).Src
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+)
+
+func shape() machine.Shape { return machine.DefaultShape() }
+
+// twoRankCollective builds: Init → (1s, 2s) → collective → (1s, 1s) → Fin.
+func twoRankCollective(t *testing.T) (*dag.Graph, []TaskPoint) {
+	t.Helper()
+	b := dag.NewBuilder(2)
+	b.Compute(0, 1, shape(), "a")
+	b.Compute(1, 2, shape(), "a")
+	b.Collective("sync")
+	b.Compute(0, 1, shape(), "b")
+	b.Compute(1, 1, shape(), "b")
+	g := b.Finalize()
+	pts := Points(g)
+	durs := []float64{1, 2, 1, 1}
+	pows := []float64{30, 40, 35, 45}
+	for i := range g.Tasks {
+		pts[i] = TaskPoint{Duration: durs[i], PowerW: pows[i]}
+	}
+	return g, pts
+}
+
+func TestEvaluateCollectiveTiming(t *testing.T) {
+	g, pts := twoRankCollective(t)
+	res, err := Evaluate(g, pts, SlackHoldsTaskPower, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collective fires at max(1,2)=2; second phase takes 1 → makespan 3.
+	if math.Abs(res.Makespan-3) > 1e-12 {
+		t.Fatalf("makespan = %v, want 3", res.Makespan)
+	}
+	// Rank 0's first task ends at 1; its second starts at 2 (slack 1s).
+	if res.Start[2] != 2 {
+		t.Fatalf("post-collective start = %v, want 2", res.Start[2])
+	}
+}
+
+func TestEvaluatePowerProfileWithSlackHold(t *testing.T) {
+	g, pts := twoRankCollective(t)
+	res, err := Evaluate(g, pts, SlackHoldsTaskPower, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t ∈ [0,1): 30+40 = 70. t ∈ [1,2): rank0 slack holds 30 → 70.
+	// t ∈ [2,3): 35+45 = 80. Peak = 80.
+	if math.Abs(res.PeakPowerW-80) > 1e-9 {
+		t.Fatalf("peak power = %v, want 80", res.PeakPowerW)
+	}
+	for _, s := range res.EventPower {
+		if s.Time < 1 && math.Abs(s.PowerW-70) > 1e-9 {
+			t.Fatalf("power at %v = %v, want 70", s.Time, s.PowerW)
+		}
+		if s.Time >= 2 && s.Time < 3 && math.Abs(s.PowerW-80) > 1e-9 {
+			t.Fatalf("power at %v = %v, want 80", s.Time, s.PowerW)
+		}
+	}
+}
+
+func TestEvaluatePowerProfileWithSlackIdle(t *testing.T) {
+	g, pts := twoRankCollective(t)
+	res, err := Evaluate(g, pts, SlackIdle, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t ∈ [1,2): rank0 idles at 10 → total 50.
+	found := false
+	for _, s := range res.EventPower {
+		if s.Time >= 1 && s.Time < 2 {
+			if math.Abs(s.PowerW-50) > 1e-9 {
+				t.Fatalf("idle-slack power at %v = %v, want 50", s.Time, s.PowerW)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no event sample in the slack window")
+	}
+}
+
+func TestEvaluateMessageTiming(t *testing.T) {
+	b := dag.NewBuilder(2)
+	b.Compute(0, 1, shape(), "pre")
+	b.Isend(0, 1, 3_200_000) // 1ms at 3.2 GB/s
+	b.Compute(1, 0.5, shape(), "pre")
+	b.Recv(1, 0)
+	b.Compute(1, 1, shape(), "post")
+	g := b.Finalize()
+	pts := Points(g)
+	for i, task := range g.Tasks {
+		if task.Kind == dag.Compute {
+			pts[i] = TaskPoint{Duration: task.Work, PowerW: 20}
+		}
+	}
+	res, err := Evaluate(g, pts, SlackHoldsTaskPower, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sender's Isend vertex at t=1; message takes ~1.002ms; receiver ready
+	// at 0.5 → Recv fires ≈ 1.001. Post compute ends ≈ 2.001.
+	msgDur := dag.MessageDuration(3_200_000)
+	want := 1 + msgDur + 1
+	if math.Abs(res.Makespan-want) > 1e-9 {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestEvaluateRejectsWrongPointCount(t *testing.T) {
+	g, _ := twoRankCollective(t)
+	if _, err := Evaluate(g, nil, SlackHoldsTaskPower, 0); err == nil {
+		t.Fatal("expected error for wrong point count")
+	}
+}
+
+func TestEvaluateRejectsNegativeDuration(t *testing.T) {
+	g, pts := twoRankCollective(t)
+	pts[0].Duration = -1
+	if _, err := Evaluate(g, pts, SlackHoldsTaskPower, 0); err == nil {
+		t.Fatal("expected error for negative duration")
+	}
+}
+
+func TestMaxCapViolationAndAvgPower(t *testing.T) {
+	g, pts := twoRankCollective(t)
+	res, err := Evaluate(g, pts, SlackHoldsTaskPower, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.MaxCapViolation(80); v != 0 {
+		t.Fatalf("violation at cap 80 = %v, want 0", v)
+	}
+	if v := res.MaxCapViolation(75); math.Abs(v-5) > 1e-9 {
+		t.Fatalf("violation at cap 75 = %v, want 5", v)
+	}
+	// Avg: 70 for t∈[0,2), 80 for t∈[2,3) → (140+80)/3.
+	if got, want := res.AvgPower(), (70*2+80*1)/3.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("avg power = %v, want %v", got, want)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g, pts := twoRankCollective(t)
+	res, err := Evaluate(g, pts, SlackHoldsTaskPower, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := res.CriticalPath(g)
+	if len(cp) != 2 {
+		t.Fatalf("critical path has %d tasks, want 2", len(cp))
+	}
+	// First leg must be rank 1's 2-second task.
+	if g.Task(cp[0]).Rank != 1 || g.Task(cp[0]).Work != 2 {
+		t.Fatalf("critical path starts with %+v, want rank 1's 2s task", g.Task(cp[0]))
+	}
+	// Path must be contiguous and end at Finalize.
+	for i := 1; i < len(cp); i++ {
+		if g.Task(cp[i]).Src != g.Task(cp[i-1]).Dst {
+			t.Fatal("critical path not contiguous")
+		}
+	}
+}
+
+// TestPropertyMakespanLowerBounds checks two invariants on random graphs:
+// makespan ≥ every rank's total task time (a rank can never finish before
+// doing all its work) and makespan ≥ end of every task.
+func TestPropertyMakespanInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nr := 1 + rng.Intn(5)
+		b := dag.NewBuilder(nr)
+		iters := 1 + rng.Intn(3)
+		for it := 0; it < iters; it++ {
+			for r := 0; r < nr; r++ {
+				b.Compute(r, 0.1+rng.Float64(), shape(), "w")
+			}
+			b.Collective("sync")
+		}
+		g := b.Finalize()
+		pts := Points(g)
+		rankWork := make([]float64, nr)
+		for i, task := range g.Tasks {
+			if task.Kind != dag.Compute {
+				continue
+			}
+			d := 0.05 + rng.Float64()*2
+			pts[i] = TaskPoint{Duration: d, PowerW: 10 + rng.Float64()*60}
+			rankWork[task.Rank] += d
+		}
+		res, err := Evaluate(g, pts, SlackHoldsTaskPower, 0)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for r, w := range rankWork {
+			if res.Makespan < w-1e-9 {
+				t.Logf("seed %d: makespan %v < rank %d work %v", seed, res.Makespan, r, w)
+				return false
+			}
+		}
+		for i := range g.Tasks {
+			if res.End[i] > res.Makespan+1e-9 {
+				t.Logf("seed %d: task %d ends after makespan", seed, i)
+				return false
+			}
+			if res.End[i] < res.Start[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyPeakPowerBounds: the peak power never exceeds the sum of all
+// per-rank maxima and never falls below any single sample.
+func TestPropertyPeakPowerBounds(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nr := 2 + rng.Intn(4)
+		b := dag.NewBuilder(nr)
+		for r := 0; r < nr; r++ {
+			b.Compute(r, 1, shape(), "w")
+		}
+		b.Collective("sync")
+		for r := 0; r < nr; r++ {
+			b.Compute(r, 1, shape(), "w")
+		}
+		g := b.Finalize()
+		pts := Points(g)
+		rankMax := make([]float64, nr)
+		for i, task := range g.Tasks {
+			p := 10 + rng.Float64()*50
+			pts[i] = TaskPoint{Duration: 0.1 + rng.Float64(), PowerW: p}
+			if p > rankMax[task.Rank] {
+				rankMax[task.Rank] = p
+			}
+		}
+		res, err := Evaluate(g, pts, SlackHoldsTaskPower, 0)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, p := range rankMax {
+			sum += p
+		}
+		if res.PeakPowerW > sum+1e-9 {
+			t.Logf("seed %d: peak %v exceeds sum of rank maxima %v", seed, res.PeakPowerW, sum)
+			return false
+		}
+		for _, s := range res.EventPower {
+			if s.PowerW > res.PeakPowerW+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointsPrefillsMessages(t *testing.T) {
+	b := dag.NewBuilder(2)
+	b.Send(0, 1, 1000)
+	b.Recv(1, 0)
+	g := b.Finalize()
+	pts := Points(g)
+	for i, task := range g.Tasks {
+		if task.Kind == dag.Message && pts[i].Duration != task.FixedDur {
+			t.Fatalf("message point not prefilled: %+v", pts[i])
+		}
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	g, pts := twoRankCollective(t)
+	res, err := Evaluate(g, pts, SlackHoldsTaskPower, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Gantt(g, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + 2 rank rows + power row.
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "r0") || !strings.HasPrefix(lines[2], "r1") {
+		t.Fatalf("missing rank rows:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "#") {
+		t.Fatalf("rank row has no computation marks:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "peak") {
+		t.Fatalf("missing power row:\n%s", out)
+	}
+	// Rank 0 idles between 1s and 2s of a 3s span: expect slack dots in
+	// the middle third of its row.
+	r0 := lines[1][strings.Index(lines[1], "|")+1:]
+	mid := r0[len(r0)/3 : 2*len(r0)/3]
+	if !strings.Contains(mid, ".") {
+		t.Fatalf("expected slack in rank 0's middle third: %q", r0)
+	}
+}
+
+func TestGanttEmptyAndNarrow(t *testing.T) {
+	r := &Result{}
+	if out := r.Gantt(&dag.Graph{NumRanks: 1}, 5); !strings.Contains(out, "empty") {
+		t.Fatalf("empty schedule not handled: %q", out)
+	}
+}

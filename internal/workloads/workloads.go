@@ -1,0 +1,334 @@
+// Package workloads generates synthetic proxies of the four benchmarks the
+// paper evaluates (Sec. 5.2): CoMD, LULESH 2.0, and SP and BT from NAS-MZ.
+//
+// The real benchmarks are MPI + OpenMP codes run on 32 sockets of LLNL's
+// Cab cluster; here each proxy reproduces the *communication structure and
+// imbalance profile* that Sec. 6 identifies as driving the results:
+//
+//   - CoMD: all communication is collectives; mild dynamic load imbalance
+//     from atom migration. "The only task that remains for the LP solver or
+//     power reallocation algorithm is to minimize load imbalance by
+//     reallocating power between ranks at every collective call."
+//   - LULESH: "a multitude of point-to-point messages between collective
+//     calls" plus cache contention strong enough that 4–5 OpenMP threads
+//     beat 8 under a power cap (Table 3).
+//   - BT (NAS-MZ): strong static load imbalance from uneven zone sizes —
+//     the case where nonuniform power allocation buys up to 75% (Fig. 13).
+//   - SP (NAS-MZ): well balanced, many short tasks; almost no headroom for
+//     reallocation, and a minefield of switch overheads for adaptive
+//     runtimes (Fig. 14 shows Conductor *losing* to Static here).
+//
+// Each proxy is instrumented like the paper's benchmarks: MPI_Pcontrol at
+// every iteration boundary. All randomness is seeded for reproducibility.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+)
+
+// Params sizes a workload instance. The paper runs 32 MPI processes (one
+// per socket); benchmarks in this repository default smaller for speed.
+type Params struct {
+	Ranks      int
+	Iterations int
+	// Seed drives load-imbalance noise and per-socket efficiency
+	// variation.
+	Seed int64
+	// WorkScale multiplies all task work; 1.0 gives paper-like
+	// iteration times of roughly a second. Benchmarks may shrink it.
+	WorkScale float64
+}
+
+func (p Params) normalize() Params {
+	if p.Ranks <= 0 {
+		p.Ranks = 32
+	}
+	if p.Iterations <= 0 {
+		p.Iterations = 10
+	}
+	if p.WorkScale <= 0 {
+		p.WorkScale = 1
+	}
+	return p
+}
+
+// Workload is a generated benchmark instance.
+type Workload struct {
+	Name  string
+	Graph *dag.Graph
+	// EffScale is the per-rank socket power-efficiency multiplier
+	// ("differences in power efficiency between individual processors",
+	// Sec. 4.2) — an exploitable source of nonuniform allocations.
+	EffScale []float64
+	Params   Params
+}
+
+// Names lists the available workloads in the paper's order of presentation.
+func Names() []string { return []string{"CoMD", "LULESH", "SP", "BT"} }
+
+// ByName builds the named workload (case-insensitive).
+func ByName(name string, p Params) (*Workload, error) {
+	switch strings.ToLower(name) {
+	case "comd":
+		return CoMD(p), nil
+	case "lulesh":
+		return LULESH(p), nil
+	case "sp":
+		return SP(p), nil
+	case "bt":
+		return BT(p), nil
+	default:
+		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+}
+
+// effScales draws per-socket power-efficiency multipliers ~ N(1, sigma).
+func effScales(rng *rand.Rand, ranks int, sigma float64) []float64 {
+	out := make([]float64, ranks)
+	for r := range out {
+		out[r] = 1 + sigma*rng.NormFloat64()
+		if out[r] < 0.9 {
+			out[r] = 0.9
+		}
+		if out[r] > 1.1 {
+			out[r] = 1.1
+		}
+	}
+	return out
+}
+
+// comdShape: the force kernel, moderate power intensity. Calibrated so 8
+// threads at the DVFS floor draw just under 30 W — the paper's Fig. 12
+// shows CoMD long tasks at 28–36 W with both Static and the LP keeping 8
+// threads at a 30 W per-socket cap, i.e. no duty-cycle cliff.
+func comdShape() machine.Shape {
+	return machine.Shape{
+		SerialFrac:    0.02,
+		MemFrac:       0.12,
+		MemSatThreads: 6,
+		Intensity:     0.62,
+	}
+}
+
+// CoMD builds the molecular-dynamics proxy: per iteration one large force
+// computation and one small integration step, separated by collectives,
+// with mild static skew plus per-iteration dynamic noise.
+func CoMD(p Params) *Workload {
+	p = p.normalize()
+	rng := rand.New(rand.NewSource(p.Seed))
+	eff := effScales(rng, p.Ranks, 0.015)
+	sh := comdShape()
+
+	// Static skew from the initial atom decomposition plus dynamic noise
+	// from migration. CoMD is mildly imbalanced (paper: LP gains 2.4 to
+	// 12.6% over Static, median 4.6%).
+	static := make([]float64, p.Ranks)
+	for r := range static {
+		static[r] = 1 + 0.03*rng.NormFloat64()
+	}
+
+	b := dag.NewBuilder(p.Ranks)
+	for r := 0; r < p.Ranks; r++ {
+		b.Compute(r, 0.05*p.WorkScale, sh, "setup")
+	}
+	for it := 0; it < p.Iterations; it++ {
+		b.Pcontrol()
+		for r := 0; r < p.Ranks; r++ {
+			w := 4.0 * p.WorkScale * static[r] * (1 + 0.02*rng.NormFloat64())
+			if w < 0.1*p.WorkScale {
+				w = 0.1 * p.WorkScale
+			}
+			b.Compute(r, w, sh, "force")
+		}
+		b.Collective("allreduce-halo")
+		for r := 0; r < p.Ranks; r++ {
+			b.Compute(r, 0.4*p.WorkScale, sh, "integrate")
+		}
+		b.Collective("allreduce-energy")
+	}
+	return &Workload{Name: "CoMD", Graph: b.Finalize(), EffScale: eff, Params: p}
+}
+
+// luleshShape: the shock-hydro kernel with cache contention calibrated so
+// that ~5 threads at high frequency beats 8 threads under a 50 W cap
+// (Table 3: Static 8 threads/0.883 rel. freq vs Conductor-LP 4–5
+// threads/≈1.0 rel. freq, a ≈1.35× speedup).
+func luleshShape() machine.Shape {
+	return machine.Shape{
+		SerialFrac:     0.02,
+		MemFrac:        0.30,
+		MemSatThreads:  4,
+		ContentionCoef: 0.03,
+		Intensity:      0.95,
+	}
+}
+
+// LULESH builds the shock-hydrodynamics proxy: per iteration a large
+// stress/hourglass phase, a ring halo exchange of point-to-point messages,
+// a positional update phase, and the dt-reduction collective.
+func LULESH(p Params) *Workload {
+	p = p.normalize()
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	eff := effScales(rng, p.Ranks, 0.015)
+	sh := luleshShape()
+
+	static := make([]float64, p.Ranks)
+	for r := range static {
+		static[r] = 1 + 0.05*rng.NormFloat64()
+	}
+	const haloBytes = 256 << 10
+
+	b := dag.NewBuilder(p.Ranks)
+	for r := 0; r < p.Ranks; r++ {
+		b.Compute(r, 0.05*p.WorkScale, sh, "setup")
+	}
+	for it := 0; it < p.Iterations; it++ {
+		b.Pcontrol()
+		for r := 0; r < p.Ranks; r++ {
+			w := 3.0 * p.WorkScale * static[r] * (1 + 0.02*rng.NormFloat64())
+			if w < 0.1*p.WorkScale {
+				w = 0.1 * p.WorkScale
+			}
+			b.Compute(r, w, sh, "stress")
+		}
+		if p.Ranks > 1 {
+			// Ring halo exchange: Isend both ways, then receive.
+			for r := 0; r < p.Ranks; r++ {
+				b.Isend(r, (r+1)%p.Ranks, haloBytes)
+			}
+			for r := 0; r < p.Ranks; r++ {
+				b.Recv(r, (r-1+p.Ranks)%p.Ranks)
+			}
+		}
+		for r := 0; r < p.Ranks; r++ {
+			b.Compute(r, 1.0*p.WorkScale*static[r], sh, "update")
+		}
+		b.Collective("allreduce-dt")
+	}
+	return &Workload{Name: "LULESH", Graph: b.Finalize(), EffScale: eff, Params: p}
+}
+
+// nasShape: the NAS-MZ solver kernels, moderately memory-bound.
+func nasShape() machine.Shape {
+	return machine.Shape{
+		SerialFrac:    0.03,
+		MemFrac:       0.20,
+		MemSatThreads: 6,
+		Intensity:     0.95,
+	}
+}
+
+// btShape: BT-MZ's block-tridiagonal solver is the most power-hungry of
+// the four kernels — at a 30 W cap its 8-thread floor forces RAPL deep
+// into duty-cycle modulation ("22% of their maximum clock frequency",
+// Sec. 6.4), which is what opens the paper's 74.9% gap.
+func btShape() machine.Shape {
+	s := nasShape()
+	s.Intensity = 1.1
+	return s
+}
+
+// SP builds the scalar-pentadiagonal proxy: well load-balanced, with
+// several short solver sweeps per iteration — the structure that starves
+// adaptive runtimes of headroom while charging them switch overheads.
+func SP(p Params) *Workload {
+	p = p.normalize()
+	rng := rand.New(rand.NewSource(p.Seed + 2))
+	eff := effScales(rng, p.Ranks, 0.01)
+	sh := nasShape()
+	const exchBytes = 128 << 10
+
+	b := dag.NewBuilder(p.Ranks)
+	for r := 0; r < p.Ranks; r++ {
+		b.Compute(r, 0.05*p.WorkScale, sh, "setup")
+	}
+	sweeps := []string{"x-solve", "y-solve", "z-solve", "add"}
+	for it := 0; it < p.Iterations; it++ {
+		b.Pcontrol()
+		for si, sweep := range sweeps {
+			for r := 0; r < p.Ranks; r++ {
+				w := 0.35 * p.WorkScale * (1 + 0.005*rng.NormFloat64())
+				b.Compute(r, w, sh, sweep)
+			}
+			if si < len(sweeps)-1 && p.Ranks > 1 {
+				for r := 0; r < p.Ranks; r++ {
+					b.Isend(r, (r+1)%p.Ranks, exchBytes)
+				}
+				for r := 0; r < p.Ranks; r++ {
+					b.Recv(r, (r-1+p.Ranks)%p.Ranks)
+				}
+			}
+		}
+		b.Collective("rhs-norm")
+	}
+	return &Workload{Name: "SP", Graph: b.Finalize(), EffScale: eff, Params: p}
+}
+
+// BT builds the block-tridiagonal proxy with NAS-MZ's hallmark: strongly
+// uneven zone sizes. The heaviest ranks carry several times the work of
+// the lightest, which is why the LP's nonuniform allocation buys up to
+// ~75% over Static at 30 W per socket (Fig. 13).
+func BT(p Params) *Workload {
+	p = p.normalize()
+	rng := rand.New(rand.NewSource(p.Seed + 3))
+	eff := effScales(rng, p.Ranks, 0.015)
+	sh := btShape()
+	const exchBytes = 192 << 10
+
+	// Residual zone-size imbalance across ranks. BT-MZ's zones vary
+	// hugely, but its zone load balancer packs them onto ranks to within
+	// a modest residual skew; the paper's Fig. 13 shows all three methods
+	// within 4.8% of each other at relaxed caps, which bounds the static
+	// imbalance to roughly ±4%. The famous 75% gain at 30 W comes from
+	// that skew being amplified by RAPL's duty-cycle cliff (and from the
+	// LP escaping the cliff entirely via fewer threads at higher
+	// frequency), not from raw spread.
+	static := make([]float64, p.Ranks)
+	sum := 0.0
+	for r := range static {
+		frac := 0.0
+		if p.Ranks > 1 {
+			frac = float64(r) / float64(p.Ranks-1)
+		}
+		static[r] = 0.96 + 0.08*frac
+		sum += static[r]
+	}
+	for r := range static {
+		static[r] *= float64(p.Ranks) / sum
+	}
+	// Shuffle so heaviness is not correlated with rank order.
+	rng.Shuffle(p.Ranks, func(i, j int) { static[i], static[j] = static[j], static[i] })
+
+	b := dag.NewBuilder(p.Ranks)
+	for r := 0; r < p.Ranks; r++ {
+		b.Compute(r, 0.05*p.WorkScale, sh, "setup")
+	}
+	for it := 0; it < p.Iterations; it++ {
+		b.Pcontrol()
+		for r := 0; r < p.Ranks; r++ {
+			w := 2.5 * p.WorkScale * static[r] * (1 + 0.01*rng.NormFloat64())
+			if w < 0.05*p.WorkScale {
+				w = 0.05 * p.WorkScale
+			}
+			b.Compute(r, w, sh, "solve")
+		}
+		if p.Ranks > 1 {
+			for r := 0; r < p.Ranks; r++ {
+				b.Isend(r, (r+1)%p.Ranks, exchBytes)
+			}
+			for r := 0; r < p.Ranks; r++ {
+				b.Recv(r, (r-1+p.Ranks)%p.Ranks)
+			}
+		}
+		for r := 0; r < p.Ranks; r++ {
+			b.Compute(r, 0.5*p.WorkScale*static[r], sh, "update")
+		}
+		b.Collective("residual")
+	}
+	return &Workload{Name: "BT", Graph: b.Finalize(), EffScale: eff, Params: p}
+}

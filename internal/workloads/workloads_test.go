@@ -1,0 +1,158 @@
+package workloads
+
+import (
+	"testing"
+
+	"powercap/internal/dag"
+)
+
+func params() Params {
+	return Params{Ranks: 4, Iterations: 3, Seed: 7, WorkScale: 0.2}
+}
+
+func TestAllWorkloadsValidate(t *testing.T) {
+	for _, name := range Names() {
+		w, err := ByName(name, params())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Graph.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(w.EffScale) != 4 {
+			t.Fatalf("%s: effScale len %d", name, len(w.EffScale))
+		}
+		if w.Graph.Iterations() != 2 {
+			t.Fatalf("%s: iterations = %d, want 2", name, w.Graph.Iterations())
+		}
+		slices, err := dag.SliceAll(w.Graph)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(slices) != 4 { // prologue + 3
+			t.Fatalf("%s: %d slices, want 4", name, len(slices))
+		}
+	}
+}
+
+func TestByNameCaseInsensitiveAndUnknown(t *testing.T) {
+	if _, err := ByName("comd", params()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("lulesh", params()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope", params()); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := BT(params())
+	b := BT(params())
+	if len(a.Graph.Tasks) != len(b.Graph.Tasks) {
+		t.Fatal("nondeterministic task count")
+	}
+	for i := range a.Graph.Tasks {
+		if a.Graph.Tasks[i].Work != b.Graph.Tasks[i].Work {
+			t.Fatalf("nondeterministic work at task %d", i)
+		}
+	}
+	for r := range a.EffScale {
+		if a.EffScale[r] != b.EffScale[r] {
+			t.Fatal("nondeterministic efficiency scales")
+		}
+	}
+}
+
+func TestBTImbalanceProfile(t *testing.T) {
+	w := BT(Params{Ranks: 8, Iterations: 2, Seed: 1, WorkScale: 1})
+	perRank := make([]float64, 8)
+	for _, task := range w.Graph.Tasks {
+		if task.Kind == dag.Compute && task.Class == "solve" {
+			perRank[task.Rank] += task.Work
+		}
+	}
+	min, max := perRank[0], perRank[0]
+	for _, v := range perRank[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	// BT-MZ's zone balancer leaves a residual skew of roughly ±6%
+	// (see the generator comment); the spread must be clearly larger
+	// than SP's near-zero noise but modest in absolute terms.
+	if max/min < 1.08 || max/min > 1.35 {
+		t.Fatalf("BT spread %.3fx, want within [1.08, 1.35]", max/min)
+	}
+}
+
+func TestSPIsBalanced(t *testing.T) {
+	w := SP(Params{Ranks: 8, Iterations: 2, Seed: 1, WorkScale: 1})
+	perRank := make([]float64, 8)
+	for _, task := range w.Graph.Tasks {
+		if task.Kind == dag.Compute && task.Work > 0 && task.Iteration >= 0 {
+			perRank[task.Rank] += task.Work
+		}
+	}
+	min, max := perRank[0], perRank[0]
+	for _, v := range perRank[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max/min > 1.05 {
+		t.Fatalf("SP spread %.3fx, want ≤ 1.05x (well balanced)", max/min)
+	}
+}
+
+func TestCoMDOnlyCollectives(t *testing.T) {
+	w := CoMD(params())
+	for _, task := range w.Graph.Tasks {
+		if task.Kind == dag.Message {
+			t.Fatal("CoMD proxy must not contain point-to-point messages")
+		}
+	}
+}
+
+func TestLULESHHasPointToPoint(t *testing.T) {
+	w := LULESH(params())
+	msgs := 0
+	for _, task := range w.Graph.Tasks {
+		if task.Kind == dag.Message {
+			msgs++
+		}
+	}
+	if msgs == 0 {
+		t.Fatal("LULESH proxy must contain point-to-point messages")
+	}
+}
+
+func TestLULESHShapeHasContention(t *testing.T) {
+	w := LULESH(params())
+	found := false
+	for _, task := range w.Graph.Tasks {
+		if task.Kind == dag.Compute && task.Class == "stress" {
+			if task.Shape.ContentionCoef <= 0 {
+				t.Fatal("LULESH stress tasks need cache contention")
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no stress tasks generated")
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	w := CoMD(Params{})
+	if w.Params.Ranks != 32 || w.Params.Iterations != 10 {
+		t.Fatalf("defaults = %+v, want 32 ranks / 10 iterations", w.Params)
+	}
+}

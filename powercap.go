@@ -1,0 +1,296 @@
+// Package powercap finds the limits of power-constrained application
+// performance, reproducing Bailey et al., "Finding the Limits of
+// Power-Constrained Application Performance" (SC 2015).
+//
+// The library models hybrid MPI + OpenMP applications as task DAGs, solves
+// the paper's fixed-vertex-order linear program to obtain a near-optimal
+// schedule of (DVFS frequency, OpenMP thread count) configurations under a
+// job-level power bound, and compares that theoretical bound against two
+// contemporary power-allocation policies: uniform Static capping and the
+// adaptive Conductor runtime.
+//
+// # Quick start
+//
+//	sys := powercap.NewSystem(nil)                     // default E5-2670-like sockets
+//	w := powercap.NewWorkload("LULESH", powercap.WorkloadParams{Ranks: 8, Iterations: 6})
+//	cmp, err := sys.Compare(w, 50)                     // 50 W per socket
+//	// cmp.LPvsStaticPct is the paper's "potential improvement"
+//
+// Lower-level building blocks live in the internal packages; everything a
+// downstream user needs — trace construction (TraceBuilder), the LP bound
+// (UpperBound), the flow ILP (FlowILP), policy runs, and schedule replay —
+// is exposed here.
+package powercap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"powercap/internal/conductor"
+	"powercap/internal/core"
+	"powercap/internal/dag"
+	"powercap/internal/flowilp"
+	"powercap/internal/machine"
+	"powercap/internal/policy"
+	"powercap/internal/replay"
+	"powercap/internal/sim"
+	"powercap/internal/trace"
+	"powercap/internal/workloads"
+)
+
+// Re-exported core types. These aliases are the public names; the internal
+// packages are implementation detail.
+type (
+	// Model is the socket power/performance model (DVFS ladder, thread
+	// counts, power calibration).
+	Model = machine.Model
+	// Config is one (frequency, threads) operating configuration.
+	Config = machine.Config
+	// Shape describes how a task's time and power respond to
+	// configuration changes.
+	Shape = machine.Shape
+	// Graph is an application task DAG (vertices = MPI calls, edges =
+	// computation tasks or messages).
+	Graph = dag.Graph
+	// TraceBuilder constructs Graphs by replaying an MPI call sequence.
+	TraceBuilder = dag.Builder
+	// Schedule is a solved LP schedule: per-task configuration mixes,
+	// rounded discrete configurations, and the bound makespan.
+	Schedule = core.Schedule
+	// TaskChoice is the LP's decision for one task.
+	TaskChoice = core.TaskChoice
+	// FlowResult is a solved flow-ILP schedule.
+	FlowResult = flowilp.Result
+	// SimResult is a simulated execution (timeline + power profile).
+	SimResult = sim.Result
+	// ConductorResult is the outcome of a Conductor run.
+	ConductorResult = conductor.RunResult
+	// ReplayReport is the outcome of replaying an LP schedule.
+	ReplayReport = replay.Report
+	// Workload is a generated benchmark instance.
+	Workload = workloads.Workload
+	// WorkloadParams sizes a workload.
+	WorkloadParams = workloads.Params
+)
+
+// Sentinel errors re-exported for errors.Is checks.
+var (
+	// ErrInfeasible: no schedule exists under the power constraint.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrFlowInfeasible: the flow ILP found no schedule under the cap.
+	ErrFlowInfeasible = flowilp.ErrInfeasible
+	// ErrFlowTooLarge: the instance exceeds the flow ILP's size limit.
+	ErrFlowTooLarge = flowilp.ErrTooLarge
+	// ErrDiscreteTooLarge: the instance exceeds the discrete (ILP)
+	// formulation's size limit.
+	ErrDiscreteTooLarge = core.ErrDiscreteTooLarge
+)
+
+// WriteTrace serializes an application graph (and optional per-socket
+// efficiency metadata) to JSON — the artifact an MPI tracing library would
+// produce.
+func WriteTrace(w io.Writer, name string, g *Graph, effScale []float64) error {
+	return trace.Write(w, name, g, effScale)
+}
+
+// ReadTrace parses a JSON trace back into a validated graph.
+func ReadTrace(r io.Reader) (*Graph, []float64, error) {
+	return trace.Read(r)
+}
+
+// NewTrace starts a trace/DAG builder for numRanks MPI processes.
+func NewTrace(numRanks int) *TraceBuilder { return dag.NewBuilder(numRanks) }
+
+// DefaultModel returns the calibrated Xeon-E5-2670-like socket model used
+// throughout the reproduction.
+func DefaultModel() *Model { return machine.Default() }
+
+// DefaultShape returns a generic compute-heavy task shape.
+func DefaultShape() Shape { return machine.DefaultShape() }
+
+// NewWorkload builds one of the paper's benchmark proxies: "CoMD",
+// "LULESH", "SP", or "BT" (case-insensitive). It panics on unknown names;
+// use WorkloadByName for error handling.
+func NewWorkload(name string, p WorkloadParams) *Workload {
+	w, err := workloads.ByName(name, p)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// WorkloadByName is NewWorkload with an error return.
+func WorkloadByName(name string, p WorkloadParams) (*Workload, error) {
+	return workloads.ByName(name, p)
+}
+
+// WorkloadNames lists the available benchmark proxies.
+func WorkloadNames() []string { return workloads.Names() }
+
+// System bundles a socket model with the per-socket efficiency variation
+// of a concrete machine, and exposes the paper's solvers and policies.
+type System struct {
+	Model *Model
+	// EffScale is the per-rank socket power-efficiency multiplier;
+	// nil means 1.0 everywhere.
+	EffScale []float64
+	// ExploreIters is how many leading iterations are treated as
+	// Conductor's configuration-exploration phase and excluded from
+	// policy comparisons (the paper discards three).
+	ExploreIters int
+}
+
+// NewSystem creates a System over the given model (nil = DefaultModel).
+func NewSystem(model *Model) *System {
+	if model == nil {
+		model = machine.Default()
+	}
+	return &System{Model: model, ExploreIters: 3}
+}
+
+// SystemFor creates a System matched to a workload instance (its
+// efficiency scales).
+func SystemFor(w *Workload, model *Model) *System {
+	s := NewSystem(model)
+	s.EffScale = w.EffScale
+	return s
+}
+
+// UpperBound solves the fixed-vertex-order LP per iteration (decomposing
+// at MPI_Pcontrol boundaries) under a job-level power cap and returns the
+// near-optimal schedule whose makespan is the paper's theoretical bound.
+func (s *System) UpperBound(g *Graph, jobCapW float64) (*Schedule, error) {
+	return core.NewSolver(s.Model, s.EffScale).SolveIterations(g, jobCapW)
+}
+
+// UpperBoundWhole solves one LP over the entire graph (no iteration
+// decomposition); use for graphs without Pcontrol boundaries.
+func (s *System) UpperBoundWhole(g *Graph, jobCapW float64) (*Schedule, error) {
+	return core.NewSolver(s.Model, s.EffScale).Solve(g, jobCapW)
+}
+
+// UpperBoundDiscrete solves the fixed-vertex-order formulation with true
+// configuration integrality (Eq. 5 — one configuration per task) by branch
+// and bound. Only small instances are accepted (ErrDiscreteTooLarge
+// otherwise); its purpose is quantifying the continuous relaxation's
+// rounding gap exactly.
+func (s *System) UpperBoundDiscrete(g *Graph, jobCapW float64) (*Schedule, error) {
+	return core.NewSolver(s.Model, s.EffScale).SolveDiscrete(g, jobCapW)
+}
+
+// FlowILP solves the appendix's flow-based integer-linear formulation,
+// which optimizes event order as well; it only accepts small instances.
+func (s *System) FlowILP(g *Graph, jobCapW float64) (*FlowResult, error) {
+	return flowilp.NewSolver(s.Model, s.EffScale).Solve(g, jobCapW)
+}
+
+// RunStatic executes the graph under the uniform Static baseline at a
+// per-socket cap.
+func (s *System) RunStatic(g *Graph, perSocketCapW float64) (*SimResult, error) {
+	return policy.NewStatic(s.Model, s.EffScale).Run(g, perSocketCapW)
+}
+
+// RunConductor executes the graph under the adaptive Conductor runtime at
+// a job-level cap.
+func (s *System) RunConductor(g *Graph, jobCapW float64) (*ConductorResult, error) {
+	c := conductor.New(s.Model, s.EffScale)
+	c.ExploreIters = s.ExploreIters
+	return c.Run(g, jobCapW)
+}
+
+// Replay validates a solved schedule by replaying it on the simulator with
+// the paper's switch overheads and short-task threshold (Sec. 6.1).
+func (s *System) Replay(g *Graph, sched *Schedule, continuous bool) (*ReplayReport, error) {
+	opts := replay.DefaultOptions(s.Model, s.EffScale)
+	if continuous {
+		opts.Mode = replay.Continuous
+	}
+	return replay.Run(g, sched, opts)
+}
+
+// Comparison holds one power point of the paper's headline experiment:
+// the LP bound vs Static vs Conductor, measured over the post-exploration
+// iterations.
+type Comparison struct {
+	Workload   string
+	PerSocketW float64
+	JobCapW    float64
+
+	// Times over the measured iterations (exploration excluded).
+	StaticS    float64
+	ConductorS float64
+	LPBoundS   float64
+
+	// LPInfeasible marks caps the LP could not schedule ("Some benchmarks
+	// were not able to be scheduled at the lowest average per-socket
+	// power constraint").
+	LPInfeasible bool
+
+	// Potential improvements, as the figures report them:
+	// improvement = (t_policy / t_reference − 1) · 100.
+	LPvsStaticPct        float64
+	LPvsConductorPct     float64
+	ConductorVsStaticPct float64
+}
+
+// Compare evaluates the three approaches on a workload at a per-socket
+// power cap, skipping the exploration iterations exactly as Sec. 5.3
+// prescribes ("we discard the first three iterations of every
+// application").
+func (s *System) Compare(w *Workload, perSocketW float64) (*Comparison, error) {
+	g := w.Graph
+	jobCap := perSocketW * float64(g.NumRanks)
+	cmp := &Comparison{Workload: w.Name, PerSocketW: perSocketW, JobCapW: jobCap}
+
+	slices, err := dag.SliceAll(g)
+	if err != nil {
+		return nil, err
+	}
+	if len(slices) <= s.ExploreIters {
+		return nil, fmt.Errorf("powercap: workload has %d iterations, need more than the %d exploration iterations", len(slices), s.ExploreIters)
+	}
+
+	// Static, summed over measured slices.
+	st := policy.NewStatic(s.Model, s.EffScale)
+	for i := s.ExploreIters; i < len(slices); i++ {
+		r, err := st.Run(slices[i].Graph, perSocketW)
+		if err != nil {
+			return nil, err
+		}
+		cmp.StaticS += r.Makespan
+	}
+
+	// Conductor over the whole run; MeasuredS already excludes
+	// exploration.
+	c := conductor.New(s.Model, s.EffScale)
+	c.ExploreIters = s.ExploreIters
+	cres, err := c.Run(g, jobCap)
+	if err != nil {
+		return nil, err
+	}
+	cmp.ConductorS = cres.MeasuredS
+
+	// LP bound per measured slice.
+	lps := core.NewSolver(s.Model, s.EffScale)
+	for i := s.ExploreIters; i < len(slices); i++ {
+		sched, err := lps.Solve(slices[i].Graph, jobCap)
+		if err != nil {
+			if errors.Is(err, core.ErrInfeasible) {
+				cmp.LPInfeasible = true
+				break
+			}
+			return nil, err
+		}
+		cmp.LPBoundS += sched.MakespanS
+	}
+
+	if !cmp.LPInfeasible && cmp.LPBoundS > 0 {
+		cmp.LPvsStaticPct = (cmp.StaticS/cmp.LPBoundS - 1) * 100
+		cmp.LPvsConductorPct = (cmp.ConductorS/cmp.LPBoundS - 1) * 100
+	}
+	if cmp.ConductorS > 0 {
+		cmp.ConductorVsStaticPct = (cmp.StaticS/cmp.ConductorS - 1) * 100
+	}
+	return cmp, nil
+}

@@ -1,0 +1,165 @@
+package powercap_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"powercap"
+)
+
+func smallWorkload(t *testing.T, name string) *powercap.Workload {
+	t.Helper()
+	w, err := powercap.WorkloadByName(name, powercap.WorkloadParams{
+		Ranks: 4, Iterations: 6, Seed: 9, WorkScale: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	tb := powercap.NewTrace(2)
+	sh := powercap.DefaultShape()
+	tb.Compute(0, 1.0, sh, "w")
+	tb.Compute(1, 2.0, sh, "w")
+	tb.Collective("sync")
+	g := tb.Finalize()
+
+	sys := powercap.NewSystem(nil)
+	bound, err := sys.UpperBoundWhole(g, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.MakespanS <= 0 {
+		t.Fatal("empty bound")
+	}
+	rep, err := sys.Replay(g, bound, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CapViolationW > 1e-6 {
+		t.Fatalf("replay violates cap by %v W", rep.CapViolationW)
+	}
+}
+
+// TestUpperBoundProperty is the reproduction's headline invariant: for
+// every workload and power cap, the LP bound is at least as fast as both
+// policies over the measured iterations.
+func TestUpperBoundProperty(t *testing.T) {
+	for _, name := range powercap.WorkloadNames() {
+		w := smallWorkload(t, name)
+		sys := powercap.SystemFor(w, nil)
+		for _, perSocket := range []float64{35, 50, 70} {
+			cmp, err := sys.Compare(w, perSocket)
+			if err != nil {
+				t.Fatalf("%s @ %v W: %v", name, perSocket, err)
+			}
+			if cmp.LPInfeasible {
+				continue
+			}
+			if cmp.LPBoundS > cmp.StaticS*(1+1e-9) {
+				t.Fatalf("%s @ %v W: LP bound %v slower than Static %v", name, perSocket, cmp.LPBoundS, cmp.StaticS)
+			}
+			if cmp.LPBoundS > cmp.ConductorS*(1+1e-9) {
+				t.Fatalf("%s @ %v W: LP bound %v slower than Conductor %v", name, perSocket, cmp.LPBoundS, cmp.ConductorS)
+			}
+		}
+	}
+}
+
+func TestCompareFieldsConsistent(t *testing.T) {
+	w := smallWorkload(t, "BT")
+	sys := powercap.SystemFor(w, nil)
+	cmp, err := sys.Compare(w, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLP := (cmp.StaticS/cmp.LPBoundS - 1) * 100
+	if math.Abs(cmp.LPvsStaticPct-wantLP) > 1e-9 {
+		t.Fatalf("LPvsStaticPct %v != derived %v", cmp.LPvsStaticPct, wantLP)
+	}
+	if cmp.JobCapW != 40*float64(w.Graph.NumRanks) {
+		t.Fatalf("JobCapW = %v", cmp.JobCapW)
+	}
+}
+
+func TestFlowILPThroughFacade(t *testing.T) {
+	tb := powercap.NewTrace(2)
+	sh := powercap.DefaultShape()
+	tb.Compute(0, 0.5, sh, "a")
+	tb.Send(0, 1, 4096)
+	tb.Compute(0, 0.3, sh, "b")
+	tb.Compute(1, 0.6, sh, "c")
+	tb.Recv(1, 0)
+	tb.Compute(1, 0.2, sh, "d")
+	g := tb.Finalize()
+
+	sys := powercap.NewSystem(nil)
+	flow, err := sys.FlowILP(g, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := sys.UpperBoundWhole(g, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow.MakespanS > fixed.MakespanS*(1+1e-6) {
+		t.Fatalf("flow %v worse than fixed-order %v", flow.MakespanS, fixed.MakespanS)
+	}
+}
+
+func TestErrInfeasibleSurfaced(t *testing.T) {
+	w := smallWorkload(t, "CoMD")
+	sys := powercap.SystemFor(w, nil)
+	_, err := sys.UpperBound(w.Graph, 10) // below the per-rank idle floor
+	if !errors.Is(err, powercap.ErrInfeasible) {
+		t.Fatalf("expected ErrInfeasible, got %v", err)
+	}
+}
+
+func TestFlowTooLargeSurfaced(t *testing.T) {
+	w := smallWorkload(t, "SP")
+	sys := powercap.SystemFor(w, nil)
+	_, err := sys.FlowILP(w.Graph, 1000)
+	if !errors.Is(err, powercap.ErrFlowTooLarge) {
+		t.Fatalf("expected ErrFlowTooLarge, got %v", err)
+	}
+}
+
+func TestNewWorkloadPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	powercap.NewWorkload("nonsense", powercap.WorkloadParams{})
+}
+
+func TestConductorThroughFacade(t *testing.T) {
+	w := smallWorkload(t, "LULESH")
+	sys := powercap.SystemFor(w, nil)
+	res, err := sys.RunConductor(w.Graph, 45*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakPowerW > 45*4+1e-6 {
+		t.Fatalf("Conductor exceeded the job cap: %v", res.PeakPowerW)
+	}
+	if res.ExploreSkipped != sys.ExploreIters {
+		t.Fatalf("ExploreSkipped = %d, want %d", res.ExploreSkipped, sys.ExploreIters)
+	}
+}
+
+func TestStaticThroughFacade(t *testing.T) {
+	w := smallWorkload(t, "SP")
+	sys := powercap.SystemFor(w, nil)
+	res, err := sys.RunStatic(w.Graph, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.MaxCapViolation(50 * 4); v > 1e-9 {
+		t.Fatalf("Static exceeded the job cap by %v", v)
+	}
+}
