@@ -1,0 +1,27 @@
+# Development targets. `make check` is the full gate: vet, build, tests
+# with the race detector (the parallel sweep paths are exercised by the
+# top-level sweep tests).
+
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Sweep/solver benchmarks only (fast smoke: one iteration each).
+bench:
+	$(GO) test -run xxx -bench 'Sweep' -benchtime 1x ./internal/core/ .
+
+check: vet build race

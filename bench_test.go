@@ -449,3 +449,82 @@ func BenchmarkTraceRoundTrip(b *testing.B) {
 		}
 	}
 }
+
+// --- Solver-engine sweep benchmarks (DESIGN.md "Solver engine
+// architecture"): the cost of evaluating the LP bound across a cap family,
+// serial vs parallel, on the facade the experiments drive. The
+// dense/sparse and cold/warm axes are isolated in
+// internal/core/bench_scale_test.go; here the workload-level orchestration
+// is measured. Emit machine-readable results with
+// `go run ./cmd/experiments -benchjson BENCH_solver.json solver`.
+
+func benchSweepSystem(b *testing.B) (*powercap.System, *workloads.Workload, []float64) {
+	b.Helper()
+	w := workloads.SP(benchParams())
+	sys := powercap.SystemFor(w, nil)
+	var caps []float64
+	for per := 70.0; per >= 35; per -= 5 {
+		caps = append(caps, per*float64(w.Graph.NumRanks))
+	}
+	return sys, w, caps
+}
+
+// BenchmarkSweepSerial: warm-started sweep on one goroutine.
+func BenchmarkSweepSerial(b *testing.B) {
+	sys, w, caps := benchSweepSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := sys.SolveSweep(w.Graph, caps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range pts {
+			if pt.Err != nil {
+				b.Fatal(pt.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepParallel4: the same sweep chunked over four workers.
+func BenchmarkSweepParallel4(b *testing.B) {
+	sys, w, caps := benchSweepSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := sys.SweepParallel(w.Graph, caps, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range pts {
+			if pt.Err != nil {
+				b.Fatal(pt.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepJobsParallel: three workloads' sweeps fanned over a shared
+// worker pool — the shape of the paper's multi-benchmark figures.
+func BenchmarkSweepJobsParallel(b *testing.B) {
+	sys := powercap.NewSystem(nil)
+	var jobs []powercap.SweepJob
+	for _, name := range []string{"SP", "LULESH", "CoMD"} {
+		w, err := workloads.ByName(name, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var caps []float64
+		for per := 70.0; per >= 40; per -= 10 {
+			caps = append(caps, per*float64(w.Graph.NumRanks))
+		}
+		jobs = append(jobs, powercap.SweepJob{Name: name, Graph: w.Graph, CapsW: caps})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range sys.SweepJobsParallel(jobs, 3) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}

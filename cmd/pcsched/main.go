@@ -7,6 +7,7 @@
 //
 //	pcsched -workload LULESH -ranks 16 -cap 50
 //	pcsched -workload BT -cap 30 -policy all
+//	pcsched -workload SP -sweep 70:30:5 -workers 4
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"powercap"
 	"powercap/internal/machine"
@@ -22,14 +25,16 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("workload", "CoMD", "workload: CoMD, LULESH, SP, or BT")
-		ranks  = flag.Int("ranks", 16, "MPI ranks (one socket each)")
-		iters  = flag.Int("iters", 8, "application iterations")
-		seed   = flag.Int64("seed", 1, "workload seed")
-		scale  = flag.Float64("scale", 1.0, "task work scale")
-		capW   = flag.Float64("cap", 50, "per-socket average power cap (W)")
-		policy = flag.String("policy", "lp", "lp, static, conductor, or all")
-		gantt  = flag.Bool("gantt", false, "render an ASCII timeline of the replayed LP schedule")
+		name    = flag.String("workload", "CoMD", "workload: CoMD, LULESH, SP, or BT")
+		ranks   = flag.Int("ranks", 16, "MPI ranks (one socket each)")
+		iters   = flag.Int("iters", 8, "application iterations")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		scale   = flag.Float64("scale", 1.0, "task work scale")
+		capW    = flag.Float64("cap", 50, "per-socket average power cap (W)")
+		policy  = flag.String("policy", "lp", "lp, static, conductor, or all")
+		gantt   = flag.Bool("gantt", false, "render an ASCII timeline of the replayed LP schedule")
+		sweep   = flag.String("sweep", "", "per-socket cap sweep \"hi:lo:step\" (W): solve the LP bound at every cap, warm-started; overrides -cap and -policy")
+		workers = flag.Int("workers", 1, "parallel sweep workers (contiguous cap chunks; only with -sweep)")
 	)
 	flag.Parse()
 
@@ -43,6 +48,12 @@ func main() {
 	jobCap := *capW * float64(*ranks)
 	fmt.Printf("%s: %d ranks, %d iterations, %d tasks, %d MPI-call vertices\n",
 		w.Name, *ranks, *iters, len(w.Graph.Tasks), len(w.Graph.Vertices))
+	if *sweep != "" {
+		if err := runSweep(sys, w, *sweep, *ranks, *workers); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	fmt.Printf("power constraint: %.0f W per socket, %.0f W job-level\n\n", *capW, jobCap)
 
 	runLP := *policy == "lp" || *policy == "all"
@@ -147,6 +158,72 @@ func threadSet(ts map[int]int) string {
 		s += fmt.Sprintf("%d", k)
 	}
 	return s
+}
+
+// parseSweep reads a "hi:lo:step" (or "lo:hi:step") per-socket cap spec
+// into a descending cap list — descending order maximizes warm-start reuse
+// as the feasible region only shrinks.
+func parseSweep(spec string) ([]float64, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("sweep spec %q: want hi:lo:step", spec)
+	}
+	var vals [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep spec %q: %v", spec, err)
+		}
+		vals[i] = v
+	}
+	hi, lo, step := vals[0], vals[1], vals[2]
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("sweep spec %q: step must be positive", spec)
+	}
+	var caps []float64
+	for c := hi; c >= lo-1e-9; c -= step {
+		caps = append(caps, c)
+	}
+	return caps, nil
+}
+
+// runSweep evaluates the LP bound across a per-socket cap family and prints
+// one row per cap with the per-solve instrumentation.
+func runSweep(sys *powercap.System, w *powercap.Workload, spec string, ranks, workers int) error {
+	perCaps, err := parseSweep(spec)
+	if err != nil {
+		return err
+	}
+	jobCaps := make([]float64, len(perCaps))
+	for i, c := range perCaps {
+		jobCaps[i] = c * float64(ranks)
+	}
+	fmt.Printf("sweep: %.0f → %.0f W per socket (%d caps, %d workers)\n\n",
+		perCaps[0], perCaps[len(perCaps)-1], len(perCaps), workers)
+
+	pts, err := sys.SweepParallel(w.Graph, jobCaps, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s%12s%14s%8s%8s%8s%8s\n",
+		"W/socket", "bound(s)", "marg(s/W)", "pivots", "dual", "warm", "refac")
+	for i, pt := range pts {
+		if pt.Err != nil {
+			if errors.Is(pt.Err, powercap.ErrInfeasible) {
+				fmt.Printf("%10.1f%12s\n", perCaps[i], "infeasible")
+				continue
+			}
+			return pt.Err
+		}
+		st := pt.Schedule.Stats
+		fmt.Printf("%10.1f%12.3f%14.5f%8d%8d%8d%8d\n",
+			perCaps[i], pt.Schedule.MakespanS, pt.Schedule.MarginalSecPerW,
+			st.SimplexIter, st.DualIter, st.WarmStarts, st.Refactorizations)
+	}
+	return nil
 }
 
 func fatal(err error) {

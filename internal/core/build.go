@@ -72,40 +72,75 @@ func activitySets(g *dag.Graph, init *sim.Result) [][]dag.TaskID {
 	return active
 }
 
-// solveInto builds and solves the LP for graph g under capW, writing task
-// choices through taskMap into out.Choices and vertex times into vt.
-func (s *Solver) solveInto(g *dag.Graph, capW float64, out *Schedule, taskMap []dag.TaskID, vt []float64) error {
+// taskLPVars are the configuration-fraction variables of one tunable task.
+type taskLPVars struct {
+	f    *frontier
+	durs []float64 // per frontier point, scaled by task work
+	cs   []lp.Var
+}
+
+// powerRow records one event-power constraint: its row index in the LP and
+// the fixed power already deducted from the cap on its right-hand side
+// (rhs = capW − deduct).
+type powerRow struct {
+	row    int
+	deduct float64
+	vertex int
+}
+
+// builtLP is a fixed-vertex-order LP built once per graph. The power cap
+// capW enters the program only through the right-hand sides of the event
+// power rows (Eq. 11), so one builtLP serves a whole cap sweep: each sweep
+// point mutates the power-row RHS values in place (Problem.SetRHS) and
+// re-solves, warm starting from the previous point's basis.
+type builtLP struct {
+	g          *dag.Graph
+	prob       *lp.Problem
+	vVar       []lp.Var
+	tv         map[dag.TaskID]*taskLPVars
+	fixedPower []float64 // zero-work tasks' constant draw
+	powerRows  []powerRow
+
+	// Events with no tunable task generate no row; the largest fixed draw
+	// among them is a hard feasibility floor checked against each cap.
+	fixedFloorW      float64
+	fixedFloorVertex int
+}
+
+// buildLP constructs the cap-independent LP for graph g: variables,
+// precedence, event-order, and event-power rows, with the power-row RHS
+// values left at their deduction-only baseline (cap 0).
+func (s *Solver) buildLP(g *dag.Graph) (*builtLP, error) {
 	init, err := s.initialSchedule(g)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	active := activitySets(g, init)
 
-	prob := lp.NewProblem(lp.Minimize)
+	b := &builtLP{
+		g:                g,
+		prob:             lp.NewProblem(lp.Minimize),
+		vVar:             make([]lp.Var, len(g.Vertices)),
+		tv:               make(map[dag.TaskID]*taskLPVars),
+		fixedPower:       make([]float64, len(g.Tasks)),
+		fixedFloorVertex: -1,
+	}
+	prob := b.prob
 
 	// Vertex-time variables (Eq. 2 pins Init; objective is vM, Eq. 1).
-	vVar := make([]lp.Var, len(g.Vertices))
 	for i := range g.Vertices {
 		obj := 0.0
 		if g.Vertices[i].Kind == dag.VFinalize {
 			obj = 1
 		}
-		vVar[i] = prob.AddVar(fmt.Sprintf("v%d", i), obj)
+		b.vVar[i] = prob.AddVar(fmt.Sprintf("v%d", i), obj)
 		if g.Vertices[i].Kind == dag.VInit {
-			prob.MustConstraint("init0", lp.Expr{}.Plus(vVar[i], 1), lp.EQ, 0)
+			prob.MustConstraint("init0", lp.Expr{}.Plus(b.vVar[i], 1), lp.EQ, 0)
 		}
 	}
 
 	// Configuration-fraction variables per tunable compute task
 	// (Eqs. 6–9), with the power tiebreak on the objective.
-	type taskVars struct {
-		f    *frontier
-		durs []float64 // per frontier point, scaled by task work
-		cs   []lp.Var
-	}
-	tv := make(map[dag.TaskID]*taskVars)
-	fixedPower := make([]float64, len(g.Tasks)) // zero-work tasks' constant draw
-
 	for _, t := range g.Tasks {
 		switch {
 		case t.Kind == dag.Message:
@@ -114,10 +149,10 @@ func (s *Solver) solveInto(g *dag.Graph, capW float64, out *Schedule, taskMap []
 			// Degenerate compute edge (a rank passing straight between
 			// two MPI calls): instantaneous, drawing idle power through
 			// its slack window.
-			fixedPower[t.ID] = s.Model.IdlePower(s.eff(t.Rank))
+			b.fixedPower[t.ID] = s.Model.IdlePower(s.eff(t.Rank))
 		default:
 			f := s.Frontier(t.Shape, t.Rank)
-			v := &taskVars{f: f, durs: make([]float64, len(f.pts)), cs: make([]lp.Var, len(f.pts))}
+			v := &taskLPVars{f: f, durs: make([]float64, len(f.pts)), cs: make([]lp.Var, len(f.pts))}
 			var convex lp.Expr
 			for k, p := range f.pts {
 				v.durs[k] = p.TimeS * t.Work
@@ -125,14 +160,14 @@ func (s *Solver) solveInto(g *dag.Graph, capW float64, out *Schedule, taskMap []
 				convex = convex.Plus(v.cs[k], 1)
 			}
 			prob.MustConstraint(fmt.Sprintf("cvx%d", t.ID), convex, lp.EQ, 1)
-			tv[t.ID] = v
+			b.tv[t.ID] = v
 		}
 	}
 
 	// Task precedence (Eqs. 3–4 with s and d substituted):
 	// v_dst − v_src ≥ Σ_k d_{i,k} c_{i,k}  (or the fixed duration).
 	for _, t := range g.Tasks {
-		expr := lp.Expr{}.Plus(vVar[t.Dst], 1).Plus(vVar[t.Src], -1)
+		expr := lp.Expr{}.Plus(b.vVar[t.Dst], 1).Plus(b.vVar[t.Src], -1)
 		rhs := 0.0
 		switch {
 		case t.Kind == dag.Message:
@@ -140,7 +175,7 @@ func (s *Solver) solveInto(g *dag.Graph, capW float64, out *Schedule, taskMap []
 		case t.Work <= 0:
 			// ≥ 0: ordering only.
 		default:
-			v := tv[t.ID]
+			v := b.tv[t.ID]
 			for k := range v.cs {
 				expr = expr.Plus(v.cs[k], -v.durs[k])
 			}
@@ -154,16 +189,16 @@ func (s *Solver) solveInto(g *dag.Graph, capW float64, out *Schedule, taskMap []
 	for i := range order {
 		order[i] = dag.VertexID(i)
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ta, tb := init.VertexTime[order[a]], init.VertexTime[order[b]]
+	sort.Slice(order, func(a, bIdx int) bool {
+		ta, tb := init.VertexTime[order[a]], init.VertexTime[order[bIdx]]
 		if ta != tb {
 			return ta < tb
 		}
-		return order[a] < order[b]
+		return order[a] < order[bIdx]
 	})
 	for i := 1; i < len(order); i++ {
 		prev, cur := order[i-1], order[i]
-		expr := lp.Expr{}.Plus(vVar[cur], 1).Plus(vVar[prev], -1)
+		expr := lp.Expr{}.Plus(b.vVar[cur], 1).Plus(b.vVar[prev], -1)
 		if init.VertexTime[prev] == init.VertexTime[cur] {
 			prob.MustConstraint(fmt.Sprintf("eq%d", i), expr, lp.EQ, 0)
 		} else {
@@ -173,56 +208,91 @@ func (s *Solver) solveInto(g *dag.Graph, capW float64, out *Schedule, taskMap []
 
 	// Event power (Eqs. 10–11 with P_j substituted): for every event, the
 	// powers of the active tasks sum to at most PC; constant draws of
-	// degenerate tasks move to the right-hand side. Row indices are kept
+	// degenerate tasks move to the right-hand side. Row indices and
+	// deductions are kept so a sweep can re-aim every row at a new cap and
 	// so the power constraint's shadow price can be read from the duals.
-	var powerRows []int
 	for vi := range g.Vertices {
 		var expr lp.Expr
-		rhs := capW
+		deduct := 0.0
 		for _, tid := range active[vi] {
-			if v, ok := tv[tid]; ok {
+			if v, ok := b.tv[tid]; ok {
 				for k := range v.cs {
 					expr = expr.Plus(v.cs[k], v.f.pts[k].PowerW)
 				}
 			} else {
-				rhs -= fixedPower[tid]
+				deduct += b.fixedPower[tid]
 			}
 		}
 		if len(expr) == 0 {
-			if rhs < 0 {
-				return fmt.Errorf("%w: fixed idle power exceeds cap %.1f W at event %d", ErrInfeasible, capW, vi)
+			if deduct > b.fixedFloorW {
+				b.fixedFloorW = deduct
+				b.fixedFloorVertex = vi
 			}
 			continue
 		}
-		powerRows = append(powerRows, prob.NumConstraints())
-		prob.MustConstraint(fmt.Sprintf("pow%d", vi), expr, lp.LE, rhs)
+		b.powerRows = append(b.powerRows, powerRow{
+			row:    prob.NumConstraints(),
+			deduct: deduct,
+			vertex: vi,
+		})
+		prob.MustConstraint(fmt.Sprintf("pow%d", vi), expr, lp.LE, -deduct)
+	}
+	return b, nil
+}
+
+// solveBuilt re-aims the built LP at capW and solves it, warm starting from
+// warmBasis when one is supplied (sparse backend only). Solver effort is
+// accumulated into st. The returned solution is always Optimal; infeasible
+// caps surface as ErrInfeasible.
+func (s *Solver) solveBuilt(b *builtLP, capW float64, warmBasis []int, st *Stats) (*lp.Solution, error) {
+	if b.fixedFloorW > capW {
+		return nil, fmt.Errorf("%w: fixed idle power exceeds cap %.1f W at event %d", ErrInfeasible, capW, b.fixedFloorVertex)
+	}
+	for _, pr := range b.powerRows {
+		if err := b.prob.SetRHS(pr.row, capW-pr.deduct); err != nil {
+			return nil, err
+		}
 	}
 
-	sol, err := prob.Solve()
-	if err != nil {
-		return err
+	opts := []lp.Option{lp.WithBackend(s.Backend)}
+	if len(warmBasis) > 0 {
+		opts = append(opts, lp.WithWarmBasis(warmBasis))
 	}
-	out.Stats.Solves++
-	out.Stats.Vars += prob.NumVars()
-	out.Stats.Rows += prob.NumConstraints()
-	out.Stats.SimplexIter += sol.Iters
+	sol, err := lp.Solve(b.prob, opts...)
+	if err != nil {
+		return nil, err
+	}
+	st.Solves++
+	st.Vars += b.prob.NumVars()
+	st.Rows += b.prob.NumConstraints()
+	st.SimplexIter += sol.Iters
+	st.DualIter += sol.Stats.DualIters
+	st.Refactorizations += sol.Stats.Refactorizations
+	if sol.Stats.WarmStarted {
+		st.WarmStarts++
+	}
 
 	switch sol.Status {
 	case lp.Optimal:
-		// fall through to extraction
+		return sol, nil
 	case lp.Infeasible:
-		return fmt.Errorf("%w: cap %.1f W", ErrInfeasible, capW)
+		return nil, fmt.Errorf("%w: cap %.1f W", ErrInfeasible, capW)
 	default:
-		return fmt.Errorf("core: LP solver returned %v (cap %.1f W)", sol.Status, capW)
+		return nil, fmt.Errorf("core: LP solver returned %v (cap %.1f W)", sol.Status, capW)
 	}
+}
 
+// extractInto reads an Optimal solution back into schedule fields: vertex
+// times, the power shadow price, and per-task choices (through taskMap).
+func (s *Solver) extractInto(b *builtLP, sol *lp.Solution, out *Schedule, taskMap []dag.TaskID, vt []float64) {
+	g := b.g
 	for i := range g.Vertices {
-		vt[i] = sol.Value(vVar[i])
+		vt[i] = sol.Value(b.vVar[i])
 	}
 	// Raising PC relaxes every event-power row at once, so the makespan
 	// sensitivity is the sum of their duals.
-	for _, row := range powerRows {
-		out.MarginalSecPerW += sol.DualOf(row)
+	for _, pr := range b.powerRows {
+		out.MarginalSecPerW += sol.DualOf(pr.row)
 	}
 
 	for _, t := range g.Tasks {
@@ -231,11 +301,11 @@ func (s *Solver) solveInto(g *dag.Graph, capW float64, out *Schedule, taskMap []
 		case t.Kind == dag.Message:
 			choice.DurationS = t.FixedDur
 		case t.Work <= 0:
-			choice.PowerW = fixedPower[t.ID]
-			choice.DiscretePowerW = fixedPower[t.ID]
+			choice.PowerW = b.fixedPower[t.ID]
+			choice.DiscretePowerW = b.fixedPower[t.ID]
 			choice.Discrete = machine.Config{FreqGHz: s.Model.FreqMinGHz, Threads: 1}
 		default:
-			v := tv[t.ID]
+			v := b.tv[t.ID]
 			const fracTol = 1e-9
 			for k, cv := range v.cs {
 				frac := sol.Value(cv)
@@ -261,6 +331,20 @@ func (s *Solver) solveInto(g *dag.Graph, capW float64, out *Schedule, taskMap []
 		}
 		out.Choices[taskMap[t.ID]] = choice
 	}
+}
+
+// solveInto builds and solves the LP for graph g under capW, writing task
+// choices through taskMap into out.Choices and vertex times into vt.
+func (s *Solver) solveInto(g *dag.Graph, capW float64, out *Schedule, taskMap []dag.TaskID, vt []float64) error {
+	b, err := s.buildLP(g)
+	if err != nil {
+		return err
+	}
+	sol, err := s.solveBuilt(b, capW, nil, &out.Stats)
+	if err != nil {
+		return err
+	}
+	s.extractInto(b, sol, out, taskMap, vt)
 	return nil
 }
 

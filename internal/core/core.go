@@ -34,10 +34,11 @@
 package core
 
 import (
-	"errors"
 	"fmt"
+	"sync"
 
 	"powercap/internal/dag"
+	"powercap/internal/lp"
 	"powercap/internal/machine"
 	"powercap/internal/pareto"
 )
@@ -46,8 +47,10 @@ import (
 // constraint: even the lowest-power configuration of every co-scheduled
 // task exceeds PC at some event. The paper hits the same wall ("Some
 // benchmarks were not able to be scheduled at the lowest average per-socket
-// power constraint", Figs. 9–10).
-var ErrInfeasible = errors.New("core: power constraint infeasible")
+// power constraint", Figs. 9–10). It wraps lp.ErrInfeasible, so
+// errors.Is(err, lp.ErrInfeasible) also holds for every error chain that
+// matches this sentinel.
+var ErrInfeasible = fmt.Errorf("core: power constraint infeasible: %w", lp.ErrInfeasible)
 
 // MixEntry is one frontier configuration participating in a task's convex
 // mix, with the duration and power the task would have if run entirely in
@@ -108,7 +111,22 @@ type Stats struct {
 	Solves      int // LP instances solved
 	Vars        int // total variables across instances
 	Rows        int // total constraint rows across instances
-	SimplexIter int // total simplex pivots
+	SimplexIter int // total simplex pivots (primal + dual)
+
+	DualIter         int // dual simplex pivots spent repairing warm starts
+	WarmStarts       int // solves that actually reused a prior basis
+	Refactorizations int // sparse-backend basis reinversions
+}
+
+// Add accumulates other into s (used when merging sweep-point stats).
+func (s *Stats) Add(other Stats) {
+	s.Solves += other.Solves
+	s.Vars += other.Vars
+	s.Rows += other.Rows
+	s.SimplexIter += other.SimplexIter
+	s.DualIter += other.DualIter
+	s.WarmStarts += other.WarmStarts
+	s.Refactorizations += other.Refactorizations
 }
 
 // Solver builds and solves fixed-vertex-order LPs against a machine model.
@@ -123,7 +141,13 @@ type Solver struct {
 	// "slows tasks off the critical path as much as possible". It
 	// perturbs the reported makespan by < 1e-4 relative.
 	PowerTiebreak float64
+	// Backend selects the LP engine (see internal/lp). NewSolver defaults
+	// to the sparse revised simplex, which supports the warm starts that
+	// SolveSweep exploits; set lp.BackendDense to force the reference
+	// full-tableau implementation.
+	Backend lp.Backend
 
+	mu            sync.Mutex // guards frontierCache (SweepParallel shares a Solver)
 	frontierCache map[frontierKey]*frontier
 }
 
@@ -133,6 +157,7 @@ func NewSolver(model *machine.Model, effScale []float64) *Solver {
 		Model:         model,
 		EffScale:      effScale,
 		PowerTiebreak: 1e-7,
+		Backend:       lp.BackendSparse,
 		frontierCache: make(map[frontierKey]*frontier),
 	}
 }
@@ -159,9 +184,12 @@ type frontier struct {
 }
 
 // Frontier returns the convex Pareto frontier for a task shape on a rank's
-// socket, cached per (shape, rank).
+// socket, cached per (shape, rank). Safe for concurrent use: parallel sweep
+// workers share one Solver and race to populate the cache.
 func (s *Solver) Frontier(shape machine.Shape, rank int) *frontier {
 	key := frontierKey{shape: shape, rank: rank}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if f, ok := s.frontierCache[key]; ok {
 		return f
 	}

@@ -49,7 +49,9 @@ import (
 )
 
 // ErrInfeasible reports that no schedule fits under the power constraint.
-var ErrInfeasible = errors.New("flowilp: power constraint infeasible")
+// It wraps lp.ErrInfeasible, so errors.Is(err, lp.ErrInfeasible) also holds
+// for every chain that matches this sentinel.
+var ErrInfeasible = fmt.Errorf("flowilp: power constraint infeasible: %w", lp.ErrInfeasible)
 
 // ErrTooLarge guards against instances the flow ILP cannot realistically
 // solve (the paper's own limit).

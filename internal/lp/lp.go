@@ -193,6 +193,26 @@ func (p *Problem) MustConstraint(name string, expr Expr, rel Rel, rhs float64) {
 	}
 }
 
+// SetRHS replaces the right-hand side of the row'th constraint. Power-cap
+// sweeps re-solve the same constraint matrix under a family of right-hand
+// sides; mutating the RHS in place (and warm starting from the previous
+// basis) avoids rebuilding the problem per sweep point.
+func (p *Problem) SetRHS(row int, rhs float64) error {
+	if row < 0 || row >= len(p.rows) {
+		return fmt.Errorf("lp: row %d out of range", row)
+	}
+	p.rows[row].rhs = rhs
+	return nil
+}
+
+// RHS reports the current right-hand side of the row'th constraint.
+func (p *Problem) RHS(row int) float64 {
+	if row < 0 || row >= len(p.rows) {
+		return math.NaN()
+	}
+	return p.rows[row].rhs
+}
+
 // Clone returns an independent deep copy of the problem. Mutating the clone
 // (adding variables, rows, or changing objective coefficients) never affects
 // the original; internal/milp relies on this to build branch-and-bound node
@@ -229,6 +249,17 @@ type Solution struct {
 	// Optimal. For degenerate optima the dual is one valid member of the
 	// dual face.
 	Dual []float64
+
+	// Basis is the optimal basis in problem space (see the encoding notes
+	// in solver.go): one entry per constraint row, each either a
+	// structural variable index (< NumVars) or NumVars+r for row r's
+	// canonical auxiliary variable. Pass it to a subsequent Solve via
+	// WithWarmBasis after an RHS change or row append. Only populated at
+	// Optimal.
+	Basis []int
+
+	// Stats instruments the solve (backend, per-phase pivots, wall time).
+	Stats SolveStats
 }
 
 // DualOf returns the shadow price of the i'th constraint added to the
@@ -252,34 +283,13 @@ func (s *Solution) Value(v Var) float64 {
 // declared variables.
 var ErrNoVariables = errors.New("lp: problem has no variables")
 
-// Solve runs two-phase primal simplex and returns the solution. The returned
-// error is non-nil only for malformed problems; infeasibility and
-// unboundedness are reported through Solution.Status.
+// Solve runs the default (dense two-phase primal simplex) backend and
+// returns the solution. The returned error is non-nil only for malformed
+// problems; infeasibility and unboundedness are reported through
+// Solution.Status. Use the package-level Solve with options to select
+// another backend or warm start.
 func (p *Problem) Solve() (*Solution, error) {
-	if len(p.names) == 0 {
-		return nil, ErrNoVariables
-	}
-	t := newTableau(p)
-	st, iters := t.solve()
-	sol := &Solution{Status: st, Iters: iters, X: make([]float64, len(p.names))}
-	if st != Optimal {
-		sol.Objective = math.NaN()
-		return sol, nil
-	}
-	t.extract(sol.X)
-	obj := 0.0
-	for j, c := range p.obj {
-		obj += c * sol.X[j]
-	}
-	sol.Objective = obj
-	sol.Dual = t.duals()
-	if p.sense == Maximize {
-		// Costs were negated internally; undo for the reported duals.
-		for i := range sol.Dual {
-			sol.Dual[i] = -sol.Dual[i]
-		}
-	}
-	return sol, nil
+	return Solve(p)
 }
 
 // String renders the problem in a human-readable LP-file-like format,

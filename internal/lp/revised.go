@@ -1,0 +1,638 @@
+package lp
+
+import "math"
+
+// Revised simplex over sparse columns with a product-form basis inverse
+// (PFI). The basis inverse is maintained as a sequence of eta matrices:
+// each pivot appends one eta; FTRAN applies them forward, BTRAN transposed
+// in reverse. The eta file is rebuilt from scratch (reinversion with
+// partial row pivoting) every refactorEvery updates to bound fill-in and
+// floating-point drift — a product-form cousin of the Bartels–Golub update.
+//
+// The backend runs three pivot loops over the same machinery:
+//
+//   - primal phase 1 (artificial costs) from the all-slack/artificial basis,
+//   - primal phase 2 (real costs),
+//   - dual simplex, used to warm start: after an RHS-only change (a power
+//     cap sweep step) or appended rows (branch-and-bound children), the
+//     previous optimal basis stays dual feasible, and a handful of dual
+//     pivots restore primal feasibility — the incremental re-optimization
+//     the sweep layers in internal/core and internal/milp rely on.
+//
+// Any warm-start trouble (singular basis, lost dual feasibility, iteration
+// budget) falls back to a cold solve, so warm starts never cost correctness.
+
+const (
+	// refactorEvery bounds the eta file growth between reinversions.
+	refactorEvery = 64
+	// epsDualFeas is the reduced-cost tolerance below which a warm basis
+	// no longer counts as dual feasible and the warm start is abandoned.
+	epsDualFeas = 1e-7
+	// epsFactor is the minimum acceptable pivot magnitude during
+	// reinversion; below it the basis is declared singular.
+	epsFactor = 1e-8
+)
+
+// eta is one PFI update: the basis changed by pivoting column values
+// (pivot at row r, off-pivot nonzeros in nzRows/nzVals).
+type eta struct {
+	r      int
+	pivot  float64
+	nzRows []int32
+	nzVals []float64
+}
+
+// revised is the working state of one revised-simplex solve.
+type revised struct {
+	f *spForm
+
+	basis   []int  // per row: basic column
+	isBasic []bool // per column
+	blocked []bool // per column: excluded from entering
+	etas    []eta
+	updates int // etas appended since the last factorization
+
+	xB   []float64 // basic variable values per row
+	cost []float64 // current-phase costs
+
+	// Dense scratch vectors, reused across iterations.
+	alpha []float64
+	y     []float64
+	rho   []float64
+
+	maxIters    int
+	stallWindow int
+	stats       SolveStats
+}
+
+func newRevised(f *spForm, o *Options) *revised {
+	rv := &revised{
+		f:           f,
+		basis:       make([]int, f.m),
+		isBasic:     make([]bool, f.n),
+		blocked:     make([]bool, f.n),
+		xB:          make([]float64, f.m),
+		cost:        make([]float64, f.n),
+		alpha:       make([]float64, f.m),
+		y:           make([]float64, f.m),
+		rho:         make([]float64, f.m),
+		maxIters:    f.maxIters,
+		stallWindow: o.StallWindow,
+	}
+	if o.MaxIters > 0 {
+		rv.maxIters = o.MaxIters
+	}
+	if rv.stallWindow <= 0 {
+		rv.stallWindow = stallWindow
+	}
+	return rv
+}
+
+// ftran solves B·x = v in place (v dense, length m).
+func (rv *revised) ftran(v []float64) {
+	for k := range rv.etas {
+		e := &rv.etas[k]
+		t := v[e.r]
+		if t == 0 {
+			continue
+		}
+		t /= e.pivot
+		for i, r := range e.nzRows {
+			v[r] -= e.nzVals[i] * t
+		}
+		v[e.r] = t
+	}
+}
+
+// btran solves Bᵀ·y = v in place (v dense, length m).
+func (rv *revised) btran(v []float64) {
+	for k := len(rv.etas) - 1; k >= 0; k-- {
+		e := &rv.etas[k]
+		t := v[e.r]
+		for i, r := range e.nzRows {
+			t -= e.nzVals[i] * v[r]
+		}
+		v[e.r] = t / e.pivot
+	}
+}
+
+// appendEta records the pivot (row r, column values alpha) as a new eta.
+func (rv *revised) appendEta(r int, alpha []float64) {
+	e := eta{r: r, pivot: alpha[r]}
+	for i, v := range alpha {
+		if i != r && v != 0 {
+			e.nzRows = append(e.nzRows, int32(i))
+			e.nzVals = append(e.nzVals, v)
+		}
+	}
+	rv.etas = append(rv.etas, e)
+	rv.updates++
+}
+
+// factorize rebuilds the eta file for the given basis columns, reassigning
+// rows by partial pivoting. Returns false when the column set is singular.
+// On success rv.basis holds the (re-rowed) basis and rv.xB the basic values.
+func (rv *revised) factorize(cols []int) bool {
+	f := rv.f
+	rv.etas = rv.etas[:0]
+	rv.updates = 0
+	rv.stats.Refactorizations++
+	rowUsed := make([]bool, f.m)
+	newBasis := make([]int, f.m)
+	for _, j := range cols {
+		for i := range rv.alpha {
+			rv.alpha[i] = 0
+		}
+		f.scatterCol(j, rv.alpha)
+		rv.ftran(rv.alpha)
+		best, bestAbs := -1, epsFactor
+		for i := 0; i < f.m; i++ {
+			if rowUsed[i] {
+				continue
+			}
+			if a := math.Abs(rv.alpha[i]); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		rv.appendEta(best, rv.alpha)
+		rowUsed[best] = true
+		newBasis[best] = j
+	}
+	rv.updates = 0 // reinversion etas don't count toward the refactor budget
+	copy(rv.basis, newBasis)
+	for j := range rv.isBasic {
+		rv.isBasic[j] = false
+	}
+	for _, j := range rv.basis {
+		rv.isBasic[j] = true
+	}
+	rv.computeXB()
+	return true
+}
+
+// computeXB recomputes the basic values xB = B⁻¹ b.
+func (rv *revised) computeXB() {
+	copy(rv.xB, rv.f.b)
+	rv.ftran(rv.xB)
+}
+
+// refactorIfDue reinverts once the eta file outgrows its budget.
+func (rv *revised) refactorIfDue() bool {
+	if rv.updates < refactorEvery {
+		return true
+	}
+	cols := append([]int(nil), rv.basis...)
+	return rv.factorize(cols)
+}
+
+// computeY fills rv.y with the current-phase duals y = B⁻ᵀ c_B.
+func (rv *revised) computeY() {
+	for i := range rv.y {
+		rv.y[i] = rv.cost[rv.basis[i]]
+	}
+	rv.btran(rv.y)
+}
+
+// phaseObjective evaluates the current phase's objective at xB.
+func (rv *revised) phaseObjective() float64 {
+	obj := 0.0
+	for i, bj := range rv.basis {
+		obj += rv.cost[bj] * rv.xB[i]
+	}
+	return obj
+}
+
+// priceEntering scans reduced costs and returns the entering column
+// (Dantzig most-negative, or first-negative under Bland), or -1 at
+// optimality. Requires rv.y to be current.
+func (rv *revised) priceEntering(bland bool) int {
+	f := rv.f
+	best := -1
+	bestVal := -epsReduced
+	for j := 0; j < f.n; j++ {
+		if rv.isBasic[j] || rv.blocked[j] {
+			continue
+		}
+		d := rv.cost[j] - f.colDot(j, rv.y)
+		if bland {
+			if d < -epsReduced {
+				return j
+			}
+			continue
+		}
+		if d < bestVal {
+			bestVal = d
+			best = j
+		}
+	}
+	return best
+}
+
+// primal runs primal simplex pivots with the current costs, from the
+// current factorized basis, until optimality, unboundedness, or the pivot
+// budget runs out. iters is shared across phases via the pointer.
+func (rv *revised) primal(iters *int) Status {
+	f := rv.f
+	bland := false
+	stall := 0
+	lastObj := rv.phaseObjective()
+
+	for ; *iters < rv.maxIters; *iters++ {
+		rv.computeY()
+		enter := rv.priceEntering(bland)
+		if enter < 0 {
+			return Optimal
+		}
+
+		for i := range rv.alpha {
+			rv.alpha[i] = 0
+		}
+		f.scatterCol(enter, rv.alpha)
+		rv.ftran(rv.alpha)
+
+		// Minimum-ratio test; ties break toward the smallest basic column
+		// index (the same lexicographic nudge as the dense backend).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < f.m; i++ {
+			a := rv.alpha[i]
+			if a <= epsPivot {
+				continue
+			}
+			ratio := rv.xB[i] / a
+			if ratio < bestRatio-epsPivot ||
+				(ratio < bestRatio+epsPivot && (leave < 0 || rv.basis[i] < rv.basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+
+		rv.pivotUpdate(leave, enter)
+		if !rv.refactorIfDue() {
+			return IterLimit // singular refactorization: numerically stuck
+		}
+
+		obj := rv.phaseObjective()
+		if lastObj-obj > epsImprove {
+			stall = 0
+			bland = false
+		} else {
+			stall++
+			if stall >= rv.stallWindow {
+				bland = true
+				rv.stats.BlandActivated = true
+			}
+		}
+		lastObj = obj
+	}
+	return IterLimit
+}
+
+// pivotUpdate applies the pivot (leave row, enter column) to xB, the basis,
+// and the eta file. rv.alpha must hold B⁻¹·a_enter.
+func (rv *revised) pivotUpdate(leave, enter int) {
+	theta := rv.xB[leave] / rv.alpha[leave]
+	for i := range rv.xB {
+		if i == leave {
+			continue
+		}
+		rv.xB[i] -= theta * rv.alpha[i]
+		if rv.xB[i] < 0 && rv.xB[i] > -epsFeas {
+			rv.xB[i] = 0
+		}
+	}
+	rv.xB[leave] = theta
+	rv.isBasic[rv.basis[leave]] = false
+	rv.isBasic[enter] = true
+	rv.appendEta(leave, rv.alpha)
+	rv.basis[leave] = enter
+}
+
+// evictArtificials pivots still-basic artificials (at value zero after a
+// feasible phase 1) out wherever a real column has a usable pivot in their
+// row; rows with none are redundant and keep the artificial basic at zero
+// with its column blocked.
+func (rv *revised) evictArtificials() bool {
+	f := rv.f
+	for r := 0; r < f.m; r++ {
+		if !f.artificial[rv.basis[r]] {
+			continue
+		}
+		for i := range rv.rho {
+			rv.rho[i] = 0
+		}
+		rv.rho[r] = 1
+		rv.btran(rv.rho)
+		for j := 0; j < f.nReal; j++ {
+			if rv.isBasic[j] {
+				continue
+			}
+			if math.Abs(f.colDot(j, rv.rho)) <= epsPivot {
+				continue
+			}
+			for i := range rv.alpha {
+				rv.alpha[i] = 0
+			}
+			f.scatterCol(j, rv.alpha)
+			rv.ftran(rv.alpha)
+			if math.Abs(rv.alpha[r]) <= epsPivot {
+				continue
+			}
+			rv.pivotUpdate(r, j)
+			if !rv.refactorIfDue() {
+				return false
+			}
+			break
+		}
+	}
+	return true
+}
+
+// dual runs dual simplex pivots from a dual-feasible basis until primal
+// feasibility (Optimal), proven primal infeasibility (Infeasible), or the
+// budget runs out (IterLimit — callers fall back to a cold solve).
+func (rv *revised) dual(iters *int) Status {
+	f := rv.f
+	bland := false
+	stall := 0
+	lastInfeas := rv.primalInfeasibility()
+
+	for ; *iters < rv.maxIters; *iters++ {
+		// Leaving row: most negative basic value (smallest row index under
+		// the anti-cycling fallback).
+		leave := -1
+		worst := -epsFeas
+		for i := 0; i < f.m; i++ {
+			if rv.xB[i] < worst {
+				worst = rv.xB[i]
+				leave = i
+				if bland {
+					break
+				}
+			}
+		}
+		if leave < 0 {
+			return Optimal
+		}
+		rv.stats.DualIters++
+
+		// Pivot row of B⁻¹A and fresh reduced costs for the ratio test.
+		rv.computeY()
+		for i := range rv.rho {
+			rv.rho[i] = 0
+		}
+		rv.rho[leave] = 1
+		rv.btran(rv.rho)
+
+		enter := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < f.n; j++ {
+			if rv.isBasic[j] || rv.blocked[j] {
+				continue
+			}
+			arj := f.colDot(j, rv.rho)
+			if arj >= -epsPivot {
+				continue
+			}
+			d := rv.cost[j] - f.colDot(j, rv.y)
+			if d < 0 {
+				d = 0 // dual feasibility holds up to drift; clamp
+			}
+			ratio := d / -arj
+			if ratio < bestRatio-epsReduced ||
+				(ratio < bestRatio+epsReduced && (enter < 0 || j < enter)) {
+				bestRatio = ratio
+				enter = j
+			}
+		}
+		if enter < 0 {
+			// The row demands Σ a_j x_j = xB[leave] < 0 with every usable
+			// coefficient ≥ 0: primal infeasible.
+			return Infeasible
+		}
+
+		for i := range rv.alpha {
+			rv.alpha[i] = 0
+		}
+		f.scatterCol(enter, rv.alpha)
+		rv.ftran(rv.alpha)
+		if math.Abs(rv.alpha[leave]) <= epsPivot {
+			return IterLimit // FTRAN disagrees with BTRAN: numerically stuck
+		}
+		rv.pivotUpdate(leave, enter)
+		if !rv.refactorIfDue() {
+			return IterLimit
+		}
+
+		infeas := rv.primalInfeasibility()
+		if lastInfeas-infeas > epsImprove {
+			stall = 0
+			bland = false
+		} else {
+			stall++
+			if stall >= rv.stallWindow {
+				bland = true
+				rv.stats.BlandActivated = true
+			}
+		}
+		lastInfeas = infeas
+	}
+	return IterLimit
+}
+
+// primalInfeasibility sums the magnitude of negative basic values.
+func (rv *revised) primalInfeasibility() float64 {
+	s := 0.0
+	for _, v := range rv.xB {
+		if v < 0 {
+			s -= v
+		}
+	}
+	return s
+}
+
+// extract builds the Solution from an optimal terminal state.
+func (rv *revised) extract(p *Problem, iters int) *Solution {
+	f := rv.f
+	sol := &Solution{Status: Optimal, Iters: iters, X: make([]float64, f.nOrig)}
+	for i, bj := range rv.basis {
+		if bj < f.nOrig {
+			v := rv.xB[i]
+			if v < 0 && v > -epsFeas {
+				v = 0
+			}
+			sol.X[bj] = v
+		}
+	}
+	// Duals y = c_Bᵀ B⁻¹ on the normalized rows, mapped back to the rows
+	// as the caller stated them via rowSign (see tableau.duals for the
+	// dense equivalent).
+	rv.computeY()
+	sol.Dual = make([]float64, f.m)
+	for i := range sol.Dual {
+		sol.Dual[i] = rv.y[i] * f.rowSign[i]
+	}
+	sol.Basis = make([]int, f.m)
+	for i, bj := range rv.basis {
+		if bj < f.nOrig {
+			sol.Basis[i] = bj
+		} else {
+			sol.Basis[i] = f.nOrig + f.colOwner[bj]
+		}
+	}
+	sol.Stats = rv.stats
+	finishSolution(p, sol)
+	return sol
+}
+
+// solveSparse is the sparse revised-simplex backend behind Solve.
+func solveSparse(p *Problem, o *Options) (*Solution, error) {
+	f := newSpForm(p)
+	if len(o.WarmBasis) > 0 {
+		rv := newRevised(f, o)
+		if sol, ok := rv.solveWarm(p, o.WarmBasis); ok {
+			return sol, nil
+		}
+		// Unusable warm basis: fall through to a cold solve on fresh state.
+	}
+	rv := newRevised(f, o)
+	return rv.solveCold(p), nil
+}
+
+// solveCold runs two-phase primal simplex from the slack/artificial basis.
+func (rv *revised) solveCold(p *Problem) *Solution {
+	f := rv.f
+	iters := 0
+	if !rv.factorize(f.initBasis) {
+		// The initial basis is triangular (±1 diagonals) and cannot be
+		// singular; treat failure as a numerically stuck solve.
+		return &Solution{Status: IterLimit, Objective: math.NaN(), X: make([]float64, f.nOrig), Stats: rv.stats}
+	}
+
+	needPhase1 := false
+	for _, bj := range rv.basis {
+		if f.artificial[bj] {
+			needPhase1 = true
+			break
+		}
+	}
+
+	if needPhase1 {
+		for j := range rv.cost {
+			if f.artificial[j] {
+				rv.cost[j] = 1
+			} else {
+				rv.cost[j] = 0
+			}
+		}
+		st := rv.primal(&iters)
+		rv.stats.Phase1Iters = iters
+		if st == IterLimit {
+			return &Solution{Status: IterLimit, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}
+		}
+		if rv.phaseObjective() > epsFeas {
+			return &Solution{Status: Infeasible, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}
+		}
+		if !rv.evictArtificials() {
+			return &Solution{Status: IterLimit, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}
+		}
+		for j := range rv.blocked {
+			if f.artificial[j] {
+				rv.blocked[j] = true
+			}
+		}
+	}
+
+	copy(rv.cost, f.cost)
+	st := rv.primal(&iters)
+	rv.stats.Phase2Iters = iters - rv.stats.Phase1Iters
+	if st != Optimal {
+		return &Solution{Status: st, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}
+	}
+	return rv.extract(p, iters)
+}
+
+// solveWarm attempts a warm-started solve from a problem-space basis.
+// Returns ok=false when the basis is unusable (wrong shape, singular, dual
+// infeasible, or the dual/primal repair exceeds the budget) — the caller
+// then falls back to a cold solve. A returned solution is always a
+// trustworthy terminal status (Optimal or Unbounded); infeasibility
+// detected by the dual simplex is deliberately re-verified cold.
+func (rv *revised) solveWarm(p *Problem, warm []int) (*Solution, bool) {
+	f := rv.f
+	if len(warm) > f.m {
+		return nil, false
+	}
+	cols := make([]int, f.m)
+	used := make([]bool, f.n)
+	for r := 0; r < f.m; r++ {
+		var col int
+		if r < len(warm) {
+			e := warm[r]
+			switch {
+			case e < 0 || e >= f.nOrig+f.m:
+				return nil, false
+			case e < f.nOrig:
+				col = e
+			default:
+				col = f.auxCol[e-f.nOrig]
+			}
+		} else {
+			// Rows appended after the basis was exported start with their
+			// own canonical auxiliary basic (see the encoding notes).
+			col = f.auxCol[r]
+		}
+		if used[col] {
+			return nil, false
+		}
+		used[col] = true
+		cols[r] = col
+	}
+	if !rv.factorize(cols) {
+		return nil, false
+	}
+
+	copy(rv.cost, f.cost)
+	for j := range rv.blocked {
+		if f.artificial[j] {
+			rv.blocked[j] = true
+		}
+	}
+
+	// The warm basis must still be dual feasible (it is after RHS-only
+	// changes and row appends; arbitrary edits void it).
+	rv.computeY()
+	for j := 0; j < f.n; j++ {
+		if rv.isBasic[j] || rv.blocked[j] {
+			continue
+		}
+		if rv.cost[j]-f.colDot(j, rv.y) < -epsDualFeas {
+			return nil, false
+		}
+	}
+	rv.stats.WarmStarted = true
+
+	iters := 0
+	switch rv.dual(&iters) {
+	case Optimal:
+		// Fall through to a primal polish (usually zero pivots).
+	case Infeasible, IterLimit:
+		return nil, false
+	}
+	st := rv.primal(&iters)
+	rv.stats.Phase2Iters = iters - rv.stats.DualIters
+	switch st {
+	case Optimal:
+		return rv.extract(p, iters), true
+	case Unbounded:
+		return &Solution{Status: Unbounded, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}, true
+	default:
+		return nil, false
+	}
+}

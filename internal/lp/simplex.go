@@ -47,7 +47,13 @@ type tableau struct {
 	auxSign []float64
 	rowSign []float64
 
+	// colOwner maps every auxiliary column to the row that created it
+	// (-1 for structural columns), for problem-space basis export.
+	colOwner []int
+
 	maxIters int
+	stallWin int  // Dantzig iterations without improvement → Bland
+	bland    bool // anti-cycling fallback engaged at least once
 }
 
 func (t *tableau) at(i, j int) float64     { return t.a[i*t.n+j] }
@@ -125,10 +131,15 @@ func newTableau(p *Problem) *tableau {
 		auxCol:     make([]int, m),
 		auxSign:    make([]float64, m),
 		rowSign:    make([]float64, m),
+		colOwner:   make([]int, n),
 		maxIters:   p.maxIters,
+		stallWin:   stallWindow,
 	}
 	if t.maxIters == 0 {
 		t.maxIters = 200 * (m + n + 10)
+	}
+	for j := range t.colOwner {
+		t.colOwner[j] = -1
 	}
 
 	slackCol := nOrig
@@ -151,20 +162,24 @@ func newTableau(p *Problem) *tableau {
 			t.set(i, slackCol, 1)
 			t.basis[i] = slackCol
 			t.auxCol[i], t.auxSign[i] = slackCol, 1
+			t.colOwner[slackCol] = i
 			slackCol++
 		case GE:
 			t.set(i, slackCol, -1)
 			t.auxCol[i], t.auxSign[i] = slackCol, -1
+			t.colOwner[slackCol] = i
 			slackCol++
 			t.set(i, artCol, 1)
 			t.artificial[artCol] = true
 			t.basis[i] = artCol
+			t.colOwner[artCol] = i
 			artCol++
 		case EQ:
 			t.set(i, artCol, 1)
 			t.artificial[artCol] = true
 			t.basis[i] = artCol
 			t.auxCol[i], t.auxSign[i] = artCol, 1
+			t.colOwner[artCol] = i
 			artCol++
 		}
 	}
@@ -191,11 +206,9 @@ func flipRel(r Rel) Rel {
 	}
 }
 
-// solve runs both simplex phases and reports the outcome plus the total
-// pivot count.
-func (t *tableau) solve() (Status, int) {
-	iters := 0
-
+// solve runs both simplex phases and reports the outcome plus per-phase
+// pivot counts.
+func (t *tableau) solve() (st Status, phase1, phase2 int) {
 	needPhase1 := false
 	for _, bj := range t.basis {
 		if t.artificial[bj] {
@@ -216,13 +229,12 @@ func (t *tableau) solve() (Status, int) {
 			}
 		}
 		t.recomputeObjRow()
-		st, n1 := t.iterate()
-		iters += n1
+		st, phase1 = t.iterate()
 		if st == IterLimit {
-			return IterLimit, iters
+			return IterLimit, phase1, 0
 		}
 		if t.phaseObjective() > epsFeas {
-			return Infeasible, iters
+			return Infeasible, phase1, 0
 		}
 		t.evictArtificials()
 		for j := range t.blocked {
@@ -234,9 +246,8 @@ func (t *tableau) solve() (Status, int) {
 
 	copy(t.cost, phase2Cost)
 	t.recomputeObjRow()
-	st, n2 := t.iterate()
-	iters += n2
-	return st, iters
+	st, phase2 = t.iterate()
+	return st, phase1, phase2
 }
 
 // recomputeObjRow rebuilds the reduced-cost row from scratch for the
@@ -319,8 +330,9 @@ func (t *tableau) iterate() (Status, int) {
 			bland = false
 		} else {
 			stall++
-			if stall >= stallWindow {
+			if stall >= t.stallWin {
 				bland = true
+				t.bland = true
 			}
 		}
 		lastObj = obj
@@ -440,4 +452,44 @@ func (t *tableau) extract(x []float64) {
 			x[bj] = t.b[i]
 		}
 	}
+}
+
+// exportBasis translates the internal column basis to the problem-space
+// encoding of Solution.Basis: structural columns keep their index,
+// auxiliary columns become NumVars + owning row.
+func (t *tableau) exportBasis() []int {
+	out := make([]int, t.m)
+	for i, bj := range t.basis {
+		if bj < t.nOrig {
+			out[i] = bj
+		} else {
+			out[i] = t.nOrig + t.colOwner[bj]
+		}
+	}
+	return out
+}
+
+// solveDense is the dense-tableau backend behind Solve. Warm bases are
+// ignored (the full tableau cannot skip its canonicalization), so every
+// dense solve is a cold solve.
+func solveDense(p *Problem, o *Options) (*Solution, error) {
+	t := newTableau(p)
+	if o.MaxIters > 0 {
+		t.maxIters = o.MaxIters
+	}
+	t.stallWin = o.StallWindow
+	st, n1, n2 := t.solve()
+	sol := &Solution{Status: st, Iters: n1 + n2, X: make([]float64, len(p.names))}
+	sol.Stats.Phase1Iters = n1
+	sol.Stats.Phase2Iters = n2
+	sol.Stats.BlandActivated = t.bland
+	if st != Optimal {
+		sol.Objective = math.NaN()
+		return sol, nil
+	}
+	t.extract(sol.X)
+	sol.Dual = t.duals()
+	sol.Basis = t.exportBasis()
+	finishSolution(p, sol)
+	return sol, nil
 }

@@ -1,0 +1,185 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file defines the pluggable solver engine: a Solver interface over
+// interchangeable simplex backends, an options pattern for selecting and
+// tuning them, and the problem-space basis encoding that lets one solve warm
+// start the next (see DESIGN.md "Solver engine architecture").
+
+// ErrInfeasible is the package-level infeasibility sentinel. Solve itself
+// reports infeasibility through Solution.Status (a malformed problem is the
+// only error condition), but higher layers wrap this sentinel so that
+// errors.Is(err, lp.ErrInfeasible) holds through core, flowilp, and the
+// public powercap API.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// Backend selects a simplex implementation.
+type Backend int
+
+const (
+	// BackendDense is the full-tableau two-phase primal simplex
+	// (simplex.go): O(m·n) memory and per-pivot work, numerically simple,
+	// the reference implementation.
+	BackendDense Backend = iota
+	// BackendSparse is the revised simplex over sparse column storage with
+	// a product-form basis inverse (revised.go): per-pivot work scales
+	// with the nonzero count, and it accepts warm-start bases, repairing
+	// primal infeasibility after RHS changes with dual simplex pivots.
+	BackendSparse
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendDense:
+		return "dense"
+	case BackendSparse:
+		return "sparse"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Options collects per-solve settings. Construct via Option functions.
+type Options struct {
+	// Backend selects the simplex implementation (default dense).
+	Backend Backend
+	// MaxIters overrides the pivot budget (0 = automatic, proportional to
+	// problem size; Problem.SetMaxIters applies when this is 0).
+	MaxIters int
+	// StallWindow is how many non-improving Dantzig iterations are
+	// tolerated before switching to Bland's anti-cycling rule
+	// (0 = default 200).
+	StallWindow int
+	// WarmBasis is a starting basis from a previous Solution.Basis for a
+	// problem with the same variables and a prefix of the same rows
+	// (RHS values and appended rows may differ). Backends that cannot
+	// exploit it (dense) ignore it; the sparse backend falls back to a
+	// cold solve if the basis is unusable, so a stale or mismatched basis
+	// costs time, never correctness.
+	WarmBasis []int
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithBackend selects the simplex backend.
+func WithBackend(b Backend) Option { return func(o *Options) { o.Backend = b } }
+
+// WithMaxIters overrides the pivot budget for this solve.
+func WithMaxIters(n int) Option { return func(o *Options) { o.MaxIters = n } }
+
+// WithStallWindow overrides the Dantzig→Bland stall threshold.
+func WithStallWindow(n int) Option { return func(o *Options) { o.StallWindow = n } }
+
+// WithWarmBasis supplies a starting basis from a previous Solution.Basis.
+func WithWarmBasis(basis []int) Option { return func(o *Options) { o.WarmBasis = basis } }
+
+// Solver is the pluggable engine interface: anything that can solve a
+// Problem. The package-level Solve function is the default implementation;
+// custom engines (instrumented, remote, cached) can wrap it.
+type Solver interface {
+	Solve(p *Problem, opts ...Option) (*Solution, error)
+}
+
+// SolveStats instruments one Solve call.
+type SolveStats struct {
+	// Backend names the implementation that produced the solution.
+	Backend string
+	// Phase1Iters and Phase2Iters count primal simplex pivots per phase;
+	// DualIters counts dual simplex pivots (warm starts only).
+	Phase1Iters int
+	Phase2Iters int
+	DualIters   int
+	// Refactorizations counts basis reinversions (sparse backend).
+	Refactorizations int
+	// WarmStarted reports whether a supplied warm basis was actually used
+	// (false when it was absent, unusable, or the backend ignored it).
+	WarmStarted bool
+	// BlandActivated reports whether the anti-cycling fallback engaged.
+	BlandActivated bool
+	// Wall is the end-to-end solve time.
+	Wall time.Duration
+}
+
+// Pivots is the total pivot count across phases.
+func (s SolveStats) Pivots() int { return s.Phase1Iters + s.Phase2Iters + s.DualIters }
+
+// Basis encoding: Solution.Basis has one entry per constraint row, naming
+// the variable basic in that row in problem space:
+//
+//   - an entry v < NumVars() is the structural variable v;
+//   - an entry NumVars()+r is row r's canonical auxiliary variable (the
+//     slack of a ≤ row, the surplus of a ≥ row, the artificial of an = row).
+//
+// The encoding is stable under appending rows (existing entries keep their
+// meaning), which is what lets branch-and-bound warm start child nodes from
+// the parent basis: rows added for branches simply take their own auxiliary
+// as the initial basic variable.
+
+// funcSolver adapts a function to the Solver interface.
+type funcSolver func(p *Problem, opts ...Option) (*Solution, error)
+
+func (f funcSolver) Solve(p *Problem, opts ...Option) (*Solution, error) { return f(p, opts...) }
+
+// DefaultSolver is the package's own engine as a Solver value.
+var DefaultSolver Solver = funcSolver(Solve)
+
+// Solve runs the selected backend on p. The returned error is non-nil only
+// for malformed problems; infeasibility and unboundedness are reported
+// through Solution.Status.
+func Solve(p *Problem, opts ...Option) (*Solution, error) {
+	if len(p.names) == 0 {
+		return nil, ErrNoVariables
+	}
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = p.maxIters
+	}
+	if o.StallWindow == 0 {
+		o.StallWindow = stallWindow
+	}
+
+	start := time.Now()
+	var sol *Solution
+	var err error
+	switch o.Backend {
+	case BackendDense:
+		sol, err = solveDense(p, &o)
+	case BackendSparse:
+		sol, err = solveSparse(p, &o)
+	default:
+		return nil, fmt.Errorf("lp: unknown backend %v", o.Backend)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sol.Stats.Backend = o.Backend.String()
+	sol.Stats.Wall = time.Since(start)
+	return sol, nil
+}
+
+// finishSolution fills the sense-dependent fields shared by all backends:
+// the objective in the problem's own sense (from the extracted primal
+// point) and the dual sign flip for maximization problems.
+func finishSolution(p *Problem, sol *Solution) {
+	obj := 0.0
+	for j, c := range p.obj {
+		obj += c * sol.X[j]
+	}
+	sol.Objective = obj
+	if p.sense == Maximize {
+		// Backends minimize internally; undo the cost negation on duals.
+		for i := range sol.Dual {
+			sol.Dual[i] = -sol.Dual[i]
+		}
+	}
+}

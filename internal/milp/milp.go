@@ -127,6 +127,12 @@ type branch struct {
 type node struct {
 	bound    float64 // LP relaxation objective (a bound on this subtree)
 	branches []branch
+	// basis is the parent relaxation's optimal basis. A branch appends one
+	// bound row, which leaves the parent basis dual feasible for the child
+	// (the appended row's auxiliary starts basic at zero cost), so the
+	// child relaxation warm starts with a few dual simplex pivots instead
+	// of a cold two-phase solve.
+	basis []int
 }
 
 func (n *node) depth() int { return len(n.branches) }
@@ -157,7 +163,7 @@ func (p *Problem) Solve() (*Solution, error) {
 		return a > b+p.gap
 	}
 
-	root, err := p.solveRelaxation(nil)
+	root, err := p.solveRelaxation(nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +182,7 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 	var incumbentX []float64
 
-	open := []node{{bound: root.Objective, branches: nil}}
+	open := []node{{bound: root.Objective, branches: nil, basis: root.Basis}}
 	nodes := 0
 
 	for len(open) > 0 {
@@ -205,7 +211,7 @@ func (p *Problem) Solve() (*Solution, error) {
 			continue // pruned by bound
 		}
 
-		rel, err := p.solveRelaxation(cur.branches)
+		rel, err := p.solveRelaxation(cur.branches, cur.basis)
 		if err != nil {
 			return nil, err
 		}
@@ -228,8 +234,8 @@ func (p *Problem) Solve() (*Solution, error) {
 		lo := math.Floor(fracVal)
 		down := append(append([]branch(nil), cur.branches...), branch{fracVar, lp.LE, lo})
 		up := append(append([]branch(nil), cur.branches...), branch{fracVar, lp.GE, lo + 1})
-		open = append(open, node{bound: rel.Objective, branches: down})
-		open = append(open, node{bound: rel.Objective, branches: up})
+		open = append(open, node{bound: rel.Objective, branches: down, basis: rel.Basis})
+		open = append(open, node{bound: rel.Objective, branches: up, basis: rel.Basis})
 	}
 
 	if incumbentX == nil {
@@ -242,15 +248,20 @@ func (p *Problem) Solve() (*Solution, error) {
 	return &Solution{Status: Optimal, Objective: incumbentObj, X: incumbentX, Nodes: nodes}, nil
 }
 
-// solveRelaxation rebuilds the base LP plus the branch rows and solves it.
-// The lp.Problem builder has no row-removal, so each node clones the base;
-// instances are small by construction (see package comment).
-func (p *Problem) solveRelaxation(branches []branch) (*lp.Solution, error) {
+// solveRelaxation rebuilds the base LP plus the branch rows and solves it,
+// warm starting from the parent basis when one is available. The lp.Problem
+// builder has no row-removal, so each node clones the base; instances are
+// small by construction (see package comment).
+func (p *Problem) solveRelaxation(branches []branch, warm []int) (*lp.Solution, error) {
 	clone := p.Problem.Clone()
 	for _, b := range branches {
 		clone.MustConstraint("branch", lp.Expr{}.Plus(b.v, 1), b.rel, b.rhs)
 	}
-	return clone.Solve()
+	opts := []lp.Option{lp.WithBackend(lp.BackendSparse)}
+	if len(warm) > 0 {
+		opts = append(opts, lp.WithWarmBasis(warm))
+	}
+	return lp.Solve(clone, opts...)
 }
 
 // mostFractional returns the integer variable whose relaxation value is

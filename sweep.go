@@ -1,0 +1,128 @@
+package powercap
+
+import (
+	"fmt"
+	"sync"
+
+	"powercap/internal/core"
+)
+
+// Power-cap sweep orchestration. The paper's headline figures evaluate the
+// LP bound across a family of power constraints and a set of benchmarks;
+// this file provides the fan-out machinery: warm-started serial sweeps
+// (SolveSweep), a bounded worker pool over contiguous cap chunks
+// (SweepParallel), and multi-workload orchestration (SweepJobsParallel).
+
+// SweepPoint is the result of one cap in a sweep: a Schedule, or the error
+// that cap produced (match with errors.Is(pt.Err, powercap.ErrInfeasible)).
+type SweepPoint = core.SweepPoint
+
+// SolverStats aggregates LP solver effort (warm starts, pivots,
+// refactorizations) across the solves behind a Schedule or sweep.
+type SolverStats = core.Stats
+
+// SolveSweep solves the whole-graph LP at every cap in jobCapsW, in order,
+// building the LP once and warm starting each solve from the previous
+// cap's optimal basis. Per-cap infeasibility lands in SweepPoint.Err; the
+// returned error is reserved for problems with the graph itself. Monotonic
+// cap orders maximize basis reuse, but any order is correct.
+func (s *System) SolveSweep(g *Graph, jobCapsW []float64) ([]SweepPoint, error) {
+	return core.NewSolver(s.Model, s.EffScale).SolveSweep(g, jobCapsW)
+}
+
+// SweepParallel is SolveSweep fanned across a bounded worker pool: the caps
+// are split into contiguous chunks (one per worker) so warm starting still
+// applies within each chunk, and the workers share one solver (and thus one
+// frontier cache). workers ≤ 1 degrades to the serial SolveSweep. Results
+// are returned in the order of jobCapsW regardless of completion order.
+func (s *System) SweepParallel(g *Graph, jobCapsW []float64, workers int) ([]SweepPoint, error) {
+	if workers > len(jobCapsW) {
+		workers = len(jobCapsW)
+	}
+	if workers <= 1 {
+		return s.SolveSweep(g, jobCapsW)
+	}
+	solver := core.NewSolver(s.Model, s.EffScale)
+	pts := make([]SweepPoint, len(jobCapsW))
+	chunk := (len(jobCapsW) + workers - 1) / workers
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for lo := 0; lo < len(jobCapsW); lo += chunk {
+		hi := min(lo+chunk, len(jobCapsW))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			res, err := solver.SolveSweep(g, jobCapsW[lo:hi])
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			copy(pts[lo:hi], res)
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return pts, nil
+}
+
+// SweepJob names one workload's sweep in a multi-workload fan-out.
+type SweepJob struct {
+	Name  string
+	Graph *Graph
+	CapsW []float64
+}
+
+// SweepJobResult is the outcome of one SweepJob: its points, or the
+// job-level error (per-cap errors stay inside the points).
+type SweepJobResult struct {
+	Name   string
+	Points []SweepPoint
+	Err    error
+}
+
+// SweepJobsParallel runs each job's warm-started sweep on a bounded worker
+// pool (workers ≤ 1 runs serially) and returns results in job order. Each
+// job keeps its caps contiguous on one worker, preserving warm starts; the
+// jobs share one solver per System so frontier work is cached across
+// workloads with identical task classes.
+func (s *System) SweepJobsParallel(jobs []SweepJob, workers int) []SweepJobResult {
+	results := make([]SweepJobResult, len(jobs))
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	solver := core.NewSolver(s.Model, s.EffScale)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				job := jobs[i]
+				results[i].Name = job.Name
+				if job.Graph == nil {
+					results[i].Err = fmt.Errorf("powercap: sweep job %q has no graph", job.Name)
+					continue
+				}
+				results[i].Points, results[i].Err = solver.SolveSweep(job.Graph, job.CapsW)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,171 @@
+package powercap_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"powercap"
+	"powercap/internal/lp"
+)
+
+func sweepCaps(w *powercap.Workload) []float64 {
+	// Per-socket 70 → 10 W, stepping down into the infeasible regime.
+	caps := make([]float64, 0, 13)
+	for per := 70.0; per >= 10; per -= 5 {
+		caps = append(caps, per*float64(w.Graph.NumRanks))
+	}
+	return caps
+}
+
+func TestSolveSweepMatchesUpperBoundWhole(t *testing.T) {
+	w := smallWorkload(t, "SP")
+	sys := powercap.SystemFor(w, nil)
+	caps := sweepCaps(w)
+
+	pts, err := sys.SolveSweep(w.Graph, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range pts {
+		whole, werr := sys.UpperBoundWhole(w.Graph, caps[i])
+		if werr != nil {
+			if !errors.Is(werr, powercap.ErrInfeasible) {
+				t.Fatal(werr)
+			}
+			if !errors.Is(pt.Err, powercap.ErrInfeasible) {
+				t.Fatalf("cap %v: sweep err %v, want infeasible", caps[i], pt.Err)
+			}
+			continue
+		}
+		if pt.Err != nil {
+			t.Fatalf("cap %v: %v", caps[i], pt.Err)
+		}
+		if math.Abs(pt.Schedule.MakespanS-whole.MakespanS) > 1e-9*(1+whole.MakespanS) {
+			t.Fatalf("cap %v: sweep %v, individual %v", caps[i], pt.Schedule.MakespanS, whole.MakespanS)
+		}
+	}
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	w := smallWorkload(t, "LULESH")
+	sys := powercap.SystemFor(w, nil)
+	caps := sweepCaps(w)
+
+	serial, err := sys.SolveSweep(w.Graph, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 32} {
+		par, err := sys.SweepParallel(w.Graph, caps, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(par), len(serial))
+		}
+		for i := range par {
+			if par[i].CapW != serial[i].CapW {
+				t.Fatalf("workers=%d point %d: cap %v, want %v", workers, i, par[i].CapW, serial[i].CapW)
+			}
+			if (par[i].Err == nil) != (serial[i].Err == nil) {
+				t.Fatalf("workers=%d cap %v: err %v vs serial %v", workers, par[i].CapW, par[i].Err, serial[i].Err)
+			}
+			if serial[i].Err != nil {
+				if !errors.Is(par[i].Err, powercap.ErrInfeasible) {
+					t.Fatalf("workers=%d cap %v: err %v, want infeasible", workers, par[i].CapW, par[i].Err)
+				}
+				continue
+			}
+			a, b := par[i].Schedule.MakespanS, serial[i].Schedule.MakespanS
+			if math.Abs(a-b) > 1e-9*(1+b) {
+				t.Fatalf("workers=%d cap %v: makespan %v, serial %v", workers, par[i].CapW, a, b)
+			}
+		}
+	}
+}
+
+func TestSweepJobsParallel(t *testing.T) {
+	sys := powercap.NewSystem(nil)
+	var jobs []powercap.SweepJob
+	for _, name := range []string{"SP", "LULESH", "CoMD"} {
+		w := smallWorkload(t, name)
+		jobs = append(jobs, powercap.SweepJob{Name: name, Graph: w.Graph, CapsW: sweepCaps(w)})
+	}
+	jobs = append(jobs, powercap.SweepJob{Name: "broken"}) // nil graph
+
+	results := sys.SweepJobsParallel(jobs, 3)
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(results), len(jobs))
+	}
+	for i, res := range results {
+		if res.Name != jobs[i].Name {
+			t.Fatalf("result %d: name %q, want %q (order not preserved)", i, res.Name, jobs[i].Name)
+		}
+		if jobs[i].Graph == nil {
+			if res.Err == nil {
+				t.Fatalf("job %q: nil graph accepted", res.Name)
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Fatalf("job %q: %v", res.Name, res.Err)
+		}
+		feasible := 0
+		for _, pt := range res.Points {
+			if pt.Err == nil {
+				feasible++
+				if pt.Schedule.MakespanS <= 0 {
+					t.Fatalf("job %q cap %v: empty schedule", res.Name, pt.CapW)
+				}
+			}
+		}
+		if feasible == 0 {
+			t.Fatalf("job %q: every cap infeasible", res.Name)
+		}
+	}
+}
+
+// TestInfeasibilityChains is the satellite acceptance: one sentinel chain
+// from the public facade down to the LP layer, matchable at every level.
+func TestInfeasibilityChains(t *testing.T) {
+	w := smallWorkload(t, "CoMD")
+	sys := powercap.SystemFor(w, nil)
+	tiny := 2.0 * float64(w.Graph.NumRanks) // 2 W/socket: below idle floor
+
+	for name, solve := range map[string]func() error{
+		"UpperBound":      func() error { _, err := sys.UpperBound(w.Graph, tiny); return err },
+		"UpperBoundWhole": func() error { _, err := sys.UpperBoundWhole(w.Graph, tiny); return err },
+		"UpperBoundDiscrete": func() error {
+			_, err := sys.UpperBoundDiscrete(w.Graph, tiny)
+			if errors.Is(err, powercap.ErrDiscreteTooLarge) {
+				return nil // size guard fired first; nothing to assert
+			}
+			return err
+		},
+	} {
+		err := solve()
+		if err == nil {
+			continue // discrete may be skipped by the size guard
+		}
+		if !errors.Is(err, powercap.ErrInfeasible) {
+			t.Fatalf("%s: error %v does not match powercap.ErrInfeasible", name, err)
+		}
+		if !errors.Is(err, lp.ErrInfeasible) {
+			t.Fatalf("%s: error %v does not chain to lp.ErrInfeasible", name, err)
+		}
+	}
+
+	// The flow ILP has its own sentinel; it must chain to lp too.
+	if !errors.Is(powercap.ErrFlowInfeasible, lp.ErrInfeasible) {
+		t.Fatal("ErrFlowInfeasible does not chain to lp.ErrInfeasible")
+	}
+	// And sweep points carry the same chain.
+	pts, err := sys.SolveSweep(w.Graph, []float64{tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(pts[0].Err, powercap.ErrInfeasible) || !errors.Is(pts[0].Err, lp.ErrInfeasible) {
+		t.Fatalf("sweep point error %v does not chain through both sentinels", pts[0].Err)
+	}
+}
