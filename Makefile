@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench serve-smoke check
 
 all: check
 
@@ -24,4 +24,10 @@ race:
 bench:
 	$(GO) test -run xxx -bench 'Sweep' -benchtime 1x ./internal/core/ .
 
-check: vet build race
+# End-to-end daemon smoke: build pcschedd, start it on a random port, fire
+# a solve, a cache-hit repeat, and a cancelled request, assert the /metrics
+# counters, then SIGTERM and require a clean exit.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/pcschedd/
+
+check: vet build race serve-smoke

@@ -7,7 +7,7 @@
 //	experiments -ranks 32 all
 //
 // Exhibits: fig1 table1 fig2 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-// fig15 table3 validate configsel overheads solver summary all.
+// fig15 table3 validate configsel overheads solver service summary all.
 //
 // Absolute numbers depend on the simulated machine model; the shapes (who
 // wins, by how much, where the crossovers fall) are the reproduction
@@ -36,7 +36,7 @@ func main() {
 	flag.IntVar(&cfg.iters, "iters", 12, "application iterations per run (first 3 discarded)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload generation seed")
 	flag.Float64Var(&cfg.scale, "scale", 1.0, "task work scale (1.0 ≈ paper-like second-long iterations)")
-	flag.StringVar(&cfg.benchJSON, "benchjson", "", "write the solver exhibit's measurements to this JSON file (e.g. BENCH_solver.json)")
+	flag.StringVar(&cfg.benchJSON, "benchjson", "", "write the solver/service exhibit's measurements to this JSON file (e.g. BENCH_solver.json, BENCH_service.json)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -63,9 +63,10 @@ func main() {
 		"validate":  runValidate,
 		"configsel": runConfigSel,
 		"solver":    runSolver,
+		"service":   runService,
 	}
 	order := []string{"fig1", "table1", "fig2", "fig3", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "summary"}
+		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "service", "summary"}
 
 	var todo []string
 	for _, a := range args {

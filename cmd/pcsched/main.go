@@ -7,107 +7,142 @@
 //
 //	pcsched -workload LULESH -ranks 16 -cap 50
 //	pcsched -workload BT -cap 30 -policy all
+//	pcsched -workload BT -cap 30 -policy all -json
 //	pcsched -workload SP -sweep 70:30:5 -workers 4
+//
+// With -policy all -json, the three-way comparison is emitted as JSON in
+// the same schema pcschedd's POST /v1/compare returns, so scripted
+// consumers can switch between the CLI and the service freely.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 
 	"powercap"
-	"powercap/internal/machine"
+	"powercap/internal/service"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pcsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name    = flag.String("workload", "CoMD", "workload: CoMD, LULESH, SP, or BT")
-		ranks   = flag.Int("ranks", 16, "MPI ranks (one socket each)")
-		iters   = flag.Int("iters", 8, "application iterations")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		scale   = flag.Float64("scale", 1.0, "task work scale")
-		capW    = flag.Float64("cap", 50, "per-socket average power cap (W)")
-		policy  = flag.String("policy", "lp", "lp, static, conductor, or all")
-		gantt   = flag.Bool("gantt", false, "render an ASCII timeline of the replayed LP schedule")
-		sweep   = flag.String("sweep", "", "per-socket cap sweep \"hi:lo:step\" (W): solve the LP bound at every cap, warm-started; overrides -cap and -policy")
-		workers = flag.Int("workers", 1, "parallel sweep workers (contiguous cap chunks; only with -sweep)")
+		name    = fs.String("workload", "CoMD", "workload: CoMD, LULESH, SP, or BT")
+		ranks   = fs.Int("ranks", 16, "MPI ranks (one socket each)")
+		iters   = fs.Int("iters", 8, "application iterations")
+		seed    = fs.Int64("seed", 1, "workload seed")
+		scale   = fs.Float64("scale", 1.0, "task work scale")
+		capW    = fs.Float64("cap", 50, "per-socket average power cap (W)")
+		policy  = fs.String("policy", "lp", "lp, static, conductor, or all")
+		jsonOut = fs.Bool("json", false, "with -policy all: emit the comparison as JSON (the pcschedd /v1/compare schema)")
+		gantt   = fs.Bool("gantt", false, "render an ASCII timeline of the replayed LP schedule")
+		sweep   = fs.String("sweep", "", "per-socket cap sweep \"hi:lo:step\" (W): solve the LP bound at every cap, warm-started; overrides -cap and -policy")
+		workers = fs.Int("workers", 1, "parallel sweep workers (contiguous cap chunks; only with -sweep)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	w, err := powercap.WorkloadByName(*name, powercap.WorkloadParams{
 		Ranks: *ranks, Iterations: *iters, Seed: *seed, WorkScale: *scale,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sys := powercap.SystemFor(w, nil)
 	jobCap := *capW * float64(*ranks)
-	fmt.Printf("%s: %d ranks, %d iterations, %d tasks, %d MPI-call vertices\n",
+
+	if *jsonOut {
+		if *policy != "all" || *sweep != "" {
+			return errors.New("-json requires -policy all (and no -sweep)")
+		}
+		return runCompareJSON(sys, w, *capW, stdout)
+	}
+
+	fmt.Fprintf(stdout, "%s: %d ranks, %d iterations, %d tasks, %d MPI-call vertices\n",
 		w.Name, *ranks, *iters, len(w.Graph.Tasks), len(w.Graph.Vertices))
 	if *sweep != "" {
-		if err := runSweep(sys, w, *sweep, *ranks, *workers); err != nil {
-			fatal(err)
-		}
-		return
+		return runSweep(sys, w, *sweep, *ranks, *workers, stdout)
 	}
-	fmt.Printf("power constraint: %.0f W per socket, %.0f W job-level\n\n", *capW, jobCap)
+	fmt.Fprintf(stdout, "power constraint: %.0f W per socket, %.0f W job-level\n\n", *capW, jobCap)
 
 	runLP := *policy == "lp" || *policy == "all"
 	runStatic := *policy == "static" || *policy == "all"
 	runConductor := *policy == "conductor" || *policy == "all"
 	if !runLP && !runStatic && !runConductor {
-		fatal(fmt.Errorf("unknown policy %q", *policy))
+		return fmt.Errorf("unknown policy %q", *policy)
 	}
 
 	if runStatic {
 		res, err := sys.RunStatic(w.Graph, *capW)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("Static:    %.3f s (peak power %.1f W, avg %.1f W)\n",
+		fmt.Fprintf(stdout, "Static:    %.3f s (peak power %.1f W, avg %.1f W)\n",
 			res.Makespan, res.PeakPowerW, res.AvgPower())
 	}
 	if runConductor {
 		res, err := sys.RunConductor(w.Graph, jobCap)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("Conductor: %.3f s total, %.3f s measured (%d reallocations, %d misidentifications)\n",
+		fmt.Fprintf(stdout, "Conductor: %.3f s total, %.3f s measured (%d reallocations, %d misidentifications)\n",
 			res.TotalS, res.MeasuredS, res.Reallocations, res.MisIdentified)
 	}
 	if runLP {
 		sched, err := sys.UpperBound(w.Graph, jobCap)
 		if err != nil {
 			if errors.Is(err, powercap.ErrInfeasible) {
-				fmt.Printf("LP: infeasible at %.0f W per socket\n", *capW)
-				return
+				fmt.Fprintf(stdout, "LP: infeasible at %.0f W per socket\n", *capW)
+				return nil
 			}
-			fatal(err)
+			return err
 		}
-		fmt.Printf("LP bound:  %.3f s (%d LP solves, %d simplex pivots)\n",
+		fmt.Fprintf(stdout, "LP bound:  %.3f s (%d LP solves, %d simplex pivots)\n",
 			sched.MakespanS, sched.Stats.Solves, sched.Stats.SimplexIter)
 
-		printScheduleSummary(w, sched)
+		printScheduleSummary(stdout, w, sched)
 
 		rep, err := sys.Replay(w.Graph, sched, false)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("\nreplay (discrete rounding): %.3f s, %d switches (%d suppressed), cap violation %.2f W\n",
+		fmt.Fprintf(stdout, "\nreplay (discrete rounding): %.3f s, %d switches (%d suppressed), cap violation %.2f W\n",
 			rep.MakespanS, rep.Switches, rep.Suppressed, rep.CapViolationW)
 		if *gantt {
-			fmt.Println()
-			fmt.Print(rep.Result.Gantt(w.Graph, 100))
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, rep.Result.Gantt(w.Graph, 100))
 		}
 	}
+	return nil
+}
+
+// runCompareJSON emits the three-way comparison in the service's
+// /v1/compare response schema.
+func runCompareJSON(sys *powercap.System, w *powercap.Workload, perSocketW float64, stdout io.Writer) error {
+	cmp, err := sys.Compare(w, perSocketW)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&service.CompareResponse{Comparison: *cmp})
 }
 
 // printScheduleSummary aggregates the LP's choices per task class.
-func printScheduleSummary(w *powercap.Workload, sched *powercap.Schedule) {
+func printScheduleSummary(stdout io.Writer, w *powercap.Workload, sched *powercap.Schedule) {
 	type agg struct {
 		n        int
 		power    float64
@@ -135,13 +170,12 @@ func printScheduleSummary(w *powercap.Workload, sched *powercap.Schedule) {
 		names = append(names, c)
 	}
 	sort.Strings(names)
-	fmt.Printf("\n%-12s%8s%14s%14s%12s\n", "class", "tasks", "avg power(W)", "avg time(s)", "threads")
+	fmt.Fprintf(stdout, "\n%-12s%8s%14s%14s%12s\n", "class", "tasks", "avg power(W)", "avg time(s)", "threads")
 	for _, c := range names {
 		a := classes[c]
-		fmt.Printf("%-12s%8d%14.1f%14.3f%12s\n", c, a.n,
+		fmt.Fprintf(stdout, "%-12s%8d%14.1f%14.3f%12s\n", c, a.n,
 			a.power/float64(a.n), a.duration/float64(a.n), threadSet(a.threads))
 	}
-	_ = machine.Default()
 }
 
 func threadSet(ts map[int]int) string {
@@ -160,40 +194,13 @@ func threadSet(ts map[int]int) string {
 	return s
 }
 
-// parseSweep reads a "hi:lo:step" (or "lo:hi:step") per-socket cap spec
-// into a descending cap list — descending order maximizes warm-start reuse
-// as the feasible region only shrinks.
-func parseSweep(spec string) ([]float64, error) {
-	parts := strings.Split(spec, ":")
-	if len(parts) != 3 {
-		return nil, fmt.Errorf("sweep spec %q: want hi:lo:step", spec)
-	}
-	var vals [3]float64
-	for i, p := range parts {
-		v, err := strconv.ParseFloat(p, 64)
-		if err != nil {
-			return nil, fmt.Errorf("sweep spec %q: %v", spec, err)
-		}
-		vals[i] = v
-	}
-	hi, lo, step := vals[0], vals[1], vals[2]
-	if hi < lo {
-		hi, lo = lo, hi
-	}
-	if step <= 0 {
-		return nil, fmt.Errorf("sweep spec %q: step must be positive", spec)
-	}
-	var caps []float64
-	for c := hi; c >= lo-1e-9; c -= step {
-		caps = append(caps, c)
-	}
-	return caps, nil
-}
-
 // runSweep evaluates the LP bound across a per-socket cap family and prints
-// one row per cap with the per-solve instrumentation.
-func runSweep(sys *powercap.System, w *powercap.Workload, spec string, ranks, workers int) error {
-	perCaps, err := parseSweep(spec)
+// one row per cap with the per-solve instrumentation. The spec is validated
+// by powercap.ParseSweepSpec: malformed specs (step ≤ 0, hi < lo,
+// non-numeric fields) are rejected with a descriptive error instead of
+// being silently reinterpreted.
+func runSweep(sys *powercap.System, w *powercap.Workload, spec string, ranks, workers int, stdout io.Writer) error {
+	perCaps, err := powercap.ParseSweepSpec(spec)
 	if err != nil {
 		return err
 	}
@@ -201,32 +208,27 @@ func runSweep(sys *powercap.System, w *powercap.Workload, spec string, ranks, wo
 	for i, c := range perCaps {
 		jobCaps[i] = c * float64(ranks)
 	}
-	fmt.Printf("sweep: %.0f → %.0f W per socket (%d caps, %d workers)\n\n",
+	fmt.Fprintf(stdout, "sweep: %.0f → %.0f W per socket (%d caps, %d workers)\n\n",
 		perCaps[0], perCaps[len(perCaps)-1], len(perCaps), workers)
 
 	pts, err := sys.SweepParallel(w.Graph, jobCaps, workers)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%10s%12s%14s%8s%8s%8s%8s\n",
+	fmt.Fprintf(stdout, "%10s%12s%14s%8s%8s%8s%8s\n",
 		"W/socket", "bound(s)", "marg(s/W)", "pivots", "dual", "warm", "refac")
 	for i, pt := range pts {
 		if pt.Err != nil {
 			if errors.Is(pt.Err, powercap.ErrInfeasible) {
-				fmt.Printf("%10.1f%12s\n", perCaps[i], "infeasible")
+				fmt.Fprintf(stdout, "%10.1f%12s\n", perCaps[i], "infeasible")
 				continue
 			}
 			return pt.Err
 		}
 		st := pt.Schedule.Stats
-		fmt.Printf("%10.1f%12.3f%14.5f%8d%8d%8d%8d\n",
+		fmt.Fprintf(stdout, "%10.1f%12.3f%14.5f%8d%8d%8d%8d\n",
 			perCaps[i], pt.Schedule.MakespanS, pt.Schedule.MarginalSecPerW,
 			st.SimplexIter, st.DualIter, st.WarmStarts, st.Refactorizations)
 	}
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pcsched:", err)
-	os.Exit(1)
 }

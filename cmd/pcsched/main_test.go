@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"powercap/internal/service"
+)
+
+// TestJSONMatchesService is the CLI↔service schema integration test: the
+// comparison `pcsched -policy all -json` emits must decode as a service
+// CompareResponse and carry the exact Comparison that POST /v1/compare
+// returns for the same workload and cap.
+func TestJSONMatchesService(t *testing.T) {
+	args := []string{
+		"-workload", "CoMD", "-ranks", "2", "-iters", "6",
+		"-seed", "1", "-scale", "0.1", "-cap", "55",
+		"-policy", "all", "-json",
+	}
+	var out, errs bytes.Buffer
+	if err := run(args, &out, &errs); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errs.String())
+	}
+	var cli service.CompareResponse
+	if err := json.Unmarshal(out.Bytes(), &cli); err != nil {
+		t.Fatalf("-json output is not a CompareResponse: %v\n%s", err, out.String())
+	}
+	if cli.Comparison.Workload != "CoMD" || cli.Comparison.PerSocketW != 55 {
+		t.Fatalf("unexpected comparison header: %+v", cli.Comparison)
+	}
+	if cli.Comparison.LPBoundS <= 0 || cli.Comparison.StaticS <= 0 || cli.Comparison.ConductorS <= 0 {
+		t.Fatalf("comparison has empty times: %+v", cli.Comparison)
+	}
+
+	ts := httptest.NewServer(service.New(service.Config{Workers: 2}))
+	defer ts.Close()
+	body := `{"workload":{"name":"CoMD","ranks":2,"iters":6,"seed":1,"scale":0.1},"cap_per_socket_w":55}`
+	resp, err := http.Post(ts.URL+"/v1/compare", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("service compare: %d (%s)", resp.StatusCode, raw)
+	}
+	var svc service.CompareResponse
+	if err := json.Unmarshal(raw, &svc); err != nil {
+		t.Fatal(err)
+	}
+	if cli.Comparison != svc.Comparison {
+		t.Errorf("CLI and service disagree:\ncli: %+v\nsvc: %+v", cli.Comparison, svc.Comparison)
+	}
+}
+
+// TestJSONRequiresPolicyAll: -json outside -policy all is an error, not
+// silently ignored.
+func TestJSONRequiresPolicyAll(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run([]string{"-policy", "lp", "-json"}, &out, &errs); err == nil {
+		t.Fatal("-json with -policy lp did not error")
+	}
+	if err := run([]string{"-policy", "all", "-json", "-sweep", "60:50:5"}, &out, &errs); err == nil {
+		t.Fatal("-json with -sweep did not error")
+	}
+}
+
+// TestSweepSpecRejected: malformed -sweep specs must surface
+// ParseSweepSpec's descriptive errors through the CLI.
+func TestSweepSpecRejected(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantSub string
+	}{
+		{"70:30", "want hi:lo:step"},
+		{"70:30:0", "step must be positive"},
+		{"70:30:-5", "step must be positive"},
+		{"30:70:5", "must be ≥ lo"},
+		{"70:abc:5", "not a number"},
+		{"NaN:30:5", "must be finite"},
+	}
+	for _, c := range cases {
+		var out, errs bytes.Buffer
+		err := run([]string{"-workload", "CoMD", "-ranks", "2", "-iters", "3",
+			"-scale", "0.1", "-sweep", c.spec}, &out, &errs)
+		if err == nil {
+			t.Errorf("spec %q accepted, want error", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("spec %q: error %q does not mention %q", c.spec, err, c.wantSub)
+		}
+	}
+}
+
+// TestSweepRuns: a valid sweep spec produces one table row per cap.
+func TestSweepRuns(t *testing.T) {
+	var out, errs bytes.Buffer
+	err := run([]string{"-workload", "CoMD", "-ranks", "2", "-iters", "3",
+		"-scale", "0.1", "-sweep", "60:50:5"}, &out, &errs)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "sweep: 60 → 50 W per socket (3 caps") {
+		t.Errorf("missing sweep header:\n%s", out.String())
+	}
+	for _, cap := range []string{"60.0", "55.0", "50.0"} {
+		if !strings.Contains(out.String(), cap) {
+			t.Errorf("missing row for cap %s:\n%s", cap, out.String())
+		}
+	}
+}

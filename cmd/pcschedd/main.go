@@ -1,0 +1,108 @@
+// Command pcschedd serves the power-constrained scheduling service over
+// HTTP/JSON: POST /v1/solve, /v1/sweep, and /v1/compare accept inline trace
+// JSON (the format pctrace gen emits) or named workload proxies and return
+// LP bounds computed on a bounded worker pool behind a content-addressed
+// schedule cache; GET /metrics and /healthz expose the service's counters.
+//
+// Usage:
+//
+//	pcschedd [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	         [-timeout 60s] [-max-timeout 5m] [-grace 30s] [-quiet]
+//
+// The daemon prints the bound address on startup ("-addr 127.0.0.1:0"
+// picks a free port — useful for harnesses) and shuts down gracefully on
+// SIGINT/SIGTERM: in-flight solves complete and respond, new work gets
+// 503, and the process exits once drained or the grace period lapses.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"powercap/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pcschedd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcschedd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers    = fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		queue      = fs.Int("queue", 0, "admission queue depth beyond busy workers (0 = default 64)")
+		cacheSize  = fs.Int("cache", 0, "schedule cache capacity in entries (0 = default 256)")
+		timeout    = fs.Duration("timeout", 0, "default per-request solve deadline (0 = 60s)")
+		maxTimeout = fs.Duration("max-timeout", 0, "upper clamp on client-supplied deadlines (0 = 5m)")
+		grace      = fs.Duration("grace", 30*time.Second, "drain period for in-flight solves on shutdown")
+		quiet      = fs.Bool("quiet", false, "suppress per-request log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(stderr, "pcschedd ", log.LstdFlags|log.Lmicroseconds)
+	reqLog := logger
+	if *quiet {
+		reqLog = nil
+	}
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Log:            reqLog,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The harness-parseable startup line: the one place the actual port
+	// (meaningful with -addr ...:0) is reported.
+	fmt.Fprintf(stdout, "pcschedd listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: svc}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutdown: draining in-flight solves (grace %v)", *grace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Drain first so in-flight solves finish and respond while the
+	// listener still accepts their connections; Shutdown then closes the
+	// listener and waits for the last responses to flush.
+	if err := svc.Drain(drainCtx); err != nil {
+		logger.Printf("shutdown: drain incomplete: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	logger.Printf("shutdown: done")
+	return nil
+}

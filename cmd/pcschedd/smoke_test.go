@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end smoke harness behind `make serve-smoke`:
+// it builds the real pcschedd binary, starts it on a random port, fires a
+// solve, a cache-hit repeat, and a cancelled (expired-deadline) request,
+// asserts the /metrics counters reflect all three, then SIGTERMs the daemon
+// and requires a clean exit.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping daemon smoke test in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "pcschedd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building pcschedd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-quiet")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon announces its bound address on stdout.
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if _, url, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			base = url
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listening line from pcschedd; stderr:\n%s", stderr.String())
+	}
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	solveReq := `{"workload":{"name":"CoMD","ranks":2,"iters":3,"seed":1,"scale":0.1},"cap_per_socket_w":55}`
+	if code, body := post(solveReq); code != http.StatusOK {
+		t.Fatalf("solve: status %d (%s)", code, body)
+	}
+	if code, body := post(solveReq); code != http.StatusOK {
+		t.Fatalf("repeat solve: status %d (%s)", code, body)
+	} else if !strings.Contains(body, `"cached":true`) {
+		t.Fatalf("repeat solve not served from cache: %s", body)
+	}
+	cancelReq := `{"workload":{"name":"BT","ranks":16,"iters":10,"seed":1,"scale":1},"cap_per_socket_w":60,"timeout_ms":0.001}`
+	if code, body := post(cancelReq); code != http.StatusGatewayTimeout {
+		t.Fatalf("expired-deadline solve: status %d (%s), want 504", code, body)
+	}
+
+	m := fetchMetrics(t, base)
+	for name, want := range map[string]float64{
+		"pcschedd_requests_total":     3,
+		"pcschedd_solves_total":       1,
+		"pcschedd_cache_hits_total":   1,
+		"pcschedd_cache_misses_total": 1,
+		"pcschedd_canceled_total":     1,
+	} {
+		if got := m[name]; got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+
+	// Graceful termination: SIGTERM must produce exit code 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("pcschedd exited uncleanly: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pcschedd did not exit after SIGTERM")
+	}
+}
+
+func fetchMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	m := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			m[fields[0]] = v
+		}
+	}
+	return m
+}

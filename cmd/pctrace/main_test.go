@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"powercap/internal/core"
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+	"powercap/internal/trace"
+	"powercap/internal/workloads"
+)
+
+// TestRoundTrip: for every workload, gen → file → solve must reproduce the
+// in-memory pipeline exactly — identical canonical digest, identical
+// efficiency scales, identical solved makespan.
+func TestRoundTrip(t *testing.T) {
+	const (
+		ranks = 2
+		iters = 3
+		seed  = 7
+		scale = 0.1
+		capW  = 55.0
+	)
+	for _, name := range workloads.Names() {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), name+".trace.json")
+			cmdGen([]string{
+				"-workload", name, "-ranks", fmt.Sprint(ranks),
+				"-iters", fmt.Sprint(iters), "-seed", fmt.Sprint(seed),
+				"-scale", fmt.Sprint(scale), "-o", path,
+			})
+
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			g, eff, err := trace.Read(f)
+			if err != nil {
+				t.Fatalf("reading generated trace: %v", err)
+			}
+
+			w, err := workloads.ByName(name, workloads.Params{
+				Ranks: ranks, Iterations: iters, Seed: seed, WorkScale: scale,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dag.Digest(g) != dag.Digest(w.Graph) {
+				t.Fatal("round-tripped graph digest differs from the in-memory graph")
+			}
+			if len(eff) != len(w.EffScale) {
+				t.Fatalf("eff_scale length %d, want %d", len(eff), len(w.EffScale))
+			}
+			for i := range eff {
+				if eff[i] != w.EffScale[i] {
+					t.Fatalf("eff_scale[%d] = %v, want %v", i, eff[i], w.EffScale[i])
+				}
+			}
+
+			jobCap := capW * float64(ranks)
+			fromFile, err := core.NewSolver(machine.Default(), eff).SolveIterations(g, jobCap)
+			if err != nil {
+				t.Fatalf("solving round-tripped trace: %v", err)
+			}
+			inMem, err := core.NewSolver(machine.Default(), w.EffScale).SolveIterations(w.Graph, jobCap)
+			if err != nil {
+				t.Fatalf("solving in-memory graph: %v", err)
+			}
+			if fromFile.MakespanS != inMem.MakespanS {
+				t.Errorf("makespan from file %v != in-memory %v", fromFile.MakespanS, inMem.MakespanS)
+			}
+		})
+	}
+}
+
+// TestSolveCommand exercises the solve subcommand glue end to end on a
+// generated trace file.
+func TestSolveCommand(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "comd.trace.json")
+	cmdGen([]string{"-workload", "CoMD", "-ranks", "2", "-iters", "3", "-scale", "0.1", "-o", path})
+
+	out := captureStdout(t, func() {
+		cmdSolve([]string{"-cap", "55", path})
+	})
+	if !bytes.Contains(out, []byte("LP bound at 55 W/socket:")) {
+		t.Errorf("solve output missing bound line:\n%s", out)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it wrote (the pctrace subcommands print to the real stdout).
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- b
+	}()
+	fn()
+	w.Close()
+	out := <-done
+	r.Close()
+	return out
+}

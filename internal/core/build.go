@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -243,8 +244,9 @@ func (s *Solver) buildLP(g *dag.Graph) (*builtLP, error) {
 // solveBuilt re-aims the built LP at capW and solves it, warm starting from
 // warmBasis when one is supplied (sparse backend only). Solver effort is
 // accumulated into st. The returned solution is always Optimal; infeasible
-// caps surface as ErrInfeasible.
-func (s *Solver) solveBuilt(b *builtLP, capW float64, warmBasis []int, st *Stats) (*lp.Solution, error) {
+// caps surface as ErrInfeasible, and a canceled ctx as an error wrapping
+// ctx.Err() (so errors.Is against context.Canceled/DeadlineExceeded works).
+func (s *Solver) solveBuilt(ctx context.Context, b *builtLP, capW float64, warmBasis []int, st *Stats) (*lp.Solution, error) {
 	if b.fixedFloorW > capW {
 		return nil, fmt.Errorf("%w: fixed idle power exceeds cap %.1f W at event %d", ErrInfeasible, capW, b.fixedFloorVertex)
 	}
@@ -257,6 +259,9 @@ func (s *Solver) solveBuilt(b *builtLP, capW float64, warmBasis []int, st *Stats
 	opts := []lp.Option{lp.WithBackend(s.Backend)}
 	if len(warmBasis) > 0 {
 		opts = append(opts, lp.WithWarmBasis(warmBasis))
+	}
+	if ctx != nil && ctx != context.Background() {
+		opts = append(opts, lp.WithContext(ctx))
 	}
 	sol, err := lp.Solve(b.prob, opts...)
 	if err != nil {
@@ -277,6 +282,12 @@ func (s *Solver) solveBuilt(b *builtLP, capW float64, warmBasis []int, st *Stats
 		return sol, nil
 	case lp.Infeasible:
 		return nil, fmt.Errorf("%w: cap %.1f W", ErrInfeasible, capW)
+	case lp.Canceled:
+		cause := context.Canceled
+		if ctx != nil && ctx.Err() != nil {
+			cause = ctx.Err()
+		}
+		return nil, fmt.Errorf("core: solve canceled after %d pivots: %w", sol.Iters, cause)
 	default:
 		return nil, fmt.Errorf("core: LP solver returned %v (cap %.1f W)", sol.Status, capW)
 	}
@@ -335,12 +346,12 @@ func (s *Solver) extractInto(b *builtLP, sol *lp.Solution, out *Schedule, taskMa
 
 // solveInto builds and solves the LP for graph g under capW, writing task
 // choices through taskMap into out.Choices and vertex times into vt.
-func (s *Solver) solveInto(g *dag.Graph, capW float64, out *Schedule, taskMap []dag.TaskID, vt []float64) error {
+func (s *Solver) solveInto(ctx context.Context, g *dag.Graph, capW float64, out *Schedule, taskMap []dag.TaskID, vt []float64) error {
 	b, err := s.buildLP(g)
 	if err != nil {
 		return err
 	}
-	sol, err := s.solveBuilt(b, capW, nil, &out.Stats)
+	sol, err := s.solveBuilt(ctx, b, capW, nil, &out.Stats)
 	if err != nil {
 		return err
 	}

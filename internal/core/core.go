@@ -34,6 +34,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -214,12 +215,19 @@ func (s *Solver) Frontier(shape machine.Shape, rank int) *frontier {
 // Solve solves the fixed-vertex-order LP for the whole graph under the
 // job-level power constraint capW (watts across all sockets).
 func (s *Solver) Solve(g *dag.Graph, capW float64) (*Schedule, error) {
+	return s.SolveCtx(context.Background(), g, capW)
+}
+
+// SolveCtx is Solve with a cancellation context threaded into the simplex
+// pivot loops: once ctx is done the solve stops within a few pivots and
+// returns an error wrapping ctx.Err().
+func (s *Solver) SolveCtx(ctx context.Context, g *dag.Graph, capW float64) (*Schedule, error) {
 	sched := &Schedule{
 		CapW:        capW,
 		Choices:     make([]TaskChoice, len(g.Tasks)),
 		VertexTimeS: make([]float64, len(g.Vertices)),
 	}
-	if err := s.solveInto(g, capW, sched, identityTaskMap(len(g.Tasks)), sched.VertexTimeS); err != nil {
+	if err := s.solveInto(ctx, g, capW, sched, identityTaskMap(len(g.Tasks)), sched.VertexTimeS); err != nil {
 		return nil, err
 	}
 	sched.MakespanS = finalizeTime(g, sched.VertexTimeS)
@@ -232,12 +240,19 @@ func (s *Solver) Solve(g *dag.Graph, capW float64) (*Schedule, error) {
 // makespan is the sum of iteration makespans, and task choices are mapped
 // back to the original task IDs.
 func (s *Solver) SolveIterations(g *dag.Graph, capW float64) (*Schedule, error) {
+	return s.SolveIterationsCtx(context.Background(), g, capW)
+}
+
+// SolveIterationsCtx is SolveIterations with per-request cancellation; the
+// context is checked inside every slice's pivot loops, so a canceled
+// request stops mid-decomposition instead of finishing remaining slices.
+func (s *Solver) SolveIterationsCtx(ctx context.Context, g *dag.Graph, capW float64) (*Schedule, error) {
 	slices, err := dag.SliceAll(g)
 	if err != nil {
 		return nil, err
 	}
 	if len(slices) == 0 {
-		return s.Solve(g, capW)
+		return s.SolveCtx(ctx, g, capW)
 	}
 	sched := &Schedule{
 		CapW:        capW,
@@ -246,7 +261,7 @@ func (s *Solver) SolveIterations(g *dag.Graph, capW float64) (*Schedule, error) 
 	}
 	for _, sl := range slices {
 		vt := make([]float64, len(sl.Graph.Vertices))
-		if err := s.solveInto(sl.Graph, capW, sched, sl.TaskMap, vt); err != nil {
+		if err := s.solveInto(ctx, sl.Graph, capW, sched, sl.TaskMap, vt); err != nil {
 			return nil, fmt.Errorf("iteration slice: %w", err)
 		}
 		m := finalizeTime(sl.Graph, vt)

@@ -1,6 +1,10 @@
 package core
 
-import "powercap/internal/dag"
+import (
+	"context"
+
+	"powercap/internal/dag"
+)
 
 // Power-cap sweeps. The paper's experiments (Figs. 8–10) evaluate the
 // performance bound across a family of power constraints; re-solving from
@@ -28,6 +32,13 @@ type SweepPoint struct {
 // with the graph itself. Sweeping caps in monotonic order maximizes basis
 // reuse, but any order is correct.
 func (s *Solver) SolveSweep(g *dag.Graph, caps []float64) ([]SweepPoint, error) {
+	return s.SolveSweepCtx(context.Background(), g, caps)
+}
+
+// SolveSweepCtx is SolveSweep with cancellation: once ctx is done the
+// current cap's pivot loop stops and the remaining caps are marked with the
+// cancellation error without being attempted.
+func (s *Solver) SolveSweepCtx(ctx context.Context, g *dag.Graph, caps []float64) ([]SweepPoint, error) {
 	b, err := s.buildLP(g)
 	if err != nil {
 		return nil, err
@@ -41,7 +52,7 @@ func (s *Solver) SolveSweep(g *dag.Graph, caps []float64) ([]SweepPoint, error) 
 			Choices:     make([]TaskChoice, len(g.Tasks)),
 			VertexTimeS: make([]float64, len(g.Vertices)),
 		}
-		sol, err := s.solveBuilt(b, capW, basis, &sched.Stats)
+		sol, err := s.solveBuilt(ctx, b, capW, basis, &sched.Stats)
 		if err != nil {
 			pts[i].Err = err
 			continue

@@ -1,0 +1,90 @@
+package dag
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math"
+)
+
+// Content-addressed graph hashing. The schedule cache in internal/service
+// keys finished schedules by "what the LP actually sees": the full DAG —
+// vertices with their kinds, ranks, iteration marks and Pcontrol
+// boundaries, and tasks with their endpoints, work, response shapes and
+// message durations. Two byte-identical digests therefore denote graphs
+// whose LPs are identical row for row (the event order derives from the
+// initial schedule, which is a pure function of the graph and the machine
+// model; the model is hashed separately into the cache key).
+//
+// The serialization is deliberately positional and exhaustive: every field
+// of every vertex and task is written in ID order with fixed-width
+// little-endian encoding, lengths prefix all variable-size data (labels,
+// class names), and floats are hashed by IEEE-754 bit pattern so -0.0 vs
+// 0.0 or NaN payload differences cannot alias. Nothing is derived or
+// canonicalized beyond ID order, which the Graph representation already
+// guarantees (Validate enforces dense, ordered IDs via the trace codec,
+// and the builder allocates them sequentially).
+
+// Digest returns the canonical SHA-256 of the graph's content. Graphs with
+// equal digests produce identical fixed-vertex-order LPs under the same
+// machine model and efficiency scales.
+func Digest(g *Graph) [sha256.Size]byte {
+	h := sha256.New()
+	hashU64(h, uint64(g.NumRanks))
+
+	hashU64(h, uint64(len(g.Vertices)))
+	for _, v := range g.Vertices {
+		hashU64(h, uint64(v.ID))
+		hashU64(h, uint64(v.Kind))
+		hashI64(h, int64(v.Rank))
+		hashI64(h, int64(v.Iteration))
+		hashBool(h, v.IterBoundary)
+		hashString(h, v.Label)
+	}
+
+	hashU64(h, uint64(len(g.Tasks)))
+	for _, t := range g.Tasks {
+		hashU64(h, uint64(t.ID))
+		hashU64(h, uint64(t.Kind))
+		hashI64(h, int64(t.Rank))
+		hashU64(h, uint64(t.Src))
+		hashU64(h, uint64(t.Dst))
+		hashI64(h, int64(t.Iteration))
+		hashF64(h, t.Work)
+		hashF64(h, t.Shape.SerialFrac)
+		hashF64(h, t.Shape.MemFrac)
+		hashI64(h, int64(t.Shape.MemSatThreads))
+		hashF64(h, t.Shape.ContentionCoef)
+		hashF64(h, t.Shape.Intensity)
+		hashString(h, t.Class)
+		hashI64(h, int64(t.Bytes))
+		hashF64(h, t.FixedDur)
+	}
+
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func hashU64(h hash.Hash, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.Write(b[:])
+}
+
+func hashI64(h hash.Hash, v int64) { hashU64(h, uint64(v)) }
+
+func hashF64(h hash.Hash, v float64) { hashU64(h, math.Float64bits(v)) }
+
+func hashBool(h hash.Hash, v bool) {
+	if v {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+}
+
+func hashString(h hash.Hash, s string) {
+	hashU64(h, uint64(len(s)))
+	h.Write([]byte(s))
+}

@@ -70,6 +70,10 @@ const (
 	Unbounded
 	// IterLimit means the pivot limit was exhausted before convergence.
 	IterLimit
+	// Canceled means the solve was abandoned mid-pivot because the
+	// context supplied via WithContext was canceled or its deadline
+	// passed. No statement about the problem is implied.
+	Canceled
 )
 
 // String describes the status.
@@ -83,6 +87,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterLimit:
 		return "iteration limit"
+	case Canceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}

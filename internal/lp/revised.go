@@ -62,6 +62,7 @@ type revised struct {
 
 	maxIters    int
 	stallWindow int
+	cancel      func() bool // polled every cancelCheckEvery pivots
 	stats       SolveStats
 }
 
@@ -85,6 +86,7 @@ func newRevised(f *spForm, o *Options) *revised {
 	if rv.stallWindow <= 0 {
 		rv.stallWindow = stallWindow
 	}
+	rv.cancel = o.cancelFunc()
 	return rv
 }
 
@@ -241,6 +243,9 @@ func (rv *revised) primal(iters *int) Status {
 	lastObj := rv.phaseObjective()
 
 	for ; *iters < rv.maxIters; *iters++ {
+		if rv.cancel != nil && *iters%cancelCheckEvery == 0 && rv.cancel() {
+			return Canceled
+		}
 		rv.computeY()
 		enter := rv.priceEntering(bland)
 		if enter < 0 {
@@ -364,6 +369,9 @@ func (rv *revised) dual(iters *int) Status {
 	lastInfeas := rv.primalInfeasibility()
 
 	for ; *iters < rv.maxIters; *iters++ {
+		if rv.cancel != nil && *iters%cancelCheckEvery == 0 && rv.cancel() {
+			return Canceled
+		}
 		// Leaving row: most negative basic value (smallest row index under
 		// the anti-cycling fallback).
 		leave := -1
@@ -533,8 +541,8 @@ func (rv *revised) solveCold(p *Problem) *Solution {
 		}
 		st := rv.primal(&iters)
 		rv.stats.Phase1Iters = iters
-		if st == IterLimit {
-			return &Solution{Status: IterLimit, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}
+		if st == IterLimit || st == Canceled {
+			return &Solution{Status: st, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}
 		}
 		if rv.phaseObjective() > epsFeas {
 			return &Solution{Status: Infeasible, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}
@@ -622,6 +630,10 @@ func (rv *revised) solveWarm(p *Problem, warm []int) (*Solution, bool) {
 	switch rv.dual(&iters) {
 	case Optimal:
 		// Fall through to a primal polish (usually zero pivots).
+	case Canceled:
+		// Abandoned by the caller: falling back to a cold solve would burn
+		// exactly the pivots cancellation is meant to save.
+		return &Solution{Status: Canceled, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}, true
 	case Infeasible, IterLimit:
 		return nil, false
 	}
@@ -632,6 +644,8 @@ func (rv *revised) solveWarm(p *Problem, warm []int) (*Solution, bool) {
 		return rv.extract(p, iters), true
 	case Unbounded:
 		return &Solution{Status: Unbounded, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}, true
+	case Canceled:
+		return &Solution{Status: Canceled, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}, true
 	default:
 		return nil, false
 	}

@@ -54,6 +54,10 @@ type tableau struct {
 	maxIters int
 	stallWin int  // Dantzig iterations without improvement → Bland
 	bland    bool // anti-cycling fallback engaged at least once
+
+	// cancel, when non-nil, is polled every cancelCheckEvery pivots; a
+	// true return abandons the solve with Status Canceled.
+	cancel func() bool
 }
 
 func (t *tableau) at(i, j int) float64     { return t.a[i*t.n+j] }
@@ -230,8 +234,8 @@ func (t *tableau) solve() (st Status, phase1, phase2 int) {
 		}
 		t.recomputeObjRow()
 		st, phase1 = t.iterate()
-		if st == IterLimit {
-			return IterLimit, phase1, 0
+		if st == IterLimit || st == Canceled {
+			return st, phase1, 0
 		}
 		if t.phaseObjective() > epsFeas {
 			return Infeasible, phase1, 0
@@ -309,6 +313,9 @@ func (t *tableau) iterate() (Status, int) {
 	lastObj := t.phaseObjective()
 
 	for ; iters < t.maxIters; iters++ {
+		if t.cancel != nil && iters%cancelCheckEvery == 0 && t.cancel() {
+			return Canceled, iters
+		}
 		// Refresh the incrementally maintained reduced costs occasionally
 		// to shed accumulated floating-point drift.
 		if iters > 0 && iters%512 == 0 {
@@ -478,6 +485,7 @@ func solveDense(p *Problem, o *Options) (*Solution, error) {
 		t.maxIters = o.MaxIters
 	}
 	t.stallWin = o.StallWindow
+	t.cancel = o.cancelFunc()
 	st, n1, n2 := t.solve()
 	sol := &Solution{Status: st, Iters: n1 + n2, X: make([]float64, len(p.names))}
 	sol.Stats.Phase1Iters = n1

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -63,6 +64,12 @@ type Options struct {
 	// cold solve if the basis is unusable, so a stale or mismatched basis
 	// costs time, never correctness.
 	WarmBasis []int
+	// Ctx, when non-nil, lets the caller abandon a solve mid-pivot: the
+	// pivot loops poll ctx.Err() every cancelCheckEvery iterations and
+	// return Status Canceled once it is non-nil. Long-running services
+	// thread per-request deadlines through here so an abandoned request
+	// stops burning simplex pivots.
+	Ctx context.Context
 }
 
 // Option mutates Options.
@@ -79,6 +86,26 @@ func WithStallWindow(n int) Option { return func(o *Options) { o.StallWindow = n
 
 // WithWarmBasis supplies a starting basis from a previous Solution.Basis.
 func WithWarmBasis(basis []int) Option { return func(o *Options) { o.WarmBasis = basis } }
+
+// WithContext makes the solve cancelable: when ctx is canceled or its
+// deadline passes, the pivot loops stop at their next poll and the solve
+// returns Status Canceled.
+func WithContext(ctx context.Context) Option { return func(o *Options) { o.Ctx = ctx } }
+
+// cancelCheckEvery is how many pivots pass between context polls. Polling
+// is one atomic load inside ctx.Err(), but scheduling-LP pivots can be
+// microseconds, so the loops amortize the check.
+const cancelCheckEvery = 32
+
+// cancelFunc converts an Options context into a poll closure for the
+// backends (nil when no context was supplied).
+func (o *Options) cancelFunc() func() bool {
+	if o.Ctx == nil {
+		return nil
+	}
+	ctx := o.Ctx
+	return func() bool { return ctx.Err() != nil }
+}
 
 // Solver is the pluggable engine interface: anything that can solve a
 // Problem. The package-level Solve function is the default implementation;

@@ -85,6 +85,18 @@ func Default() *Model {
 	}
 }
 
+// Fingerprint returns a compact canonical rendering of the model's
+// calibration, suitable as a cache-key component: two models with equal
+// fingerprints produce identical configuration spaces, durations, and
+// powers for any task shape. Floats are rendered with %g at full float64
+// precision ('g' with no width prints the shortest exact representation),
+// so distinct calibrations cannot alias.
+func (m *Model) Fingerprint() string {
+	return fmt.Sprintf("cores=%d;f=%g:%g:%g;pbase=%g;pstat=%g;pdyn=%g;alpha=%g",
+		m.Cores, m.FreqMinGHz, m.FreqMaxGHz, m.FreqStepGHz,
+		m.PBaseW, m.PStaticCoreW, m.PDynCoreW, m.Alpha)
+}
+
 // FreqStates lists the DVFS states from highest to lowest frequency.
 func (m *Model) FreqStates() []float64 {
 	var out []float64

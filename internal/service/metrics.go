@@ -1,0 +1,163 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Observability layer: lock-free counters and latency histograms exposed in
+// a Prometheus-compatible text format at /metrics. Everything is plain
+// atomics — the service's hot path (cache hit) must not take a lock to be
+// counted.
+
+// Metrics aggregates the service's counters and histograms. All fields are
+// safe for concurrent use; read them with atomic loads (or Snapshot).
+type Metrics struct {
+	// Requests counts every API request accepted into a handler
+	// (including ones later rejected by admission control).
+	Requests atomic.Uint64
+	// Solves counts backend LP solves that ran to completion. The
+	// singleflight load test's "exactly 1 backend solve for 64 identical
+	// requests" asserts on this counter.
+	Solves atomic.Uint64
+	// CacheHits counts requests served without a backend solve: LRU hits
+	// plus requests coalesced onto an in-flight identical solve.
+	CacheHits atomic.Uint64
+	// CacheMisses counts requests that had to run a backend solve.
+	CacheMisses atomic.Uint64
+	// Coalesced is the subset of CacheHits that joined an in-flight solve
+	// (singleflight) rather than finding a finished schedule.
+	Coalesced atomic.Uint64
+	// Canceled counts requests abandoned by deadline or client disconnect,
+	// observed as a cancellation surfacing from the LP pivot loops.
+	Canceled atomic.Uint64
+	// Rejected counts admission-control rejections (queue full, draining).
+	Rejected atomic.Uint64
+	// BadRequests counts malformed requests (400s).
+	BadRequests atomic.Uint64
+	// Infeasible counts solves that proved the cap infeasible.
+	Infeasible atomic.Uint64
+	// WarmStarts and Pivots accumulate solver effort across all backend
+	// solves (sweep points included).
+	WarmStarts atomic.Uint64
+	Pivots     atomic.Uint64
+	// Inflight is the number of API requests currently inside a handler.
+	Inflight atomic.Int64
+
+	// QueueWait measures time spent waiting for a worker slot;
+	// SolveLatency the backend solve alone; RequestLatency the full
+	// handler (decode → respond).
+	QueueWait      Histogram
+	SolveLatency   Histogram
+	RequestLatency Histogram
+}
+
+// latencyBounds are the histogram bucket upper bounds in seconds,
+// log-spaced from 100 µs to 30 s — scheduling solves span from sub-ms
+// (cache hits) to tens of seconds (32-rank cold solves).
+var latencyBounds = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Histogram is a fixed-bucket latency histogram with atomic counters. The
+// zero value is ready to use (buckets are latencyBounds).
+type Histogram struct {
+	counts [len(latencyBounds) + 1]atomic.Uint64 // +1 for +Inf
+	sumNS  atomic.Int64
+	count  atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for ; i < len(latencyBounds); i++ {
+		if s <= latencyBounds[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count reports how many observations the histogram holds.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile approximates the q'th quantile (0 < q < 1) by linear
+// interpolation within the containing bucket; the +Inf bucket reports its
+// lower bound. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	lower := 0.0
+	for i := 0; i <= len(latencyBounds); i++ {
+		c := h.counts[i].Load()
+		if cum+c > target {
+			if i == len(latencyBounds) {
+				return lower // open-ended bucket: report its floor
+			}
+			upper := latencyBounds[i]
+			if c == 0 {
+				return upper
+			}
+			frac := float64(target-cum) / float64(c)
+			return lower + frac*(upper-lower)
+		}
+		cum += c
+		if i < len(latencyBounds) {
+			lower = latencyBounds[i]
+		}
+	}
+	return lower
+}
+
+// writeHistogram renders one histogram in Prometheus text format.
+func writeHistogram(w io.Writer, name string, h *Histogram) {
+	var cum uint64
+	for i, b := range latencyBounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+	}
+	cum += h.counts[len(latencyBounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, time.Duration(h.sumNS.Load()).Seconds())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// Render writes every counter and histogram in Prometheus text format.
+func (m *Metrics) Render(w io.Writer) {
+	counters := []struct {
+		name string
+		v    uint64
+	}{
+		{"pcschedd_requests_total", m.Requests.Load()},
+		{"pcschedd_solves_total", m.Solves.Load()},
+		{"pcschedd_cache_hits_total", m.CacheHits.Load()},
+		{"pcschedd_cache_misses_total", m.CacheMisses.Load()},
+		{"pcschedd_coalesced_total", m.Coalesced.Load()},
+		{"pcschedd_canceled_total", m.Canceled.Load()},
+		{"pcschedd_rejected_total", m.Rejected.Load()},
+		{"pcschedd_bad_requests_total", m.BadRequests.Load()},
+		{"pcschedd_infeasible_total", m.Infeasible.Load()},
+		{"pcschedd_warm_starts_total", m.WarmStarts.Load()},
+		{"pcschedd_pivots_total", m.Pivots.Load()},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
+	fmt.Fprintf(w, "pcschedd_inflight_requests %d\n", m.Inflight.Load())
+	writeHistogram(w, "pcschedd_queue_wait_seconds", &m.QueueWait)
+	writeHistogram(w, "pcschedd_solve_latency_seconds", &m.SolveLatency)
+	writeHistogram(w, "pcschedd_request_latency_seconds", &m.RequestLatency)
+}

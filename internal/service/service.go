@@ -1,0 +1,710 @@
+// Package service implements pcschedd's HTTP/JSON scheduling service: a
+// concurrent front end over the powercap.System facade that accepts
+// solve/sweep/compare requests (inline trace JSON or named workload
+// proxies), executes them on a bounded worker pool, deduplicates identical
+// work through a content-addressed schedule cache, and exposes its behavior
+// through /metrics and /healthz.
+//
+// Three properties define the design:
+//
+//   - Content addressing. A request's cache key is System.ScheduleKey — a
+//     SHA-256 digest of the canonical DAG serialization, machine model
+//     fingerprint, efficiency scales, and cap — so identical LPs are solved
+//     exactly once regardless of how many clients ask, concurrently or not
+//     (singleflight coalescing plus an LRU of finished schedules).
+//
+//   - Admission control and lifecycle. A worker-slot semaphore bounds
+//     concurrent solves, a queue bound rejects excess load with 429 rather
+//     than letting latency collapse, per-request deadlines are threaded
+//     into the LP pivot loops (an abandoned request stops solving within
+//     cancelCheckEvery pivots), and Drain performs a graceful shutdown:
+//     in-flight solves complete and respond, new work is refused.
+//
+//   - Observability. Atomic counters and latency histograms for every
+//     stage (queue wait, solve, full request) are rendered at /metrics;
+//     each request emits one structured log line.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powercap"
+	"powercap/internal/trace"
+)
+
+// Config sizes a Server. The zero value is usable: every field has a
+// sensible default.
+type Config struct {
+	// Model is the socket model solves run against (nil = DefaultModel).
+	Model *powercap.Model
+	// Workers bounds concurrent backend solves (default GOMAXPROCS).
+	Workers int
+	// QueueDepth is how many requests beyond the busy workers may wait
+	// for a slot before new arrivals get 429 (default 64).
+	QueueDepth int
+	// CacheSize is the schedule LRU capacity in entries (default 256).
+	CacheSize int
+	// DefaultTimeout caps a request that names no deadline (default 60s);
+	// MaxTimeout clamps client-supplied deadlines (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Log receives one structured line per request (nil = discard).
+	Log *log.Logger
+}
+
+// Server is the scheduling service; it implements http.Handler and is safe
+// for concurrent use.
+type Server struct {
+	model          *powercap.Model
+	workers        int
+	queueDepth     int
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	logger         *log.Logger
+
+	metrics Metrics
+	cache   *cache
+	sem     chan struct{} // worker slots
+	queue   chan struct{} // admission tokens: workers + queue depth
+	mux     *http.ServeMux
+
+	// draining flips before drainMu is write-locked, so a request either
+	// sees the flag or holds a read lock Drain waits on — never neither.
+	draining atomic.Bool
+	drainMu  sync.RWMutex
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	} else if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 5 * time.Minute
+	}
+	if cfg.Model == nil {
+		cfg.Model = powercap.DefaultModel()
+	}
+	s := &Server{
+		model:          cfg.Model,
+		workers:        cfg.Workers,
+		queueDepth:     cfg.QueueDepth,
+		defaultTimeout: cfg.DefaultTimeout,
+		maxTimeout:     cfg.MaxTimeout,
+		logger:         cfg.Log,
+		cache:          newCache(cfg.CacheSize),
+		sem:            make(chan struct{}, cfg.Workers),
+		queue:          make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/solve", s.api(s.handleSolve))
+	s.mux.HandleFunc("POST /v1/sweep", s.api(s.handleSweep))
+	s.mux.HandleFunc("POST /v1/compare", s.api(s.handleCompare))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP dispatches to the service mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics exposes the server's counters (for tests and the bench harness).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Drain gracefully shuts the API down: new requests are rejected with 503
+// while every request already past admission runs to completion and gets
+// its response. Returns nil once the server is idle, or ctx.Err() if the
+// deadline expires first (in-flight solves keep their own deadlines either
+// way). /healthz and /metrics stay up for observability.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	idle := make(chan struct{})
+	go func() {
+		// Write-locking waits for every in-flight reader (= request).
+		s.drainMu.Lock()
+		s.drainMu.Unlock()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// statusRecorder captures the response code for logging and latency
+// classification.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// api wraps an API handler with lifecycle tracking, drain rejection,
+// request metrics, and the structured request log.
+func (s *Server) api(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.Requests.Add(1)
+		if s.draining.Load() {
+			s.metrics.Rejected.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "service is draining")
+			return
+		}
+		s.drainMu.RLock()
+		defer s.drainMu.RUnlock()
+		if s.draining.Load() {
+			// Drain began between the flag check and the read lock.
+			s.metrics.Rejected.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "service is draining")
+			return
+		}
+		s.metrics.Inflight.Add(1)
+		defer s.metrics.Inflight.Add(-1)
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
+		h(rec, r)
+
+		dur := time.Since(start)
+		s.metrics.RequestLatency.Observe(dur)
+		if s.logger != nil {
+			s.logger.Printf("method=%s path=%s status=%d dur_ms=%.2f remote=%s",
+				r.Method, r.URL.Path, rec.status, float64(dur)/float64(time.Millisecond), r.RemoteAddr)
+		}
+	}
+}
+
+// errQueueFull is the admission-control rejection: both the worker pool and
+// its bounded queue are occupied.
+var errQueueFull = errors.New("service: all workers busy and admission queue full")
+
+// acquire claims a worker slot, waiting in the bounded queue if all workers
+// are busy. A free slot is taken even when ctx is already done: the
+// cancellation is then observed authoritatively inside the LP pivot loop,
+// which is both where the work is and where it is counted.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		return nil, errQueueFull
+	}
+	start := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			<-s.queue
+			return nil, ctx.Err()
+		}
+	}
+	s.metrics.QueueWait.Observe(time.Since(start))
+	return func() { <-s.sem; <-s.queue }, nil
+}
+
+// requestCtx derives the per-request deadline: the client's timeout_ms
+// clamped to MaxTimeout, or DefaultTimeout when absent. It inherits
+// r.Context() so a disconnected client also cancels the solve.
+func (s *Server) requestCtx(r *http.Request, timeoutMS float64) (context.Context, context.CancelFunc) {
+	d := s.defaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS * float64(time.Millisecond))
+		if d > s.maxTimeout {
+			d = s.maxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// WorkloadSpec names one of the built-in benchmark proxies in a request.
+type WorkloadSpec struct {
+	Name  string  `json:"name"`
+	Ranks int     `json:"ranks,omitempty"`
+	Iters int     `json:"iters,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// SolveRequest asks for the LP bound of one application under one cap.
+// Exactly one of Trace (inline trace JSON, the schema pctrace gen emits)
+// or Workload must be set, and exactly one of JobCapW or CapPerSocketW.
+type SolveRequest struct {
+	Trace         *trace.File   `json:"trace,omitempty"`
+	Workload      *WorkloadSpec `json:"workload,omitempty"`
+	CapPerSocketW float64       `json:"cap_per_socket_w,omitempty"`
+	JobCapW       float64       `json:"job_cap_w,omitempty"`
+	// Whole solves one LP over the entire graph instead of decomposing at
+	// iteration boundaries.
+	Whole     bool    `json:"whole,omitempty"`
+	TimeoutMS float64 `json:"timeout_ms,omitempty"`
+}
+
+// StatsJSON mirrors SolverStats for responses.
+type StatsJSON struct {
+	Solves           int `json:"solves"`
+	SimplexPivots    int `json:"simplex_pivots"`
+	DualPivots       int `json:"dual_pivots"`
+	WarmStarts       int `json:"warm_starts"`
+	Refactorizations int `json:"refactorizations"`
+}
+
+func statsJSON(st powercap.SolverStats) *StatsJSON {
+	return &StatsJSON{
+		Solves:           st.Solves,
+		SimplexPivots:    st.SimplexIter,
+		DualPivots:       st.DualIter,
+		WarmStarts:       st.WarmStarts,
+		Refactorizations: st.Refactorizations,
+	}
+}
+
+// SolveResponse reports one solved (or provably infeasible) schedule.
+type SolveResponse struct {
+	Key         string  `json:"key"`
+	GraphDigest string  `json:"graph_digest"`
+	Workload    string  `json:"workload,omitempty"`
+	JobCapW     float64 `json:"job_cap_w"`
+
+	Infeasible         bool       `json:"infeasible,omitempty"`
+	MakespanS          float64    `json:"makespan_s,omitempty"`
+	MarginalSecPerW    float64    `json:"marginal_s_per_w,omitempty"`
+	IterationMakespans []float64  `json:"iteration_makespans,omitempty"`
+	Stats              *StatsJSON `json:"stats,omitempty"`
+
+	// Cached is true when the response came from the LRU or an in-flight
+	// identical solve rather than a fresh backend run.
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// solveOutcome is the cached value for a solve key: either a schedule or a
+// proof of infeasibility (both are pure functions of the key).
+type solveOutcome struct {
+	sched      *powercap.Schedule
+	infeasible bool
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req SolveRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	g, eff, name, err := resolveGraph(req.Trace, req.Workload)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	jobCap, err := resolveCap(req.JobCapW, req.CapPerSocketW, g.NumRanks)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	sys := powercap.NewSystem(s.model)
+	sys.EffScale = eff
+	key := sys.ScheduleKey(g, jobCap, req.Whole)
+
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	val, how, err := s.cache.Do(ctx, key, func() (any, error) {
+		release, err := s.acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		t0 := time.Now()
+		var sched *powercap.Schedule
+		var serr error
+		if req.Whole {
+			sched, serr = sys.UpperBoundWholeCtx(ctx, g, jobCap)
+		} else {
+			sched, serr = sys.UpperBoundCtx(ctx, g, jobCap)
+		}
+		s.metrics.SolveLatency.Observe(time.Since(t0))
+		if serr != nil {
+			if errors.Is(serr, powercap.ErrInfeasible) {
+				s.metrics.Solves.Add(1)
+				s.metrics.Infeasible.Add(1)
+				return &solveOutcome{infeasible: true}, nil
+			}
+			return nil, serr
+		}
+		s.metrics.Solves.Add(1)
+		s.metrics.WarmStarts.Add(uint64(sched.Stats.WarmStarts))
+		s.metrics.Pivots.Add(uint64(sched.Stats.SimplexIter))
+		return &solveOutcome{sched: sched}, nil
+	})
+	if err != nil {
+		s.solveError(w, err)
+		return
+	}
+	s.countHit(how)
+
+	out := val.(*solveOutcome)
+	resp := &SolveResponse{
+		Key:         key,
+		GraphDigest: powercap.GraphDigest(g),
+		Workload:    name,
+		JobCapW:     jobCap,
+		Cached:      how != hitMiss,
+		ElapsedMS:   msSince(start),
+	}
+	if out.infeasible {
+		resp.Infeasible = true
+	} else {
+		resp.MakespanS = out.sched.MakespanS
+		resp.MarginalSecPerW = out.sched.MarginalSecPerW
+		resp.IterationMakespans = out.sched.IterationMakespans
+		resp.Stats = statsJSON(out.sched.Stats)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SweepRequest asks for the LP bound across a family of per-socket caps,
+// given either an explicit list or a "hi:lo:step" spec (watts per socket).
+type SweepRequest struct {
+	Trace          *trace.File   `json:"trace,omitempty"`
+	Workload       *WorkloadSpec `json:"workload,omitempty"`
+	Spec           string        `json:"spec,omitempty"`
+	CapsPerSocketW []float64     `json:"caps_per_socket_w,omitempty"`
+	TimeoutMS      float64       `json:"timeout_ms,omitempty"`
+}
+
+// SweepPointJSON is one cap's result in a SweepResponse.
+type SweepPointJSON struct {
+	PerSocketW      float64 `json:"per_socket_w"`
+	JobCapW         float64 `json:"job_cap_w"`
+	MakespanS       float64 `json:"makespan_s,omitempty"`
+	MarginalSecPerW float64 `json:"marginal_s_per_w,omitempty"`
+	Infeasible      bool    `json:"infeasible,omitempty"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// SweepResponse reports a warm-started sweep.
+type SweepResponse struct {
+	Workload    string           `json:"workload,omitempty"`
+	GraphDigest string           `json:"graph_digest"`
+	Points      []SweepPointJSON `json:"points"`
+	Stats       *StatsJSON       `json:"stats,omitempty"`
+	ElapsedMS   float64          `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	g, eff, name, err := resolveGraph(req.Trace, req.Workload)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	perSocket := req.CapsPerSocketW
+	if req.Spec != "" {
+		if len(perSocket) != 0 {
+			s.badRequest(w, errors.New("give either spec or caps_per_socket_w, not both"))
+			return
+		}
+		perSocket, err = powercap.ParseSweepSpec(req.Spec)
+		if err != nil {
+			s.badRequest(w, err)
+			return
+		}
+	}
+	if len(perSocket) == 0 {
+		s.badRequest(w, errors.New("sweep needs spec or caps_per_socket_w"))
+		return
+	}
+	jobCaps := make([]float64, len(perSocket))
+	for i, c := range perSocket {
+		if c <= 0 {
+			s.badRequest(w, fmt.Errorf("cap %g W must be positive", c))
+			return
+		}
+		jobCaps[i] = c * float64(g.NumRanks)
+	}
+	sys := powercap.NewSystem(s.model)
+	sys.EffScale = eff
+
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		s.solveError(w, err)
+		return
+	}
+	t0 := time.Now()
+	pts, err := sys.SolveSweepCtx(ctx, g, jobCaps)
+	release()
+	s.metrics.SolveLatency.Observe(time.Since(t0))
+	if err != nil {
+		s.solveError(w, err)
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		// The sweep was abandoned mid-family; partial points are not
+		// worth a misleading 200.
+		s.metrics.Canceled.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "sweep canceled: "+err.Error())
+		return
+	}
+
+	resp := &SweepResponse{Workload: name, GraphDigest: powercap.GraphDigest(g)}
+	var agg powercap.SolverStats
+	for i, pt := range pts {
+		pj := SweepPointJSON{PerSocketW: perSocket[i], JobCapW: pt.CapW}
+		switch {
+		case pt.Err != nil && errors.Is(pt.Err, powercap.ErrInfeasible):
+			pj.Infeasible = true
+			s.metrics.Solves.Add(1)
+			s.metrics.Infeasible.Add(1)
+		case pt.Err != nil:
+			pj.Error = pt.Err.Error()
+		default:
+			pj.MakespanS = pt.Schedule.MakespanS
+			pj.MarginalSecPerW = pt.Schedule.MarginalSecPerW
+			agg.Add(pt.Schedule.Stats)
+			s.metrics.Solves.Add(1)
+		}
+		resp.Points = append(resp.Points, pj)
+	}
+	s.metrics.WarmStarts.Add(uint64(agg.WarmStarts))
+	s.metrics.Pivots.Add(uint64(agg.SimplexIter))
+	resp.Stats = statsJSON(agg)
+	resp.ElapsedMS = msSince(start)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// CompareRequest asks for the paper's headline experiment at one cap:
+// LP bound vs Static vs Conductor. Only named workloads are accepted —
+// the comparison needs the proxy's iteration structure and exploration
+// phase, which a bare trace does not carry.
+type CompareRequest struct {
+	Workload      *WorkloadSpec `json:"workload"`
+	CapPerSocketW float64       `json:"cap_per_socket_w"`
+	TimeoutMS     float64       `json:"timeout_ms,omitempty"`
+}
+
+// CompareResponse wraps a powercap.Comparison; cmd/pcsched -json emits the
+// same schema, so service and CLI output are interchangeable.
+type CompareResponse struct {
+	Comparison powercap.Comparison `json:"comparison"`
+	Cached     bool                `json:"cached"`
+	ElapsedMS  float64             `json:"elapsed_ms"`
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req CompareRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	if req.Workload == nil {
+		s.badRequest(w, errors.New("compare needs a named workload"))
+		return
+	}
+	if req.CapPerSocketW <= 0 {
+		s.badRequest(w, fmt.Errorf("cap_per_socket_w %g must be positive", req.CapPerSocketW))
+		return
+	}
+	wl, err := workloadFor(req.Workload)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	sys := powercap.SystemFor(wl, s.model)
+	// Compare's result additionally depends on the exploration-iteration
+	// count, so extend the schedule key rather than reusing it bare.
+	key := fmt.Sprintf("compare|%s|expl=%d",
+		sys.ScheduleKey(wl.Graph, req.CapPerSocketW*float64(wl.Graph.NumRanks), false),
+		sys.ExploreIters)
+
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	val, how, err := s.cache.Do(ctx, key, func() (any, error) {
+		release, err := s.acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		t0 := time.Now()
+		cmp, cerr := sys.CompareCtx(ctx, wl, req.CapPerSocketW)
+		s.metrics.SolveLatency.Observe(time.Since(t0))
+		if cerr != nil {
+			return nil, cerr
+		}
+		s.metrics.Solves.Add(1)
+		return cmp, nil
+	})
+	if err != nil {
+		s.solveError(w, err)
+		return
+	}
+	s.countHit(how)
+	writeJSON(w, http.StatusOK, &CompareResponse{
+		Comparison: *val.(*powercap.Comparison),
+		Cached:     how != hitMiss,
+		ElapsedMS:  msSince(start),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      status,
+		"workers":     s.workers,
+		"queue_depth": s.queueDepth,
+		"queue_used":  len(s.queue),
+		"inflight":    s.metrics.Inflight.Load(),
+		"cached":      s.cache.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.Render(w)
+}
+
+// countHit records the cache outcome of a successful lookup.
+func (s *Server) countHit(how hitKind) {
+	switch how {
+	case hitMiss:
+		s.metrics.CacheMisses.Add(1)
+	case hitCoalesced:
+		s.metrics.CacheHits.Add(1)
+		s.metrics.Coalesced.Add(1)
+	default:
+		s.metrics.CacheHits.Add(1)
+	}
+}
+
+// solveError maps a backend failure onto an HTTP status and the matching
+// counter: queue-full → 429, cancellation → 504, anything else → 500.
+func (s *Server) solveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.metrics.Rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.metrics.Canceled.Add(1)
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.metrics.BadRequests.Add(1)
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+// resolveGraph materializes the application graph named by a request:
+// inline trace JSON or a workload proxy, but not both and not neither.
+func resolveGraph(tf *trace.File, ws *WorkloadSpec) (*powercap.Graph, []float64, string, error) {
+	switch {
+	case tf != nil && ws != nil:
+		return nil, nil, "", errors.New("give either trace or workload, not both")
+	case tf != nil:
+		g, eff, err := trace.Decode(tf)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		name := tf.Name
+		if name == "" {
+			name = "trace"
+		}
+		return g, eff, name, nil
+	case ws != nil:
+		wl, err := workloadFor(ws)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return wl.Graph, wl.EffScale, wl.Name, nil
+	default:
+		return nil, nil, "", errors.New("request needs a trace or a workload")
+	}
+}
+
+func workloadFor(ws *WorkloadSpec) (*powercap.Workload, error) {
+	return powercap.WorkloadByName(ws.Name, powercap.WorkloadParams{
+		Ranks:      ws.Ranks,
+		Iterations: ws.Iters,
+		Seed:       ws.Seed,
+		WorkScale:  ws.Scale,
+	})
+}
+
+// resolveCap picks the job-level cap from the two ways a request may state
+// it.
+func resolveCap(jobCapW, perSocketW float64, ranks int) (float64, error) {
+	switch {
+	case jobCapW > 0 && perSocketW > 0:
+		return 0, errors.New("give either job_cap_w or cap_per_socket_w, not both")
+	case jobCapW > 0:
+		return jobCapW, nil
+	case perSocketW > 0:
+		return perSocketW * float64(ranks), nil
+	default:
+		return 0, errors.New("request needs a positive job_cap_w or cap_per_socket_w")
+	}
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg, "status": code})
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

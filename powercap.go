@@ -23,9 +23,14 @@
 package powercap
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"powercap/internal/conductor"
 	"powercap/internal/core"
@@ -102,6 +107,40 @@ func ReadTrace(r io.Reader) (*Graph, []float64, error) {
 // NewTrace starts a trace/DAG builder for numRanks MPI processes.
 func NewTrace(numRanks int) *TraceBuilder { return dag.NewBuilder(numRanks) }
 
+// GraphDigest returns the canonical SHA-256 content hash of an application
+// graph, hex-encoded. Two graphs with equal digests generate identical
+// fixed-vertex-order LPs under the same machine model and efficiency
+// scales; the schedule cache in pcschedd is keyed on it (see ScheduleKey
+// and DESIGN.md §8).
+func GraphDigest(g *Graph) string {
+	d := dag.Digest(g)
+	return hex.EncodeToString(d[:])
+}
+
+// ScheduleKey derives the content-addressed cache key identifying one solve
+// on this System: the graph digest plus everything else the resulting
+// Schedule depends on — the machine model calibration, the per-socket
+// efficiency scales (they re-shape every Pareto frontier), the job-level
+// cap, and whether the solve decomposes at iteration boundaries. Equal keys
+// imply byte-for-byte interchangeable schedules.
+func (s *System) ScheduleKey(g *Graph, jobCapW float64, whole bool) string {
+	h := sha256.New()
+	d := dag.Digest(g)
+	h.Write(d[:])
+	io.WriteString(h, s.Model.Fingerprint())
+	binary.Write(h, binary.LittleEndian, uint64(len(s.EffScale)))
+	for _, e := range s.EffScale {
+		binary.Write(h, binary.LittleEndian, math.Float64bits(e))
+	}
+	binary.Write(h, binary.LittleEndian, math.Float64bits(jobCapW))
+	if whole {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // DefaultModel returns the calibrated Xeon-E5-2670-like socket model used
 // throughout the reproduction.
 func DefaultModel() *Model { return machine.Default() }
@@ -161,13 +200,26 @@ func SystemFor(w *Workload, model *Model) *System {
 // at MPI_Pcontrol boundaries) under a job-level power cap and returns the
 // near-optimal schedule whose makespan is the paper's theoretical bound.
 func (s *System) UpperBound(g *Graph, jobCapW float64) (*Schedule, error) {
-	return core.NewSolver(s.Model, s.EffScale).SolveIterations(g, jobCapW)
+	return s.UpperBoundCtx(context.Background(), g, jobCapW)
+}
+
+// UpperBoundCtx is UpperBound with per-request cancellation: the context is
+// polled inside the simplex pivot loops, so an abandoned caller (a timed-out
+// service request, a shutdown) stops the solve within a few pivots. The
+// returned error wraps ctx.Err() when the solve was canceled.
+func (s *System) UpperBoundCtx(ctx context.Context, g *Graph, jobCapW float64) (*Schedule, error) {
+	return core.NewSolver(s.Model, s.EffScale).SolveIterationsCtx(ctx, g, jobCapW)
 }
 
 // UpperBoundWhole solves one LP over the entire graph (no iteration
 // decomposition); use for graphs without Pcontrol boundaries.
 func (s *System) UpperBoundWhole(g *Graph, jobCapW float64) (*Schedule, error) {
 	return core.NewSolver(s.Model, s.EffScale).Solve(g, jobCapW)
+}
+
+// UpperBoundWholeCtx is UpperBoundWhole with per-request cancellation.
+func (s *System) UpperBoundWholeCtx(ctx context.Context, g *Graph, jobCapW float64) (*Schedule, error) {
+	return core.NewSolver(s.Model, s.EffScale).SolveCtx(ctx, g, jobCapW)
 }
 
 // UpperBoundDiscrete solves the fixed-vertex-order formulation with true
@@ -239,6 +291,12 @@ type Comparison struct {
 // prescribes ("we discard the first three iterations of every
 // application").
 func (s *System) Compare(w *Workload, perSocketW float64) (*Comparison, error) {
+	return s.CompareCtx(context.Background(), w, perSocketW)
+}
+
+// CompareCtx is Compare with per-request cancellation, threaded into the LP
+// solves (the dominant cost) and checked between the policy simulations.
+func (s *System) CompareCtx(ctx context.Context, w *Workload, perSocketW float64) (*Comparison, error) {
 	g := w.Graph
 	jobCap := perSocketW * float64(g.NumRanks)
 	cmp := &Comparison{Workload: w.Name, PerSocketW: perSocketW, JobCapW: jobCap}
@@ -263,6 +321,9 @@ func (s *System) Compare(w *Workload, perSocketW float64) (*Comparison, error) {
 
 	// Conductor over the whole run; MeasuredS already excludes
 	// exploration.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c := conductor.New(s.Model, s.EffScale)
 	c.ExploreIters = s.ExploreIters
 	cres, err := c.Run(g, jobCap)
@@ -274,7 +335,7 @@ func (s *System) Compare(w *Workload, perSocketW float64) (*Comparison, error) {
 	// LP bound per measured slice.
 	lps := core.NewSolver(s.Model, s.EffScale)
 	for i := s.ExploreIters; i < len(slices); i++ {
-		sched, err := lps.Solve(slices[i].Graph, jobCap)
+		sched, err := lps.SolveCtx(ctx, slices[i].Graph, jobCap)
 		if err != nil {
 			if errors.Is(err, core.ErrInfeasible) {
 				cmp.LPInfeasible = true

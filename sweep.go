@@ -1,7 +1,11 @@
 package powercap
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 	"sync"
 
 	"powercap/internal/core"
@@ -28,6 +32,66 @@ type SolverStats = core.Stats
 // cap orders maximize basis reuse, but any order is correct.
 func (s *System) SolveSweep(g *Graph, jobCapsW []float64) ([]SweepPoint, error) {
 	return core.NewSolver(s.Model, s.EffScale).SolveSweep(g, jobCapsW)
+}
+
+// SolveSweepCtx is SolveSweep with per-request cancellation threaded into
+// every cap's pivot loop; after ctx is done the remaining caps carry the
+// cancellation error without being attempted.
+func (s *System) SolveSweepCtx(ctx context.Context, g *Graph, jobCapsW []float64) ([]SweepPoint, error) {
+	return core.NewSolver(s.Model, s.EffScale).SolveSweepCtx(ctx, g, jobCapsW)
+}
+
+// MaxSweepPoints bounds how many caps a single "hi:lo:step" spec may
+// expand to; beyond it the spec is almost certainly a typo (e.g. a
+// milliwatt step) and would pin a solver for hours.
+const MaxSweepPoints = 10000
+
+// ParseSweepSpec parses and validates a per-socket power sweep spec
+// "hi:lo:step" (watts) into a descending cap list: hi, hi−step, …, down to
+// the last value ≥ lo (within a 1e-9 tolerance so "70:30:5" includes 30).
+// Descending order maximizes warm-start reuse — the feasible region only
+// shrinks as the cap drops, so each basis repairs cheaply into the next.
+//
+// Malformed specs are rejected with a descriptive error rather than being
+// reinterpreted: all three fields must be finite numbers, step must be
+// positive, hi must be ≥ lo (no silent swapping), lo must be positive (a
+// zero-or-negative power cap is meaningless), and the expansion must stay
+// within MaxSweepPoints.
+func ParseSweepSpec(spec string) ([]float64, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("sweep spec %q: want hi:lo:step (W per socket)", spec)
+	}
+	names := [3]string{"hi", "lo", "step"}
+	var vals [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep spec %q: %s field %q is not a number", spec, names[i], p)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("sweep spec %q: %s field must be finite, got %v", spec, names[i], v)
+		}
+		vals[i] = v
+	}
+	hi, lo, step := vals[0], vals[1], vals[2]
+	if step <= 0 {
+		return nil, fmt.Errorf("sweep spec %q: step must be positive, got %g", spec, step)
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("sweep spec %q: hi (%g) must be ≥ lo (%g); sweeps run high to low", spec, hi, lo)
+	}
+	if lo <= 0 {
+		return nil, fmt.Errorf("sweep spec %q: lo must be positive, got %g", spec, lo)
+	}
+	if n := (hi-lo)/step + 1; n > MaxSweepPoints {
+		return nil, fmt.Errorf("sweep spec %q: expands to %.0f caps (max %d)", spec, n, MaxSweepPoints)
+	}
+	var caps []float64
+	for c := hi; c >= lo-1e-9; c -= step {
+		caps = append(caps, c)
+	}
+	return caps, nil
 }
 
 // SweepParallel is SolveSweep fanned across a bounded worker pool: the caps

@@ -3,6 +3,7 @@ package powercap_test
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"powercap"
@@ -168,4 +169,70 @@ func TestInfeasibilityChains(t *testing.T) {
 	if !errors.Is(pts[0].Err, powercap.ErrInfeasible) || !errors.Is(pts[0].Err, lp.ErrInfeasible) {
 		t.Fatalf("sweep point error %v does not chain through both sentinels", pts[0].Err)
 	}
+}
+
+// TestParseSweepSpec is the table-driven contract for "hi:lo:step" sweep
+// specs: valid specs expand to descending, inclusive cap lists; malformed
+// ones are rejected with errors naming the offending field.
+func TestParseSweepSpec(t *testing.T) {
+	t.Run("valid", func(t *testing.T) {
+		cases := []struct {
+			spec string
+			want []float64
+		}{
+			{"70:30:5", []float64{70, 65, 60, 55, 50, 45, 40, 35, 30}},
+			{"60:60:5", []float64{60}},
+			{"50:49:0.5", []float64{50, 49.5, 49}},
+			{" 60 : 50 : 5 ", []float64{60, 55, 50}},
+			{"52:50:1.5", []float64{52, 50.5}}, // lo not hit exactly: stop above it
+		}
+		for _, c := range cases {
+			got, err := powercap.ParseSweepSpec(c.spec)
+			if err != nil {
+				t.Errorf("spec %q: unexpected error %v", c.spec, err)
+				continue
+			}
+			if len(got) != len(c.want) {
+				t.Errorf("spec %q: got %v, want %v", c.spec, got, c.want)
+				continue
+			}
+			for i := range got {
+				if math.Abs(got[i]-c.want[i]) > 1e-9 {
+					t.Errorf("spec %q: cap[%d] = %v, want %v", c.spec, i, got[i], c.want[i])
+				}
+			}
+		}
+	})
+
+	t.Run("rejected", func(t *testing.T) {
+		cases := []struct {
+			spec    string
+			wantSub string
+		}{
+			{"", "want hi:lo:step"},
+			{"70:30", "want hi:lo:step"},
+			{"70:30:5:2", "want hi:lo:step"},
+			{"70:30:0", "step must be positive"},
+			{"70:30:-1", "step must be positive"},
+			{"30:70:5", "must be ≥ lo"}, // no silent swapping
+			{"abc:30:5", "hi field"},    // errors name the field
+			{"70:x:5", "lo field"},
+			{"70:30:y", "step field"},
+			{"NaN:30:5", "hi field"},
+			{"Inf:30:5", "must be finite"},
+			{"70:-5:5", "lo must be positive"},
+			{"0:0:5", "lo must be positive"},
+			{"1e9:1:1e-3", "caps (max"}, // MaxSweepPoints guard
+		}
+		for _, c := range cases {
+			caps, err := powercap.ParseSweepSpec(c.spec)
+			if err == nil {
+				t.Errorf("spec %q accepted (%d caps), want error", c.spec, len(caps))
+				continue
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("spec %q: error %q does not contain %q", c.spec, err, c.wantSub)
+			}
+		}
+	})
 }
