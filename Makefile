@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve-smoke check
+.PHONY: all build vet test race bench serve-smoke realization-smoke check
 
 all: check
 
@@ -30,4 +30,12 @@ bench:
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/pcschedd/
 
-check: vet build race serve-smoke
+# Realization pipeline smoke: race-detected runs of the problem-IR and
+# schedule-realization packages (including the sweep property test: realized
+# makespan ≥ LP bound, zero cap violation), then one small end-to-end
+# realization exhibit.
+realization-smoke:
+	$(GO) test -race -count=1 ./internal/problem/ ./internal/schedule/
+	$(GO) run ./cmd/experiments -ranks 4 -benchjson /dev/null realization
+
+check: vet build race serve-smoke realization-smoke

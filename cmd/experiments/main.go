@@ -7,7 +7,8 @@
 //	experiments -ranks 32 all
 //
 // Exhibits: fig1 table1 fig2 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-// fig15 table3 validate configsel overheads solver service summary all.
+// fig15 table3 validate configsel overheads solver service realization
+// summary all.
 //
 // Absolute numbers depend on the simulated machine model; the shapes (who
 // wins, by how much, where the crossovers fall) are the reproduction
@@ -36,7 +37,7 @@ func main() {
 	flag.IntVar(&cfg.iters, "iters", 12, "application iterations per run (first 3 discarded)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload generation seed")
 	flag.Float64Var(&cfg.scale, "scale", 1.0, "task work scale (1.0 ≈ paper-like second-long iterations)")
-	flag.StringVar(&cfg.benchJSON, "benchjson", "", "write the solver/service exhibit's measurements to this JSON file (e.g. BENCH_solver.json, BENCH_service.json)")
+	flag.StringVar(&cfg.benchJSON, "benchjson", "", "write the solver/service/realization exhibit's measurements to this JSON file (e.g. BENCH_solver.json, BENCH_service.json, BENCH_realization.json)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -45,28 +46,29 @@ func main() {
 	}
 
 	exhibits := map[string]func(config) error{
-		"fig1":      runFig1,
-		"table1":    runTable1,
-		"fig2":      runFig2,
-		"fig3":      runFig3,
-		"fig8":      runFig8,
-		"fig9":      runFig9,
-		"fig10":     runFig10,
-		"fig11":     func(c config) error { return runBenchFigure(c, "CoMD", "Figure 11") },
-		"fig13":     func(c config) error { return runBenchFigure(c, "BT", "Figure 13") },
-		"fig14":     func(c config) error { return runBenchFigure(c, "SP", "Figure 14") },
-		"fig15":     func(c config) error { return runBenchFigure(c, "LULESH", "Figure 15") },
-		"fig12":     runFig12,
-		"table3":    runTable3,
-		"overheads": runOverheads,
-		"summary":   runSummary,
-		"validate":  runValidate,
-		"configsel": runConfigSel,
-		"solver":    runSolver,
-		"service":   runService,
+		"fig1":        runFig1,
+		"table1":      runTable1,
+		"fig2":        runFig2,
+		"fig3":        runFig3,
+		"fig8":        runFig8,
+		"fig9":        runFig9,
+		"fig10":       runFig10,
+		"fig11":       func(c config) error { return runBenchFigure(c, "CoMD", "Figure 11") },
+		"fig13":       func(c config) error { return runBenchFigure(c, "BT", "Figure 13") },
+		"fig14":       func(c config) error { return runBenchFigure(c, "SP", "Figure 14") },
+		"fig15":       func(c config) error { return runBenchFigure(c, "LULESH", "Figure 15") },
+		"fig12":       runFig12,
+		"table3":      runTable3,
+		"overheads":   runOverheads,
+		"summary":     runSummary,
+		"validate":    runValidate,
+		"configsel":   runConfigSel,
+		"solver":      runSolver,
+		"service":     runService,
+		"realization": runRealization,
 	}
 	order := []string{"fig1", "table1", "fig2", "fig3", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "service", "summary"}
+		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "service", "realization", "summary"}
 
 	var todo []string
 	for _, a := range args {

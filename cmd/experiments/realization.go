@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"powercap/internal/core"
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+	"powercap/internal/schedule"
+	"powercap/internal/workloads"
+)
+
+// The "realization" exhibit quantifies the realization gap (DESIGN.md §9):
+// how much of the LP's theoretical bound survives when the fractional
+// solution is rounded (nearest / down) or replayed with mid-task switching,
+// with every candidate validated on the simulator. It also measures the
+// speedup a shared problem IR buys a power-cap sweep: the cap enters only
+// through constraint right-hand sides, so the IR (events, activity sets,
+// frontier columns) is built once and reused across every cap.
+
+// realizationPoint is one (workload, cap, strategy) realization outcome.
+type realizationPoint struct {
+	Workload      string  `json:"workload"`
+	CapPerW       float64 `json:"cap_per_socket_w"`
+	LPBoundS      float64 `json:"lp_bound_s"`
+	Strategy      string  `json:"strategy"`
+	RealizedS     float64 `json:"realized_s"`
+	BoundGapPct   float64 `json:"bound_gap_pct"`
+	Repairs       int     `json:"repairs"`
+	Switches      int     `json:"switches"`
+	CapViolationW float64 `json:"cap_violation_w"`
+}
+
+// reuseRun is one workload's IR-reuse timing comparison. ReuseSpeedupX
+// isolates IR construction reuse (cold solves either way); SweepSpeedupX is
+// the full benefit the cap-independent IR enables — one build, then
+// warm-started resolves where only the cap RHS changes.
+type reuseRun struct {
+	Workload      string  `json:"workload"`
+	FreshWallS    float64 `json:"fresh_solver_per_cap_wall_s"`
+	SharedWallS   float64 `json:"shared_ir_cold_wall_s"`
+	WarmWallS     float64 `json:"shared_ir_warm_sweep_wall_s"`
+	ReuseSpeedupX float64 `json:"ir_reuse_speedup_x"`
+	SweepSpeedupX float64 `json:"ir_warm_sweep_speedup_x"`
+}
+
+// realizationReport is the BENCH_realization.json document.
+type realizationReport struct {
+	Ranks          int                `json:"ranks"`
+	CapsPerW       []float64          `json:"caps_per_socket_w"`
+	Points         []realizationPoint `json:"points"`
+	Reuse          []reuseRun         `json:"ir_reuse"`
+	MaxBoundGapPct float64            `json:"max_bound_gap_pct"`
+	Generated      string             `json:"generated"`
+}
+
+func runRealization(cfg config) error {
+	header("Realization gap", "LP bound vs realizable schedules (nearest / down / replay), plus IR-reuse sweep speedup")
+
+	var perCaps []float64
+	for per := 70.0; per >= 30; per -= 10 {
+		perCaps = append(perCaps, per)
+	}
+
+	report := realizationReport{Ranks: cfg.ranks, CapsPerW: perCaps}
+	for _, name := range []string{"SP", "CG", "FT"} {
+		w, err := workloads.ByName(name, workloads.Params{
+			Ranks: cfg.ranks, Iterations: 4, Seed: cfg.seed, WorkScale: cfg.scale,
+		})
+		if err != nil {
+			return err
+		}
+		slices, err := dag.SliceAll(w.Graph)
+		if err != nil {
+			return err
+		}
+		si := 2
+		if si >= len(slices) {
+			si = len(slices) - 1
+		}
+		g := slices[si].Graph
+
+		caps := make([]float64, len(perCaps))
+		for i, per := range perCaps {
+			caps[i] = per * float64(cfg.ranks)
+		}
+
+		fmt.Fprintf(os.Stderr, "  %s: measuring IR reuse...\n", name)
+		// Fresh solver per cap: the problem IR (events, activity sets,
+		// frontier columns) is rebuilt for every solve — the pre-refactor
+		// sweep behaviour.
+		start := time.Now()
+		for _, c := range caps {
+			s := core.NewSolver(machine.Default(), w.EffScale)
+			if _, err := s.Solve(g, c); err != nil && !errors.Is(err, core.ErrInfeasible) {
+				return err
+			}
+		}
+		fresh := time.Since(start).Seconds()
+
+		// One solver, cold solves: the IR is built once and reused; only
+		// the cap RHS changes. Isolates IR reuse from warm starting.
+		shared := core.NewSolver(machine.Default(), w.EffScale)
+		start = time.Now()
+		for _, c := range caps {
+			if _, err := shared.Solve(g, c); err != nil && !errors.Is(err, core.ErrInfeasible) {
+				return err
+			}
+		}
+		sharedWall := time.Since(start).Seconds()
+
+		// Warm-started sweep on the same solver: IR reuse plus basis reuse.
+		start = time.Now()
+		pts, err := shared.SolveSweep(g, caps)
+		if err != nil {
+			return err
+		}
+		warmWall := time.Since(start).Seconds()
+
+		speedup, sweepSpeedup := 0.0, 0.0
+		if sharedWall > 0 {
+			speedup = fresh / sharedWall
+		}
+		if warmWall > 0 {
+			sweepSpeedup = fresh / warmWall
+		}
+		report.Reuse = append(report.Reuse, reuseRun{
+			Workload: name, FreshWallS: fresh, SharedWallS: sharedWall,
+			WarmWallS: warmWall, ReuseSpeedupX: speedup, SweepSpeedupX: sweepSpeedup,
+		})
+
+		ir, err := shared.IR(g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (%d ranks, iteration slice, %d tasks)\n", name, cfg.ranks, len(g.Tasks))
+		fmt.Printf("%10s%12s%10s%12s%10s%9s%9s\n",
+			"W/socket", "LP(s)", "strategy", "realized(s)", "gap(%)", "repairs", "switch")
+		for i, pt := range pts {
+			if pt.Err != nil {
+				if errors.Is(pt.Err, core.ErrInfeasible) {
+					fmt.Printf("%10.0f%12s\n", perCaps[i], "infeasible")
+					continue
+				}
+				return pt.Err
+			}
+			for _, strat := range schedule.Strategies {
+				r, err := schedule.Realize(ir, pt.Schedule, strat, schedule.DefaultOptions())
+				if err != nil {
+					fmt.Printf("%10.0f%12.3f%10s  %v\n", perCaps[i], pt.Schedule.MakespanS, strat, err)
+					continue
+				}
+				fmt.Printf("%10.0f%12.3f%10s%12.3f%10.2f%9d%9d\n",
+					perCaps[i], pt.Schedule.MakespanS, r.Strategy, r.MakespanS,
+					r.BoundGapPct, r.Repairs, r.Switches)
+				report.Points = append(report.Points, realizationPoint{
+					Workload: name, CapPerW: perCaps[i], LPBoundS: pt.Schedule.MakespanS,
+					Strategy: string(r.Strategy), RealizedS: r.MakespanS,
+					BoundGapPct: r.BoundGapPct, Repairs: r.Repairs,
+					Switches: r.Switches, CapViolationW: r.CapViolationW,
+				})
+				if r.BoundGapPct > report.MaxBoundGapPct {
+					report.MaxBoundGapPct = r.BoundGapPct
+				}
+			}
+		}
+		fmt.Printf("IR reuse: fresh-per-cap %.2f s, shared-IR cold %.2f s (%.1fx), warm sweep %.2f s (%.1fx)\n\n",
+			fresh, sharedWall, speedup, warmWall, sweepSpeedup)
+	}
+
+	fmt.Printf("max bound gap across all cap-clean realizations: %.2f%%\n", report.MaxBoundGapPct)
+
+	if cfg.benchJSON != "" {
+		report.Generated = time.Now().UTC().Format(time.RFC3339)
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.benchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.benchJSON)
+	}
+	return nil
+}

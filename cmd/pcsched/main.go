@@ -39,7 +39,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pcsched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		name    = fs.String("workload", "CoMD", "workload: CoMD, LULESH, SP, or BT")
+		name    = fs.String("workload", "CoMD", "workload: CoMD, LULESH, SP, BT, CG, or FT")
 		ranks   = fs.Int("ranks", 16, "MPI ranks (one socket each)")
 		iters   = fs.Int("iters", 8, "application iterations")
 		seed    = fs.Int64("seed", 1, "workload seed")
@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		gantt   = fs.Bool("gantt", false, "render an ASCII timeline of the replayed LP schedule")
 		sweep   = fs.String("sweep", "", "per-socket cap sweep \"hi:lo:step\" (W): solve the LP bound at every cap, warm-started; overrides -cap and -policy")
 		workers = fs.Int("workers", 1, "parallel sweep workers (contiguous cap chunks; only with -sweep)")
+		realize = fs.String("realize", "", "realize the LP schedule as an executable one: nearest, down, replay, or best (simulator-validated, reported with its bound gap)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +122,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "\nreplay (discrete rounding): %.3f s, %d switches (%d suppressed), cap violation %.2f W\n",
 			rep.MakespanS, rep.Switches, rep.Suppressed, rep.CapViolationW)
+		if *realize != "" {
+			rl, err := sys.RealizeSchedule(w.Graph, sched, *realize)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "realized (%s): %.3f s, bound gap %.2f%%, %d repairs, %d switches, cap violation %.2f W\n",
+				rl.Strategy, rl.MakespanS, rl.BoundGapPct, rl.Repairs, rl.Switches, rl.CapViolationW)
+		}
 		if *gantt {
 			fmt.Fprintln(stdout)
 			fmt.Fprint(stdout, rep.Result.Gantt(w.Graph, 100))

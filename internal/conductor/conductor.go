@@ -30,6 +30,7 @@ import (
 	"powercap/internal/dag"
 	"powercap/internal/machine"
 	"powercap/internal/pareto"
+	"powercap/internal/problem"
 	"powercap/internal/sim"
 )
 
@@ -80,7 +81,7 @@ type Conductor struct {
 	// Seed drives the misidentification draw.
 	Seed int64
 
-	frontiers map[frontierKey]*taskFrontier
+	fs *problem.FrontierSet
 }
 
 // NewConfigOnly returns the configuration-selection-only variant the paper
@@ -121,40 +122,16 @@ func (c *Conductor) eff(rank int) float64 {
 	return c.EffScale[rank]
 }
 
-type frontierKey struct {
-	shape machine.Shape
-	rank  int
-}
-
-type taskFrontier struct {
-	pts  []pareto.Point // work-normalized durations
-	cfgs []machine.Config
-}
-
-func (c *Conductor) frontier(shape machine.Shape, rank int) *taskFrontier {
-	if c.frontiers == nil {
-		c.frontiers = make(map[frontierKey]*taskFrontier)
+// frontier returns the work-normalized convex frontier for a task class,
+// computed and cached by the shared internal/problem frontier set — the
+// same Pareto sets the LP and ILP backends price, so Conductor's runtime
+// selections and the bound it is compared against never diverge on the
+// configuration menu.
+func (c *Conductor) frontier(shape machine.Shape, rank int) *problem.Frontier {
+	if c.fs == nil {
+		c.fs = problem.NewFrontierSet(c.Model, c.EffScale)
 	}
-	key := frontierKey{shape, rank}
-	if f, ok := c.frontiers[key]; ok {
-		return f
-	}
-	cfgs := c.Model.Configs()
-	cloud := make([]pareto.Point, len(cfgs))
-	for i, cfg := range cfgs {
-		cloud[i] = pareto.Point{
-			PowerW: c.Model.Power(shape, cfg, c.eff(rank)),
-			TimeS:  c.Model.Duration(1.0, shape, cfg),
-			Index:  i,
-		}
-	}
-	hull := pareto.ConvexFrontier(cloud)
-	f := &taskFrontier{pts: hull, cfgs: make([]machine.Config, len(hull))}
-	for i, p := range hull {
-		f.cfgs[i] = cfgs[p.Index]
-	}
-	c.frontiers[key] = f
-	return f
+	return c.fs.For(shape, rank)
 }
 
 // RunResult is the outcome of a Conductor execution.
@@ -240,9 +217,9 @@ func (c *Conductor) Run(g *dag.Graph, jobCapW float64) (*RunResult, error) {
 				cfg, duty, pw = r.Config, r.Duty, r.PowerW
 			} else {
 				f := c.frontier(t.Shape, t.Rank)
-				if p, ok := pareto.BestUnderCap(f.pts, budgets[t.Rank]); ok {
-					idx := hullIndex(f, p)
-					cfg, duty, pw = f.cfgs[idx], 1, p.PowerW
+				if p, ok := pareto.BestUnderCap(f.Pts, budgets[t.Rank]); ok {
+					idx := f.IndexOf(p)
+					cfg, duty, pw = f.Cfgs[idx], 1, p.PowerW
 				} else {
 					// Budget below the cheapest configuration: RAPL
 					// duty-cycles at the floor.
@@ -459,7 +436,7 @@ func (c *Conductor) predictBusy(g *dag.Graph, rk int, p float64) float64 {
 			continue
 		}
 		f := c.frontier(t.Shape, t.Rank)
-		total += pareto.InterpolateTime(f.pts, p) * t.Work
+		total += pareto.InterpolateTime(f.Pts, p) * t.Work
 	}
 	return total
 }
@@ -491,13 +468,13 @@ func (c *Conductor) rankPowerNeed(g *dag.Graph, r *sim.Result, rk int, ratio flo
 // runtime will later select keeps allocations honest: interpolated
 // (continuous) planning promises times a single configuration cannot
 // deliver and systematically under-allocates.
-func minPowerFor(f *taskFrontier, work, allowed float64) float64 {
-	for _, p := range f.pts {
+func minPowerFor(f *problem.Frontier, work, allowed float64) float64 {
+	for _, p := range f.Pts {
 		if p.TimeS*work <= allowed {
 			return p.PowerW
 		}
 	}
-	return f.pts[len(f.pts)-1].PowerW
+	return f.Pts[len(f.Pts)-1].PowerW
 }
 
 // rankMaxPower is the highest power rank rk can usefully consume.
@@ -506,19 +483,10 @@ func (c *Conductor) rankMaxPower(g *dag.Graph, rk int) float64 {
 	for _, t := range g.Tasks {
 		if t.Kind == dag.Compute && t.Rank == rk && t.Work > 0 {
 			f := c.frontier(t.Shape, t.Rank)
-			if p := f.pts[len(f.pts)-1].PowerW; p > max {
+			if p := f.Pts[len(f.Pts)-1].PowerW; p > max {
 				max = p
 			}
 		}
 	}
 	return max
-}
-
-func hullIndex(f *taskFrontier, p pareto.Point) int {
-	for i := range f.pts {
-		if f.pts[i].Index == p.Index {
-			return i
-		}
-	}
-	return 0
 }

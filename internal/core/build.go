@@ -3,80 +3,24 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"powercap/internal/dag"
 	"powercap/internal/lp"
 	"powercap/internal/machine"
-	"powercap/internal/pareto"
-	"powercap/internal/sim"
+	"powercap/internal/problem"
 )
 
-// initialSchedule computes the power-unconstrained schedule (every task at
-// the maximum configuration) that fixes the event order and the activity
-// sets R_j (Sec. 3.3).
-func (s *Solver) initialSchedule(g *dag.Graph) (*sim.Result, error) {
-	pts := sim.Points(g)
-	maxCfg := s.Model.MaxConfig()
-	for i, t := range g.Tasks {
-		if t.Kind != dag.Compute {
-			continue
-		}
-		pts[i] = sim.TaskPoint{
-			Duration: s.Model.Duration(t.Work, t.Shape, maxCfg),
-			PowerW:   s.Model.Power(t.Shape, maxCfg, s.eff(t.Rank)),
-		}
-	}
-	return sim.Evaluate(g, pts, sim.SlackHoldsTaskPower, 0)
-}
+// This file turns the shared problem IR (internal/problem) into concrete
+// fixed-vertex-order programs. The emitters below are the single source of
+// the formulation's rows; buildLP (continuous), SolveDiscrete (binary), and
+// SolveSlackAware (enlarged event set) all assemble from them, so the five
+// backends differ only in variable domains and event/power accounting —
+// never in how the skeleton is derived from the graph.
 
-// activitySets computes, for every vertex/event, the set of compute tasks
-// active there: per rank, the task whose occupancy window — from its start
-// until the rank's next task starts (task + its slack, which holds the
-// task's power) — contains the event time. Events exactly at a window
-// boundary belong to the newly starting task ("tasks are considered active
-// at an event if they start at or are running at the time of the event").
-func activitySets(g *dag.Graph, init *sim.Result) [][]dag.TaskID {
-	byRank := make([][]dag.TaskID, g.NumRanks)
-	for _, t := range g.Tasks {
-		if t.Kind == dag.Compute {
-			byRank[t.Rank] = append(byRank[t.Rank], t.ID)
-		}
-	}
-	for r := range byRank {
-		ids := byRank[r]
-		sort.Slice(ids, func(i, j int) bool {
-			if init.Start[ids[i]] != init.Start[ids[j]] {
-				return init.Start[ids[i]] < init.Start[ids[j]]
-			}
-			return ids[i] < ids[j]
-		})
-	}
-
-	active := make([][]dag.TaskID, len(g.Vertices))
-	for vi := range g.Vertices {
-		tj := init.VertexTime[vi]
-		for r := 0; r < g.NumRanks; r++ {
-			ids := byRank[r]
-			if len(ids) == 0 {
-				continue
-			}
-			// Last task whose start ≤ tj; ties in start resolved to the
-			// later task ID (the one actually about to run).
-			k := sort.Search(len(ids), func(k int) bool { return init.Start[ids[k]] > tj }) - 1
-			if k < 0 {
-				k = 0 // event precedes the rank's first task: charge it
-			}
-			active[vi] = append(active[vi], ids[k])
-		}
-	}
-	return active
-}
-
-// taskLPVars are the configuration-fraction variables of one tunable task.
+// taskLPVars are the configuration-fraction variables of one tunable task,
+// over its IR frontier columns.
 type taskLPVars struct {
-	f    *frontier
-	durs []float64 // per frontier point, scaled by task work
+	cols *problem.Columns
 	cs   []lp.Var
 }
 
@@ -95,12 +39,12 @@ type powerRow struct {
 // point mutates the power-row RHS values in place (Problem.SetRHS) and
 // re-solves, warm starting from the previous point's basis.
 type builtLP struct {
-	g          *dag.Graph
-	prob       *lp.Problem
-	vVar       []lp.Var
-	tv         map[dag.TaskID]*taskLPVars
-	fixedPower []float64 // zero-work tasks' constant draw
-	powerRows  []powerRow
+	ir   *problem.IR
+	prob *lp.Problem
+	vVar []lp.Var
+	tv   map[dag.TaskID]*taskLPVars
+
+	powerRows []powerRow
 
 	// Events with no tunable task generate no row; the largest fixed draw
 	// among them is a hard feasibility floor checked against each cap.
@@ -108,137 +52,138 @@ type builtLP struct {
 	fixedFloorVertex int
 }
 
-// buildLP constructs the cap-independent LP for graph g: variables,
-// precedence, event-order, and event-power rows, with the power-row RHS
-// values left at their deduction-only baseline (cap 0).
-func (s *Solver) buildLP(g *dag.Graph) (*builtLP, error) {
-	init, err := s.initialSchedule(g)
-	if err != nil {
-		return nil, err
-	}
-	active := activitySets(g, init)
+// emitSkeleton emits the rows every fixed-vertex-order program shares:
+// vertex-time variables with the Init pin (Eqs. 1–2), configuration
+// variables over the IR's frontier columns with their convexity rows
+// (Eqs. 6–9), and task precedence rows (Eqs. 3–4). addCfgVar creates each
+// configuration variable, letting the MILP substitute binaries (Eq. 5)
+// without duplicating the skeleton.
+func emitSkeleton(ir *problem.IR, prob *lp.Problem, addCfgVar func(name string, powerW float64) lp.Var) ([]lp.Var, map[dag.TaskID]*taskLPVars) {
+	g := ir.G
 
-	b := &builtLP{
-		g:                g,
-		prob:             lp.NewProblem(lp.Minimize),
-		vVar:             make([]lp.Var, len(g.Vertices)),
-		tv:               make(map[dag.TaskID]*taskLPVars),
-		fixedPower:       make([]float64, len(g.Tasks)),
-		fixedFloorVertex: -1,
-	}
-	prob := b.prob
-
-	// Vertex-time variables (Eq. 2 pins Init; objective is vM, Eq. 1).
+	vVar := make([]lp.Var, len(g.Vertices))
 	for i := range g.Vertices {
 		obj := 0.0
 		if g.Vertices[i].Kind == dag.VFinalize {
 			obj = 1
 		}
-		b.vVar[i] = prob.AddVar(fmt.Sprintf("v%d", i), obj)
+		vVar[i] = prob.AddVar(fmt.Sprintf("v%d", i), obj)
 		if g.Vertices[i].Kind == dag.VInit {
-			prob.MustConstraint("init0", lp.Expr{}.Plus(b.vVar[i], 1), lp.EQ, 0)
+			prob.MustConstraint("init0", lp.Expr{}.Plus(vVar[i], 1), lp.EQ, 0)
 		}
 	}
 
-	// Configuration-fraction variables per tunable compute task
-	// (Eqs. 6–9), with the power tiebreak on the objective.
+	tv := make(map[dag.TaskID]*taskLPVars)
 	for _, t := range g.Tasks {
-		switch {
-		case t.Kind == dag.Message:
-			// Fixed duration, no socket power.
-		case t.Work <= 0:
-			// Degenerate compute edge (a rank passing straight between
-			// two MPI calls): instantaneous, drawing idle power through
-			// its slack window.
-			b.fixedPower[t.ID] = s.Model.IdlePower(s.eff(t.Rank))
-		default:
-			f := s.Frontier(t.Shape, t.Rank)
-			v := &taskLPVars{f: f, durs: make([]float64, len(f.pts)), cs: make([]lp.Var, len(f.pts))}
-			var convex lp.Expr
-			for k, p := range f.pts {
-				v.durs[k] = p.TimeS * t.Work
-				v.cs[k] = prob.AddVar(fmt.Sprintf("c%d_%d", t.ID, k), s.PowerTiebreak*p.PowerW)
-				convex = convex.Plus(v.cs[k], 1)
-			}
-			prob.MustConstraint(fmt.Sprintf("cvx%d", t.ID), convex, lp.EQ, 1)
-			b.tv[t.ID] = v
+		if ir.Class[t.ID] != problem.Tunable {
+			continue
 		}
+		cols := ir.Cols[t.ID]
+		v := &taskLPVars{cols: cols, cs: make([]lp.Var, len(cols.F.Pts))}
+		var convex lp.Expr
+		for k, p := range cols.F.Pts {
+			v.cs[k] = addCfgVar(fmt.Sprintf("c%d_%d", t.ID, k), p.PowerW)
+			convex = convex.Plus(v.cs[k], 1)
+		}
+		prob.MustConstraint(fmt.Sprintf("cvx%d", t.ID), convex, lp.EQ, 1)
+		tv[t.ID] = v
 	}
 
 	// Task precedence (Eqs. 3–4 with s and d substituted):
 	// v_dst − v_src ≥ Σ_k d_{i,k} c_{i,k}  (or the fixed duration).
 	for _, t := range g.Tasks {
-		expr := lp.Expr{}.Plus(b.vVar[t.Dst], 1).Plus(b.vVar[t.Src], -1)
+		expr := lp.Expr{}.Plus(vVar[t.Dst], 1).Plus(vVar[t.Src], -1)
 		rhs := 0.0
-		switch {
-		case t.Kind == dag.Message:
+		switch ir.Class[t.ID] {
+		case problem.Message:
 			rhs = t.FixedDur
-		case t.Work <= 0:
+		case problem.Fixed:
 			// ≥ 0: ordering only.
-		default:
-			v := b.tv[t.ID]
+		case problem.Tunable:
+			v := tv[t.ID]
 			for k := range v.cs {
-				expr = expr.Plus(v.cs[k], -v.durs[k])
+				expr = expr.Plus(v.cs[k], -v.cols.Durs[k])
 			}
 		}
 		prob.MustConstraint(fmt.Sprintf("prec%d", t.ID), expr, lp.GE, rhs)
 	}
+	return vVar, tv
+}
 
-	// Fixed event order (Eqs. 12–13): chain the vertices in initial-time
-	// order; simultaneous events are pinned equal.
-	order := make([]dag.VertexID, len(g.Vertices))
-	for i := range order {
-		order[i] = dag.VertexID(i)
-	}
-	sort.Slice(order, func(a, bIdx int) bool {
-		ta, tb := init.VertexTime[order[a]], init.VertexTime[order[bIdx]]
-		if ta != tb {
-			return ta < tb
-		}
-		return order[a] < order[bIdx]
-	})
-	for i := 1; i < len(order); i++ {
-		prev, cur := order[i-1], order[i]
-		expr := lp.Expr{}.Plus(b.vVar[cur], 1).Plus(b.vVar[prev], -1)
-		if init.VertexTime[prev] == init.VertexTime[cur] {
+// emitEventOrder emits the fixed event order (Eqs. 12–13): the IR's
+// vertices chained in initial-time order, simultaneous events pinned equal.
+func emitEventOrder(ir *problem.IR, prob *lp.Problem, vVar []lp.Var) {
+	for i := 1; i < len(ir.EventOrder); i++ {
+		prev, cur := ir.EventOrder[i-1], ir.EventOrder[i]
+		expr := lp.Expr{}.Plus(vVar[cur], 1).Plus(vVar[prev], -1)
+		if ir.Simultaneous(prev, cur) {
 			prob.MustConstraint(fmt.Sprintf("eq%d", i), expr, lp.EQ, 0)
 		} else {
 			prob.MustConstraint(fmt.Sprintf("ord%d", i), expr, lp.GE, 0)
 		}
 	}
+}
 
-	// Event power (Eqs. 10–11 with P_j substituted): for every event, the
-	// powers of the active tasks sum to at most PC; constant draws of
-	// degenerate tasks move to the right-hand side. Row indices and
-	// deductions are kept so a sweep can re-aim every row at a new cap and
-	// so the power constraint's shadow price can be read from the duals.
-	for vi := range g.Vertices {
+// emitPowerRows emits one event-power row per vertex with a tunable active
+// task (Eqs. 10–11 with P_j substituted): the powers of the active tasks
+// sum to at most PC, with constant draws of degenerate tasks moved to the
+// right-hand side. Rows are emitted at their deduction-only baseline
+// (cap 0); callers aim them at a concrete cap through SetRHS. Events with
+// only fixed draws yield no row; the largest such draw is returned as the
+// feasibility floor every cap must clear.
+func emitPowerRows(ir *problem.IR, prob *lp.Problem, tv map[dag.TaskID]*taskLPVars) (rows []powerRow, floorW float64, floorVertex int) {
+	floorVertex = -1
+	for vi := range ir.G.Vertices {
 		var expr lp.Expr
 		deduct := 0.0
-		for _, tid := range active[vi] {
-			if v, ok := b.tv[tid]; ok {
+		for _, tid := range ir.Active[vi] {
+			if v, ok := tv[tid]; ok {
 				for k := range v.cs {
-					expr = expr.Plus(v.cs[k], v.f.pts[k].PowerW)
+					expr = expr.Plus(v.cs[k], v.cols.F.Pts[k].PowerW)
 				}
 			} else {
-				deduct += b.fixedPower[tid]
+				deduct += ir.FixedPowerW[tid]
 			}
 		}
 		if len(expr) == 0 {
-			if deduct > b.fixedFloorW {
-				b.fixedFloorW = deduct
-				b.fixedFloorVertex = vi
+			if deduct > floorW {
+				floorW = deduct
+				floorVertex = vi
 			}
 			continue
 		}
-		b.powerRows = append(b.powerRows, powerRow{
+		rows = append(rows, powerRow{
 			row:    prob.NumConstraints(),
 			deduct: deduct,
 			vertex: vi,
 		})
 		prob.MustConstraint(fmt.Sprintf("pow%d", vi), expr, lp.LE, -deduct)
 	}
-	return b, nil
+	return rows, floorW, floorVertex
+}
+
+// buildLP constructs the cap-independent LP for graph g: variables,
+// precedence, event-order, and event-power rows, with the power-row RHS
+// values left at their deduction-only baseline (cap 0).
+func (s *Solver) buildLP(g *dag.Graph) (*builtLP, error) {
+	ir, err := s.IR(g)
+	if err != nil {
+		return nil, err
+	}
+	return s.buildFromIR(ir), nil
+}
+
+// buildFromIR emits the continuous LP from an already-built IR.
+func (s *Solver) buildFromIR(ir *problem.IR) *builtLP {
+	b := &builtLP{ir: ir, prob: lp.NewProblem(lp.Minimize)}
+	// Configuration-fraction variables carry the power tiebreak on the
+	// objective (see Solver.PowerTiebreak).
+	b.vVar, b.tv = emitSkeleton(ir, b.prob, func(name string, powerW float64) lp.Var {
+		return b.prob.AddVar(name, s.PowerTiebreak*powerW)
+	})
+	emitEventOrder(ir, b.prob, b.vVar)
+	b.powerRows, b.fixedFloorW, b.fixedFloorVertex = emitPowerRows(ir, b.prob, b.tv)
+	return b
 }
 
 // solveBuilt re-aims the built LP at capW and solves it, warm starting from
@@ -296,7 +241,7 @@ func (s *Solver) solveBuilt(ctx context.Context, b *builtLP, capW float64, warmB
 // extractInto reads an Optimal solution back into schedule fields: vertex
 // times, the power shadow price, and per-task choices (through taskMap).
 func (s *Solver) extractInto(b *builtLP, sol *lp.Solution, out *Schedule, taskMap []dag.TaskID, vt []float64) {
-	g := b.g
+	g := b.ir.G
 	for i := range g.Vertices {
 		vt[i] = sol.Value(b.vVar[i])
 	}
@@ -308,15 +253,16 @@ func (s *Solver) extractInto(b *builtLP, sol *lp.Solution, out *Schedule, taskMa
 
 	for _, t := range g.Tasks {
 		choice := TaskChoice{}
-		switch {
-		case t.Kind == dag.Message:
+		switch b.ir.Class[t.ID] {
+		case problem.Message:
 			choice.DurationS = t.FixedDur
-		case t.Work <= 0:
-			choice.PowerW = b.fixedPower[t.ID]
-			choice.DiscretePowerW = b.fixedPower[t.ID]
+		case problem.Fixed:
+			choice.PowerW = b.ir.FixedPowerW[t.ID]
+			choice.DiscretePowerW = b.ir.FixedPowerW[t.ID]
 			choice.Discrete = machine.Config{FreqGHz: s.Model.FreqMinGHz, Threads: 1}
-		default:
+		case problem.Tunable:
 			v := b.tv[t.ID]
+			f := v.cols.F
 			const fracTol = 1e-9
 			for k, cv := range v.cs {
 				frac := sol.Value(cv)
@@ -324,20 +270,19 @@ func (s *Solver) extractInto(b *builtLP, sol *lp.Solution, out *Schedule, taskMa
 					continue
 				}
 				choice.Mix = append(choice.Mix, MixEntry{
-					Config:    v.f.cfgs[k],
+					Config:    f.Cfgs[k],
 					Frac:      frac,
-					DurationS: v.durs[k],
-					PowerW:    v.f.pts[k].PowerW,
+					DurationS: v.cols.Durs[k],
+					PowerW:    f.Pts[k].PowerW,
 				})
-				choice.DurationS += frac * v.durs[k]
-				choice.PowerW += frac * v.f.pts[k].PowerW
+				choice.DurationS += frac * v.cols.Durs[k]
+				choice.PowerW += frac * f.Pts[k].PowerW
 			}
 			// Discrete rounding: nearest frontier point by power.
-			if p, ok := pareto.NearestToMix(v.f.pts, choice.PowerW); ok {
-				idx := frontierIndex(v.f, p)
-				choice.Discrete = v.f.cfgs[idx]
-				choice.DiscreteDurationS = v.durs[idx]
-				choice.DiscretePowerW = v.f.pts[idx].PowerW
+			if idx, ok := f.Nearest(choice.PowerW); ok {
+				choice.Discrete = f.Cfgs[idx]
+				choice.DiscreteDurationS = v.cols.Durs[idx]
+				choice.DiscretePowerW = f.Pts[idx].PowerW
 			}
 		}
 		out.Choices[taskMap[t.ID]] = choice
@@ -357,14 +302,4 @@ func (s *Solver) solveInto(ctx context.Context, g *dag.Graph, capW float64, out 
 	}
 	s.extractInto(b, sol, out, taskMap, vt)
 	return nil
-}
-
-// frontierIndex locates a pareto point within its frontier by config index.
-func frontierIndex(f *frontier, p pareto.Point) int {
-	for i := range f.pts {
-		if f.pts[i].Index == p.Index {
-			return i
-		}
-	}
-	return 0
 }

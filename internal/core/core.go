@@ -25,12 +25,12 @@
 // (substitution preserves the optimum exactly and keeps instances at
 // simplex-friendly sizes; see DESIGN.md).
 //
-// Per Sec. 3.2, each task's configuration set is restricted to the convex
-// Pareto frontier of its (power, time) cloud (internal/pareto), which makes
-// the continuous relaxation exact up to rounding. Per Sec. 3.3, the event
-// (vertex) order is fixed from a power-unconstrained initial schedule whose
-// activity sets R_j determine which tasks pay power at which events, with
-// slack power equal to task power and tasks preceding their slack.
+// The problem skeleton — initial schedule, event order, activity sets R_j,
+// and per-task frontier columns — is not assembled here: internal/problem
+// builds it once, cap-independently, as an IR shared by every backend (the
+// dense and sparse LPs here, SolveSlackAware, SolveDiscrete, and
+// internal/flowilp) and cached per graph digest on the Solver, so cap
+// sweeps and repeated service requests pay for one build.
 package core
 
 import (
@@ -41,7 +41,7 @@ import (
 	"powercap/internal/dag"
 	"powercap/internal/lp"
 	"powercap/internal/machine"
-	"powercap/internal/pareto"
+	"powercap/internal/problem"
 )
 
 // ErrInfeasible reports that no schedule exists under the given power
@@ -148,8 +148,11 @@ type Solver struct {
 	// full-tableau implementation.
 	Backend lp.Backend
 
-	mu            sync.Mutex // guards frontierCache (SweepParallel shares a Solver)
-	frontierCache map[frontierKey]*frontier
+	// mu guards fs and irCache: SweepParallel and the scheduling service
+	// share one Solver across goroutines.
+	mu      sync.Mutex
+	fs      *problem.FrontierSet
+	irCache map[[32]byte]*problem.IR
 }
 
 // NewSolver returns a Solver over the given model. effScale may be nil.
@@ -159,7 +162,6 @@ func NewSolver(model *machine.Model, effScale []float64) *Solver {
 		EffScale:      effScale,
 		PowerTiebreak: 1e-7,
 		Backend:       lp.BackendSparse,
-		frontierCache: make(map[frontierKey]*frontier),
 	}
 }
 
@@ -170,58 +172,113 @@ func (s *Solver) eff(rank int) float64 {
 	return s.EffScale[rank]
 }
 
-type frontierKey struct {
-	shape machine.Shape
-	rank  int
-}
-
-// frontier is a work-normalized convex Pareto frontier: TimeS entries are
-// durations for work = 1 and scale linearly with task work (power does
-// not depend on work), so one frontier serves every task of a (shape, rank)
-// class.
-type frontier struct {
-	pts  []pareto.Point
-	cfgs []machine.Config
+// Frontiers returns the Solver's shared frontier cache (lazily created so a
+// zero-value Solver still works).
+func (s *Solver) Frontiers() *problem.FrontierSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fs == nil {
+		s.fs = problem.NewFrontierSet(s.Model, s.EffScale)
+	}
+	return s.fs
 }
 
 // Frontier returns the convex Pareto frontier for a task shape on a rank's
 // socket, cached per (shape, rank). Safe for concurrent use: parallel sweep
-// workers share one Solver and race to populate the cache.
-func (s *Solver) Frontier(shape machine.Shape, rank int) *frontier {
-	key := frontierKey{shape: shape, rank: rank}
+// workers share one Solver and race benignly on the cache.
+func (s *Solver) Frontier(shape machine.Shape, rank int) *problem.Frontier {
+	return s.Frontiers().For(shape, rank)
+}
+
+// IR returns the cap-independent problem IR for graph g, built on first use
+// and cached by graph digest — so a cap sweep, the rounding/realization
+// layer, and repeated service requests against the same graph share one
+// build (initial schedule, activity sets, event order, frontier columns).
+func (s *Solver) IR(g *dag.Graph) (*problem.IR, error) {
+	key := dag.Digest(g)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if f, ok := s.frontierCache[key]; ok {
-		return f
+	if ir, ok := s.irCache[key]; ok {
+		s.mu.Unlock()
+		return ir, nil
 	}
-	cfgs := s.Model.Configs()
-	cloud := make([]pareto.Point, len(cfgs))
-	for i, c := range cfgs {
-		cloud[i] = pareto.Point{
-			PowerW: s.Model.Power(shape, c, s.eff(rank)),
-			TimeS:  s.Model.Duration(1.0, shape, c),
-			Index:  i,
-		}
+	s.mu.Unlock()
+
+	ir, err := problem.BuildWith(s.Frontiers(), g)
+	if err != nil {
+		return nil, err
 	}
-	hull := pareto.ConvexFrontier(cloud)
-	f := &frontier{pts: hull, cfgs: make([]machine.Config, len(hull))}
-	for i, p := range hull {
-		f.cfgs[i] = cfgs[p.Index]
+	s.mu.Lock()
+	if s.irCache == nil {
+		s.irCache = make(map[[32]byte]*problem.IR)
 	}
-	s.frontierCache[key] = f
-	return f
+	// A racing builder may have stored an equivalent IR first; keep the
+	// stored one so callers share pointers.
+	if prior, ok := s.irCache[key]; ok {
+		ir = prior
+	} else {
+		s.irCache[key] = ir
+	}
+	s.mu.Unlock()
+	return ir, nil
 }
 
 // Solve solves the fixed-vertex-order LP for the whole graph under the
 // job-level power constraint capW (watts across all sockets).
 func (s *Solver) Solve(g *dag.Graph, capW float64) (*Schedule, error) {
-	return s.SolveCtx(context.Background(), g, capW)
+	return s.solve(context.Background(), g, capW, false)
 }
 
 // SolveCtx is Solve with a cancellation context threaded into the simplex
 // pivot loops: once ctx is done the solve stops within a few pivots and
 // returns an error wrapping ctx.Err().
 func (s *Solver) SolveCtx(ctx context.Context, g *dag.Graph, capW float64) (*Schedule, error) {
+	return s.solve(ctx, g, capW, false)
+}
+
+// SolveIterations decomposes the graph at its MPI_Pcontrol boundaries
+// (global synchronization points in the paper's instrumented benchmarks),
+// solves each iteration's LP independently, and recombines: the job
+// makespan is the sum of iteration makespans, and task choices are mapped
+// back to the original task IDs.
+func (s *Solver) SolveIterations(g *dag.Graph, capW float64) (*Schedule, error) {
+	return s.solve(context.Background(), g, capW, true)
+}
+
+// SolveIterationsCtx is SolveIterations with per-request cancellation; the
+// context is checked inside every slice's pivot loops, so a canceled
+// request stops mid-decomposition instead of finishing remaining slices.
+func (s *Solver) SolveIterationsCtx(ctx context.Context, g *dag.Graph, capW float64) (*Schedule, error) {
+	return s.solve(ctx, g, capW, true)
+}
+
+// solve is the single entry point behind the four exported wrappers: one
+// ctx-aware path that either solves the whole graph or decomposes it at
+// iteration boundaries. A decomposing solve of a graph without Pcontrol
+// boundaries degrades to the whole-graph solve.
+func (s *Solver) solve(ctx context.Context, g *dag.Graph, capW float64, decompose bool) (*Schedule, error) {
+	if decompose {
+		slices, err := dag.SliceAll(g)
+		if err != nil {
+			return nil, err
+		}
+		if len(slices) > 0 {
+			sched := &Schedule{
+				CapW:        capW,
+				Choices:     make([]TaskChoice, len(g.Tasks)),
+				VertexTimeS: nil, // per-iteration local times are not global
+			}
+			for _, sl := range slices {
+				vt := make([]float64, len(sl.Graph.Vertices))
+				if err := s.solveInto(ctx, sl.Graph, capW, sched, sl.TaskMap, vt); err != nil {
+					return nil, fmt.Errorf("iteration slice: %w", err)
+				}
+				m := finalizeTime(sl.Graph, vt)
+				sched.IterationMakespans = append(sched.IterationMakespans, m)
+				sched.MakespanS += m
+			}
+			return sched, nil
+		}
+	}
 	sched := &Schedule{
 		CapW:        capW,
 		Choices:     make([]TaskChoice, len(g.Tasks)),
@@ -231,43 +288,6 @@ func (s *Solver) SolveCtx(ctx context.Context, g *dag.Graph, capW float64) (*Sch
 		return nil, err
 	}
 	sched.MakespanS = finalizeTime(g, sched.VertexTimeS)
-	return sched, nil
-}
-
-// SolveIterations decomposes the graph at its MPI_Pcontrol boundaries
-// (global synchronization points in the paper's instrumented benchmarks),
-// solves each iteration's LP independently, and recombines: the job
-// makespan is the sum of iteration makespans, and task choices are mapped
-// back to the original task IDs.
-func (s *Solver) SolveIterations(g *dag.Graph, capW float64) (*Schedule, error) {
-	return s.SolveIterationsCtx(context.Background(), g, capW)
-}
-
-// SolveIterationsCtx is SolveIterations with per-request cancellation; the
-// context is checked inside every slice's pivot loops, so a canceled
-// request stops mid-decomposition instead of finishing remaining slices.
-func (s *Solver) SolveIterationsCtx(ctx context.Context, g *dag.Graph, capW float64) (*Schedule, error) {
-	slices, err := dag.SliceAll(g)
-	if err != nil {
-		return nil, err
-	}
-	if len(slices) == 0 {
-		return s.SolveCtx(ctx, g, capW)
-	}
-	sched := &Schedule{
-		CapW:        capW,
-		Choices:     make([]TaskChoice, len(g.Tasks)),
-		VertexTimeS: nil, // per-iteration local times are not global
-	}
-	for _, sl := range slices {
-		vt := make([]float64, len(sl.Graph.Vertices))
-		if err := s.solveInto(ctx, sl.Graph, capW, sched, sl.TaskMap, vt); err != nil {
-			return nil, fmt.Errorf("iteration slice: %w", err)
-		}
-		m := finalizeTime(sl.Graph, vt)
-		sched.IterationMakespans = append(sched.IterationMakespans, m)
-		sched.MakespanS += m
-	}
 	return sched, nil
 }
 

@@ -31,10 +31,11 @@ func TestUnconstrainedMatchesMaxConfigSchedule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	init, err := s.initialSchedule(g)
+	ir, err := s.IR(g)
 	if err != nil {
 		t.Fatal(err)
 	}
+	init := ir.Init
 	if math.Abs(sched.MakespanS-init.Makespan) > 1e-6*init.Makespan {
 		t.Fatalf("unconstrained LP makespan %v != max-config makespan %v", sched.MakespanS, init.Makespan)
 	}
@@ -82,7 +83,7 @@ func TestMixesLieOnFrontierAndSumToOne(t *testing.T) {
 		}
 		f := s.Frontier(t0.Shape, t0.Rank)
 		valid := map[machine.Config]bool{}
-		for _, c := range f.cfgs {
+		for _, c := range f.Cfgs {
 			valid[c] = true
 		}
 		sum := 0.0
@@ -248,11 +249,11 @@ func TestEffScaleChangesFrontierPower(t *testing.T) {
 	sh := machine.DefaultShape()
 	f0 := s.Frontier(sh, 0)
 	f1 := s.Frontier(sh, 1)
-	if len(f0.pts) == 0 || len(f1.pts) == 0 {
+	if len(f0.Pts) == 0 || len(f1.Pts) == 0 {
 		t.Fatal("empty frontier")
 	}
-	if !(f1.pts[0].PowerW > f0.pts[0].PowerW) {
-		t.Fatalf("inefficient socket should draw more: %v vs %v", f1.pts[0].PowerW, f0.pts[0].PowerW)
+	if !(f1.Pts[0].PowerW > f0.Pts[0].PowerW) {
+		t.Fatalf("inefficient socket should draw more: %v vs %v", f1.Pts[0].PowerW, f0.Pts[0].PowerW)
 	}
 }
 

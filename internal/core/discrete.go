@@ -3,11 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"powercap/internal/dag"
 	"powercap/internal/lp"
 	"powercap/internal/milp"
+	"powercap/internal/problem"
 )
 
 // ErrDiscreteTooLarge guards SolveDiscrete against instances where the
@@ -25,11 +25,18 @@ const MaxDiscreteTasks = 24
 // integrality — each task runs in exactly one frontier configuration for
 // its entire duration — via branch and bound. It exists to quantify the
 // continuous relaxation's rounding gap exactly on small instances; for
-// realistic sizes use Solve and the rounding in TaskChoice.Discrete.
+// realistic sizes use Solve and the rounding in TaskChoice.Discrete (or
+// internal/schedule for validated realizations). The program is emitted
+// from the same IR skeleton as the continuous LP — only the variable
+// domain differs.
 func (s *Solver) SolveDiscrete(g *dag.Graph, capW float64) (*Schedule, error) {
+	ir, err := s.IR(g)
+	if err != nil {
+		return nil, err
+	}
 	tunable := 0
-	for _, t := range g.Tasks {
-		if t.Kind == dag.Compute && t.Work > 0 {
+	for tid := range g.Tasks {
+		if ir.Class[tid] == problem.Tunable {
 			tunable++
 		}
 	}
@@ -37,111 +44,23 @@ func (s *Solver) SolveDiscrete(g *dag.Graph, capW float64) (*Schedule, error) {
 		return nil, fmt.Errorf("%w: %d tunable tasks > %d", ErrDiscreteTooLarge, tunable, MaxDiscreteTasks)
 	}
 
-	init, err := s.initialSchedule(g)
-	if err != nil {
-		return nil, err
-	}
-	active := activitySets(g, init)
-
 	prob := milp.NewProblem(lp.Minimize)
 	prob.SetGap(1e-6)
 
-	vVar := make([]lp.Var, len(g.Vertices))
-	for i := range g.Vertices {
-		obj := 0.0
-		if g.Vertices[i].Kind == dag.VFinalize {
-			obj = 1
-		}
-		vVar[i] = prob.AddVar(fmt.Sprintf("v%d", i), obj)
-		if g.Vertices[i].Kind == dag.VInit {
-			prob.MustConstraint("init0", lp.Expr{}.Plus(vVar[i], 1), lp.EQ, 0)
-		}
-	}
-
-	type taskVars struct {
-		f    *frontier
-		durs []float64
-		cs   []lp.Var
-	}
-	tv := make(map[dag.TaskID]*taskVars)
-	fixedPower := make([]float64, len(g.Tasks))
-
-	for _, t := range g.Tasks {
-		switch {
-		case t.Kind == dag.Message:
-		case t.Work <= 0:
-			fixedPower[t.ID] = s.Model.IdlePower(s.eff(t.Rank))
-		default:
-			f := s.Frontier(t.Shape, t.Rank)
-			v := &taskVars{f: f, durs: make([]float64, len(f.pts)), cs: make([]lp.Var, len(f.pts))}
-			var convex lp.Expr
-			for k, p := range f.pts {
-				v.durs[k] = p.TimeS * t.Work
-				// Eq. (5): c ∈ {0,1}.
-				v.cs[k] = prob.AddBinary(fmt.Sprintf("c%d_%d", t.ID, k), 1e-9*p.PowerW)
-				convex = convex.Plus(v.cs[k], 1)
-			}
-			prob.MustConstraint(fmt.Sprintf("cvx%d", t.ID), convex, lp.EQ, 1)
-			tv[t.ID] = v
-		}
-	}
-
-	for _, t := range g.Tasks {
-		expr := lp.Expr{}.Plus(vVar[t.Dst], 1).Plus(vVar[t.Src], -1)
-		rhs := 0.0
-		switch {
-		case t.Kind == dag.Message:
-			rhs = t.FixedDur
-		case t.Work <= 0:
-		default:
-			v := tv[t.ID]
-			for k := range v.cs {
-				expr = expr.Plus(v.cs[k], -v.durs[k])
-			}
-		}
-		prob.MustConstraint(fmt.Sprintf("prec%d", t.ID), expr, lp.GE, rhs)
-	}
-
-	order := make([]dag.VertexID, len(g.Vertices))
-	for i := range order {
-		order[i] = dag.VertexID(i)
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ta, tb := init.VertexTime[order[a]], init.VertexTime[order[b]]
-		if ta != tb {
-			return ta < tb
-		}
-		return order[a] < order[b]
+	// Eq. (5): c ∈ {0,1}. The tiny power coefficient mirrors the
+	// continuous tiebreak but must stay below the pruning gap.
+	vVar, tv := emitSkeleton(ir, prob.Problem, func(name string, powerW float64) lp.Var {
+		return prob.AddBinary(name, 1e-9*powerW)
 	})
-	for i := 1; i < len(order); i++ {
-		prev, cur := order[i-1], order[i]
-		expr := lp.Expr{}.Plus(vVar[cur], 1).Plus(vVar[prev], -1)
-		if init.VertexTime[prev] == init.VertexTime[cur] {
-			prob.MustConstraint(fmt.Sprintf("eq%d", i), expr, lp.EQ, 0)
-		} else {
-			prob.MustConstraint(fmt.Sprintf("ord%d", i), expr, lp.GE, 0)
-		}
+	emitEventOrder(ir, prob.Problem, vVar)
+	rows, floorW, floorVertex := emitPowerRows(ir, prob.Problem, tv)
+	if floorW > capW {
+		return nil, fmt.Errorf("%w: fixed idle power exceeds cap %.1f W at event %d", ErrInfeasible, capW, floorVertex)
 	}
-
-	for vi := range g.Vertices {
-		var expr lp.Expr
-		rhs := capW
-		for _, tid := range active[vi] {
-			if v, ok := tv[tid]; ok {
-				for k := range v.cs {
-					expr = expr.Plus(v.cs[k], v.f.pts[k].PowerW)
-				}
-			} else {
-				rhs -= fixedPower[tid]
-			}
+	for _, pr := range rows {
+		if err := prob.SetRHS(pr.row, capW-pr.deduct); err != nil {
+			return nil, err
 		}
-		if len(expr) == 0 {
-			if rhs < 0 {
-				return nil, fmt.Errorf("%w: cap %.1f W", ErrInfeasible, capW)
-			}
-			continue
-		}
-		prob.MustConstraint(fmt.Sprintf("pow%d", vi), expr, lp.LE, rhs)
 	}
 
 	sol, err := prob.Solve()
@@ -169,22 +88,23 @@ func (s *Solver) SolveDiscrete(g *dag.Graph, capW float64) (*Schedule, error) {
 	}
 	for _, t := range g.Tasks {
 		choice := TaskChoice{}
-		switch {
-		case t.Kind == dag.Message:
+		switch ir.Class[t.ID] {
+		case problem.Message:
 			choice.DurationS = t.FixedDur
-		case t.Work <= 0:
-			choice.PowerW = fixedPower[t.ID]
-			choice.DiscretePowerW = fixedPower[t.ID]
-		default:
+		case problem.Fixed:
+			choice.PowerW = ir.FixedPowerW[t.ID]
+			choice.DiscretePowerW = ir.FixedPowerW[t.ID]
+		case problem.Tunable:
 			v := tv[t.ID]
+			f := v.cols.F
 			for k, cv := range v.cs {
 				if sol.Value(cv) > 0.5 {
-					choice.Discrete = v.f.cfgs[k]
-					choice.DiscreteDurationS = v.durs[k]
-					choice.DiscretePowerW = v.f.pts[k].PowerW
-					choice.DurationS = v.durs[k]
-					choice.PowerW = v.f.pts[k].PowerW
-					choice.Mix = []MixEntry{{Config: v.f.cfgs[k], Frac: 1, DurationS: v.durs[k], PowerW: v.f.pts[k].PowerW}}
+					choice.Discrete = f.Cfgs[k]
+					choice.DiscreteDurationS = v.cols.Durs[k]
+					choice.DiscretePowerW = f.Pts[k].PowerW
+					choice.DurationS = v.cols.Durs[k]
+					choice.PowerW = f.Pts[k].PowerW
+					choice.Mix = []MixEntry{{Config: f.Cfgs[k], Frac: 1, DurationS: v.cols.Durs[k], PowerW: f.Pts[k].PowerW}}
 				}
 			}
 		}

@@ -7,7 +7,7 @@ import (
 	"powercap/internal/dag"
 	"powercap/internal/lp"
 	"powercap/internal/machine"
-	"powercap/internal/pareto"
+	"powercap/internal/problem"
 )
 
 // SolveSlackAware solves the fixed-vertex-order formulation with slack
@@ -30,68 +30,21 @@ import (
 // Its bound is never above the main LP's (idle ≤ task power frees budget),
 // and it approaches the flow ILP's from above (the ILP also chooses event
 // order). DESIGN.md §5.3 lists this as the slack-pricing ablation.
+//
+// The skeleton (variables, convexity, precedence) comes from the shared IR
+// emitters; only the enlarged event set and its running/slacking power
+// accounting — resolved through the IR's Occupancy — are specific here.
 func (s *Solver) SolveSlackAware(g *dag.Graph, capW float64) (*Schedule, error) {
-	init, err := s.initialSchedule(g)
+	ir, err := s.IR(g)
 	if err != nil {
 		return nil, err
 	}
+	init := ir.Init
 
 	prob := lp.NewProblem(lp.Minimize)
-
-	vVar := make([]lp.Var, len(g.Vertices))
-	for i := range g.Vertices {
-		obj := 0.0
-		if g.Vertices[i].Kind == dag.VFinalize {
-			obj = 1
-		}
-		vVar[i] = prob.AddVar(fmt.Sprintf("v%d", i), obj)
-		if g.Vertices[i].Kind == dag.VInit {
-			prob.MustConstraint("init0", lp.Expr{}.Plus(vVar[i], 1), lp.EQ, 0)
-		}
-	}
-
-	type taskVars struct {
-		f    *frontier
-		durs []float64
-		cs   []lp.Var
-	}
-	tv := make(map[dag.TaskID]*taskVars)
-	fixedPower := make([]float64, len(g.Tasks))
-	for _, t := range g.Tasks {
-		switch {
-		case t.Kind == dag.Message:
-		case t.Work <= 0:
-			fixedPower[t.ID] = s.Model.IdlePower(s.eff(t.Rank))
-		default:
-			f := s.Frontier(t.Shape, t.Rank)
-			v := &taskVars{f: f, durs: make([]float64, len(f.pts)), cs: make([]lp.Var, len(f.pts))}
-			var convex lp.Expr
-			for k, p := range f.pts {
-				v.durs[k] = p.TimeS * t.Work
-				v.cs[k] = prob.AddVar(fmt.Sprintf("c%d_%d", t.ID, k), s.PowerTiebreak*p.PowerW)
-				convex = convex.Plus(v.cs[k], 1)
-			}
-			prob.MustConstraint(fmt.Sprintf("cvx%d", t.ID), convex, lp.EQ, 1)
-			tv[t.ID] = v
-		}
-	}
-
-	// Precedence rows as in the main LP.
-	for _, t := range g.Tasks {
-		expr := lp.Expr{}.Plus(vVar[t.Dst], 1).Plus(vVar[t.Src], -1)
-		rhs := 0.0
-		switch {
-		case t.Kind == dag.Message:
-			rhs = t.FixedDur
-		case t.Work <= 0:
-		default:
-			v := tv[t.ID]
-			for k := range v.cs {
-				expr = expr.Plus(v.cs[k], -v.durs[k])
-			}
-		}
-		prob.MustConstraint(fmt.Sprintf("prec%d", t.ID), expr, lp.GE, rhs)
-	}
+	vVar, tv := emitSkeleton(ir, prob, func(name string, powerW float64) lp.Var {
+		return prob.AddVar(name, s.PowerTiebreak*powerW)
+	})
 
 	// Event set: vertices plus per-task boundary events at their initial
 	// end times. Order fixed from the initial schedule (Eqs. 12–13
@@ -106,7 +59,7 @@ func (s *Solver) SolveSlackAware(g *dag.Graph, capW float64) (*Schedule, error) 
 		events = append(events, event{time: init.VertexTime[i], vertex: dag.VertexID(i), task: -1})
 	}
 	for _, t := range g.Tasks {
-		if t.Kind == dag.Compute && t.Work > 0 {
+		if ir.Class[t.ID] == problem.Tunable {
 			events = append(events, event{time: init.End[t.ID], vertex: -1, task: t.ID})
 		}
 	}
@@ -122,7 +75,7 @@ func (s *Solver) SolveSlackAware(g *dag.Graph, capW float64) (*Schedule, error) 
 		ex := lp.Expr{}.Plus(vVar[t.Src], 1)
 		v := tv[e.task]
 		for k := range v.cs {
-			ex = ex.Plus(v.cs[k], v.durs[k])
+			ex = ex.Plus(v.cs[k], v.cols.Durs[k])
 		}
 		return ex
 	}
@@ -139,44 +92,22 @@ func (s *Solver) SolveSlackAware(g *dag.Graph, capW float64) (*Schedule, error) 
 		prob.MustConstraint(fmt.Sprintf("ord%d", i), cur, rel, 0)
 	}
 
-	// Per-rank occupancy from the initial schedule: at each event, which
-	// task occupies the rank, and is it running or slacking there?
-	byRank := make([][]dag.TaskID, g.NumRanks)
-	for _, t := range g.Tasks {
-		if t.Kind == dag.Compute {
-			byRank[t.Rank] = append(byRank[t.Rank], t.ID)
-		}
-	}
-	for r := range byRank {
-		ids := byRank[r]
-		sort.Slice(ids, func(i, j int) bool {
-			if init.Start[ids[i]] != init.Start[ids[j]] {
-				return init.Start[ids[i]] < init.Start[ids[j]]
-			}
-			return ids[i] < ids[j]
-		})
-	}
-
 	// Power rows: every event gets one. A running task contributes its
-	// configuration power; a slacking rank contributes idle power.
+	// configuration power; a slacking rank contributes idle power. The
+	// per-rank occupancy (and the running/slacking split) comes from the
+	// IR's shared Occupancy index.
 	for ei, e := range events {
 		var expr lp.Expr
 		rhs := capW
 		tj := e.time
 		for r := 0; r < g.NumRanks; r++ {
-			ids := byRank[r]
-			if len(ids) == 0 {
+			tid, ok := ir.Occ.TaskAt(r, tj)
+			if !ok {
 				continue
 			}
-			k := sort.Search(len(ids), func(k int) bool { return init.Start[ids[k]] > tj }) - 1
-			if k < 0 {
-				k = 0
-			}
-			tid := ids[k]
-			running := tj < init.End[tid] || init.Start[tid] == tj
-			if v, ok := tv[tid]; ok && running {
+			if v, vok := tv[tid]; vok && ir.Occ.Running(tid, tj) {
 				for kk := range v.cs {
-					expr = expr.Plus(v.cs[kk], v.f.pts[kk].PowerW)
+					expr = expr.Plus(v.cs[kk], v.cols.F.Pts[kk].PowerW)
 				}
 			} else {
 				rhs -= s.Model.IdlePower(s.eff(r))
@@ -216,31 +147,31 @@ func (s *Solver) SolveSlackAware(g *dag.Graph, capW float64) (*Schedule, error) 
 	}
 	for _, t := range g.Tasks {
 		choice := TaskChoice{}
-		switch {
-		case t.Kind == dag.Message:
+		switch ir.Class[t.ID] {
+		case problem.Message:
 			choice.DurationS = t.FixedDur
-		case t.Work <= 0:
-			choice.PowerW = fixedPower[t.ID]
-			choice.DiscretePowerW = fixedPower[t.ID]
+		case problem.Fixed:
+			choice.PowerW = ir.FixedPowerW[t.ID]
+			choice.DiscretePowerW = ir.FixedPowerW[t.ID]
 			choice.Discrete = machine.Config{FreqGHz: s.Model.FreqMinGHz, Threads: 1}
-		default:
+		case problem.Tunable:
 			v := tv[t.ID]
+			f := v.cols.F
 			for k, cv := range v.cs {
 				frac := sol.Value(cv)
 				if frac <= 1e-9 {
 					continue
 				}
 				choice.Mix = append(choice.Mix, MixEntry{
-					Config: v.f.cfgs[k], Frac: frac, DurationS: v.durs[k], PowerW: v.f.pts[k].PowerW,
+					Config: f.Cfgs[k], Frac: frac, DurationS: v.cols.Durs[k], PowerW: f.Pts[k].PowerW,
 				})
-				choice.DurationS += frac * v.durs[k]
-				choice.PowerW += frac * v.f.pts[k].PowerW
+				choice.DurationS += frac * v.cols.Durs[k]
+				choice.PowerW += frac * f.Pts[k].PowerW
 			}
-			if p, ok := pareto.NearestToMix(v.f.pts, choice.PowerW); ok {
-				idx := frontierIndex(v.f, p)
-				choice.Discrete = v.f.cfgs[idx]
-				choice.DiscreteDurationS = v.durs[idx]
-				choice.DiscretePowerW = v.f.pts[idx].PowerW
+			if idx, ok := f.Nearest(choice.PowerW); ok {
+				choice.Discrete = f.Cfgs[idx]
+				choice.DiscreteDurationS = v.cols.Durs[idx]
+				choice.DiscretePowerW = f.Pts[idx].PowerW
 			}
 		}
 		sched.Choices[t.ID] = choice

@@ -40,12 +40,13 @@ package flowilp
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"powercap/internal/dag"
 	"powercap/internal/lp"
 	"powercap/internal/machine"
 	"powercap/internal/milp"
-	"powercap/internal/pareto"
+	"powercap/internal/problem"
 )
 
 // ErrInfeasible reports that no schedule fits under the power constraint.
@@ -85,6 +86,9 @@ type Solver struct {
 	Slack SlackPower
 	// MaxNodes bounds branch-and-bound effort (0 = solver default).
 	MaxNodes int
+
+	mu sync.Mutex
+	fs *problem.FrontierSet
 }
 
 // NewSolver returns a flow-ILP solver with paper-default slack pricing.
@@ -97,6 +101,19 @@ func (s *Solver) eff(rank int) float64 {
 		return 1
 	}
 	return s.EffScale[rank]
+}
+
+// frontiers returns the lazily created shared frontier cache. The flow ILP
+// draws its per-task configuration columns from the same internal/problem
+// frontiers as the fixed-order backends, so every formulation prices the
+// identical Pareto sets.
+func (s *Solver) frontiers() *problem.FrontierSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fs == nil {
+		s.fs = problem.NewFrontierSet(s.Model, s.EffScale)
+	}
+	return s.fs
 }
 
 // Result is a solved flow-ILP schedule.
@@ -318,12 +335,13 @@ func (s *Solver) build(g *dag.Graph, capW float64) (*instance, error) {
 	}
 	prob.MustConstraint("init0", lp.Expr{}.Plus(vVar[initV], 1), lp.EQ, 0)
 
-	// Vertex timing and configuration mixes (Eqs. 3–4, 6–9). The tiebreak
-	// must stay well below the branch-and-bound pruning gap, or near-tied
-	// orderings differing only in power preference defeat plateau pruning.
+	// Vertex timing and configuration mixes (Eqs. 3–4, 6–9), over the
+	// shared IR frontier columns. The tiebreak must stay well below the
+	// branch-and-bound pruning gap, or near-tied orderings differing only
+	// in power preference defeat plateau pruning.
 	const tiebreak = 1e-9
 	cVars := make(map[dag.TaskID]*cfgVars)
-	cfgs := s.Model.Configs()
+	fs := s.frontiers()
 	for i := range g.Tasks {
 		t := &g.Tasks[i]
 		timing := lp.Expr{}.Plus(vVar[t.Dst], 1).Plus(vVar[t.Src], -1)
@@ -334,18 +352,10 @@ func (s *Solver) build(g *dag.Graph, capW float64) (*instance, error) {
 			prob.MustConstraint(fmt.Sprintf("z%d", t.ID), timing, lp.GE, 0)
 		default:
 			idle := s.Model.IdlePower(s.eff(t.Rank))
-			cloud := make([]pareto.Point, len(cfgs))
-			for k, c := range cfgs {
-				cloud[k] = pareto.Point{
-					PowerW: s.Model.Power(t.Shape, c, s.eff(t.Rank)),
-					TimeS:  s.Model.Duration(1.0, t.Shape, c),
-					Index:  k,
-				}
-			}
-			hull := pareto.ConvexFrontier(cloud)
+			f := fs.For(t.Shape, t.Rank)
 			cv := &cfgVars{}
 			var convex lp.Expr
-			for _, p := range hull {
+			for _, p := range f.Pts {
 				v := prob.AddVar(fmt.Sprintf("c%d_%d", t.ID, p.Index), tiebreak*p.PowerW)
 				cv.vars = append(cv.vars, v)
 				cv.durs = append(cv.durs, p.TimeS*t.Work)

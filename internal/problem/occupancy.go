@@ -1,0 +1,81 @@
+package problem
+
+import (
+	"sort"
+
+	"powercap/internal/dag"
+	"powercap/internal/sim"
+)
+
+// Occupancy resolves which compute task occupies each rank at a given time
+// of an evaluated schedule. A rank's occupancy window for a task runs from
+// the task's start until the rank's next task starts (the task plus its
+// slack); under the main LP's accounting the slack holds the task's power,
+// so the occupying task is the one charged for the rank at that time
+// (Sec. 3.3).
+//
+// The boundary rule — shared by the activity sets of the fixed-order LP,
+// the slack-aware variant, and the realization validator — is: an event
+// exactly at a window boundary belongs to the newly starting task ("tasks
+// are considered active at an event if they start at or are running at the
+// time of the event"). Ties between tasks starting at the same instant
+// (zero-duration tasks) resolve to the highest task ID, the one actually
+// about to run. An event before a rank's first task charges that first
+// task.
+type Occupancy struct {
+	byRank [][]dag.TaskID
+	start  []float64
+	end    []float64
+}
+
+// NewOccupancy indexes the evaluated schedule res for occupancy lookups:
+// per rank, its compute tasks sorted by (start time, task ID).
+func NewOccupancy(g *dag.Graph, res *sim.Result) *Occupancy {
+	o := &Occupancy{
+		byRank: make([][]dag.TaskID, g.NumRanks),
+		start:  res.Start,
+		end:    res.End,
+	}
+	for _, t := range g.Tasks {
+		if t.Kind == dag.Compute {
+			o.byRank[t.Rank] = append(o.byRank[t.Rank], t.ID)
+		}
+	}
+	for r := range o.byRank {
+		ids := o.byRank[r]
+		sort.Slice(ids, func(i, j int) bool {
+			if o.start[ids[i]] != o.start[ids[j]] {
+				return o.start[ids[i]] < o.start[ids[j]]
+			}
+			return ids[i] < ids[j]
+		})
+	}
+	return o
+}
+
+// Tasks returns rank's compute tasks in occupancy order.
+func (o *Occupancy) Tasks(rank int) []dag.TaskID { return o.byRank[rank] }
+
+// TaskAt returns the task occupying rank at time t, applying the boundary
+// rule above. ok is false only when the rank has no compute tasks.
+func (o *Occupancy) TaskAt(rank int, t float64) (dag.TaskID, bool) {
+	ids := o.byRank[rank]
+	if len(ids) == 0 {
+		return 0, false
+	}
+	// Last task whose start ≤ t; ties in start resolve to the later task ID
+	// (sort order above puts it last among equal starts).
+	k := sort.Search(len(ids), func(k int) bool { return o.start[ids[k]] > t }) - 1
+	if k < 0 {
+		k = 0 // event precedes the rank's first task: charge it
+	}
+	return ids[k], true
+}
+
+// Running reports whether task tid is still executing (as opposed to
+// slacking) at time t: it has started at or before t and its execution end
+// is after t, with a task starting exactly at t counting as running even
+// when zero-duration.
+func (o *Occupancy) Running(tid dag.TaskID, t float64) bool {
+	return t < o.end[tid] || o.start[tid] == t
+}

@@ -1,0 +1,129 @@
+package problem
+
+import (
+	"testing"
+
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+	"powercap/internal/sim"
+)
+
+// occGraph builds a 2-rank graph whose compute tasks we re-time by hand:
+//
+//	rank 0: A (work 0.5) | collective | B (work 0.4)
+//	rank 1: Z (work 0)   | collective | D (work 0.4)
+//
+// Z is a zero-work (and, once re-timed, zero-duration) task.
+func occGraph(t *testing.T) (*dag.Graph, map[string]dag.TaskID) {
+	t.Helper()
+	sh := machine.DefaultShape()
+	b := dag.NewBuilder(2)
+	b.Compute(0, 0.5, sh, "A")
+	b.Compute(1, 0, sh, "Z")
+	b.Collective("sync")
+	b.Compute(0, 0.4, sh, "B")
+	b.Compute(1, 0.4, sh, "D")
+	g := b.Finalize()
+
+	named := map[string]dag.TaskID{}
+	for _, task := range g.Tasks {
+		if task.Kind == dag.Compute {
+			named[task.Class] = task.ID
+		}
+	}
+	for _, want := range []string{"A", "Z", "B", "D"} {
+		if _, ok := named[want]; !ok {
+			t.Fatalf("compute task %q not found in graph", want)
+		}
+	}
+	return g, named
+}
+
+// TestOccupancyWindows drives TaskAt/Running through a hand-timed schedule,
+// covering the shared boundary rule: an event at a window boundary belongs
+// to the newly starting task, events before a rank's first task charge that
+// task, zero-duration tasks tie-break to the highest (about-to-run) ID, and
+// a task starting exactly at the query time counts as running.
+func TestOccupancyWindows(t *testing.T) {
+	g, id := occGraph(t)
+	a, z, bb, d := id["A"], id["Z"], id["B"], id["D"]
+
+	// Hand-timed: rank 0 runs A on [0,1] with slack to 2, B on [2,3].
+	// Rank 1's Z is zero-duration at t=0 and D starts at the same instant
+	// (the degenerate same-start tie the boundary rule must resolve).
+	res := &sim.Result{
+		Start: make([]float64, len(g.Tasks)),
+		End:   make([]float64, len(g.Tasks)),
+	}
+	res.Start[a], res.End[a] = 0, 1
+	res.Start[bb], res.End[bb] = 2, 3
+	res.Start[z], res.End[z] = 0, 0
+	res.Start[d], res.End[d] = 0, 2
+	occ := NewOccupancy(g, res)
+
+	cases := []struct {
+		name string
+		rank int
+		t    float64
+		want dag.TaskID
+	}{
+		{"before first task charges it", 0, -0.5, a},
+		{"start boundary belongs to starting task", 0, 0, a},
+		{"mid-execution", 0, 0.5, a},
+		{"execution end still occupied (slack holds task)", 0, 1.0, a},
+		{"slack window", 0, 1.5, a},
+		{"next start boundary flips to new task", 0, 2.0, bb},
+		{"mid second task", 0, 2.5, bb},
+		{"after last task stays with it", 0, 10, bb},
+		{"zero-duration same-start tie goes to highest ID", 1, 0, d},
+		{"after the tie the running task owns the window", 1, 1.0, d},
+	}
+	for _, tc := range cases {
+		got, ok := occ.TaskAt(tc.rank, tc.t)
+		if !ok {
+			t.Errorf("%s: TaskAt(%d, %v) reported no tasks", tc.name, tc.rank, tc.t)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: TaskAt(%d, %v) = task %d, want %d", tc.name, tc.rank, tc.t, got, tc.want)
+		}
+	}
+
+	runningCases := []struct {
+		name string
+		tid  dag.TaskID
+		t    float64
+		want bool
+	}{
+		{"running at own start", a, 0, true},
+		{"running mid-execution", a, 0.5, true},
+		{"not running at execution end", a, 1.0, false},
+		{"not running during slack", a, 1.5, false},
+		{"zero-duration task runs at its instant", z, 0, true},
+		{"zero-duration task not running later", z, 0.5, false},
+	}
+	for _, tc := range runningCases {
+		if got := occ.Running(tc.tid, tc.t); got != tc.want {
+			t.Errorf("%s: Running(%d, %v) = %v, want %v", tc.name, tc.tid, tc.t, got, tc.want)
+		}
+	}
+
+	// Occupancy order on rank 1 must place the zero-duration task before
+	// the equal-start running task (start tie broken by ID).
+	r1 := occ.Tasks(1)
+	if len(r1) != 2 || r1[0] != z || r1[1] != d {
+		t.Fatalf("rank 1 occupancy order = %v, want [%d %d]", r1, z, d)
+	}
+}
+
+// TestOccupancyEmptyRank: a rank with no compute tasks yields ok=false.
+func TestOccupancyEmptyRank(t *testing.T) {
+	g := &dag.Graph{NumRanks: 1}
+	occ := NewOccupancy(g, &sim.Result{})
+	if _, ok := occ.TaskAt(0, 0); ok {
+		t.Fatal("TaskAt on a rank with no compute tasks must report ok=false")
+	}
+	if got := occ.Tasks(0); len(got) != 0 {
+		t.Fatalf("Tasks(0) = %v, want empty", got)
+	}
+}

@@ -1,0 +1,186 @@
+package problem
+
+import (
+	"testing"
+
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+)
+
+func irGraph() *dag.Graph {
+	sh := machine.DefaultShape()
+	b := dag.NewBuilder(2)
+	b.Compute(0, 0.5, sh, "phase1")
+	b.Compute(1, 1.0, sh, "phase1")
+	b.Collective("sync")
+	b.Compute(0, 0.4, sh, "phase2")
+	b.Compute(1, 0, sh, "idlehop")
+	return b.Finalize()
+}
+
+func TestBuildClassifiesTasks(t *testing.T) {
+	g := irGraph()
+	m := machine.Default()
+	ir, err := Build(m, nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range g.Tasks {
+		class := ir.Class[task.ID]
+		switch {
+		case task.Kind == dag.Message:
+			if class != Message {
+				t.Errorf("task %d: class %v, want Message", task.ID, class)
+			}
+			if ir.Cols[task.ID] != nil {
+				t.Errorf("message task %d has frontier columns", task.ID)
+			}
+		case task.Work <= 0:
+			if class != Fixed {
+				t.Errorf("task %d: class %v, want Fixed", task.ID, class)
+			}
+			if want := m.IdlePower(1.0); ir.FixedPowerW[task.ID] != want {
+				t.Errorf("task %d: fixed power %v, want idle %v", task.ID, ir.FixedPowerW[task.ID], want)
+			}
+		default:
+			if class != Tunable {
+				t.Errorf("task %d: class %v, want Tunable", task.ID, class)
+			}
+			cols := ir.Cols[task.ID]
+			if cols == nil {
+				t.Fatalf("tunable task %d missing columns", task.ID)
+			}
+			if len(cols.Durs) != len(cols.F.Pts) {
+				t.Fatalf("task %d: %d durations for %d frontier points", task.ID, len(cols.Durs), len(cols.F.Pts))
+			}
+			for k, p := range cols.F.Pts {
+				if want := p.TimeS * task.Work; cols.Durs[k] != want {
+					t.Errorf("task %d col %d: dur %v, want %v", task.ID, k, cols.Durs[k], want)
+				}
+			}
+		}
+	}
+}
+
+func TestEventOrderSortedAndComplete(t *testing.T) {
+	g := irGraph()
+	ir, err := Build(machine.Default(), nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ir.EventOrder) != len(g.Vertices) {
+		t.Fatalf("event order has %d vertices, graph %d", len(ir.EventOrder), len(g.Vertices))
+	}
+	seen := make([]bool, len(g.Vertices))
+	for i, v := range ir.EventOrder {
+		if seen[v] {
+			t.Fatalf("vertex %d appears twice in event order", v)
+		}
+		seen[v] = true
+		if i == 0 {
+			continue
+		}
+		prev := ir.EventOrder[i-1]
+		tp, tv := ir.Init.VertexTime[prev], ir.Init.VertexTime[v]
+		if tp > tv || (tp == tv && prev > v) {
+			t.Fatalf("event order not sorted at %d: vertex %d (t=%v) before %d (t=%v)", i, prev, tp, v, tv)
+		}
+		if (tp == tv) != ir.Simultaneous(prev, v) {
+			t.Fatalf("Simultaneous(%d,%d) disagrees with times %v,%v", prev, v, tp, tv)
+		}
+	}
+}
+
+func TestActiveSetsMatchOccupancy(t *testing.T) {
+	g := irGraph()
+	ir, err := Build(machine.Default(), nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi := range g.Vertices {
+		active := ir.Active[vi]
+		if len(active) > g.NumRanks {
+			t.Fatalf("vertex %d: %d active tasks for %d ranks", vi, len(active), g.NumRanks)
+		}
+		onRank := map[int]dag.TaskID{}
+		for _, tid := range active {
+			task := g.Task(tid)
+			if task.Kind != dag.Compute {
+				t.Fatalf("vertex %d: non-compute task %d in activity set", vi, tid)
+			}
+			if prev, dup := onRank[task.Rank]; dup {
+				t.Fatalf("vertex %d: rank %d charged twice (tasks %d, %d)", vi, task.Rank, prev, tid)
+			}
+			onRank[task.Rank] = tid
+			if got, ok := ir.Occ.TaskAt(task.Rank, ir.Init.VertexTime[vi]); !ok || got != tid {
+				t.Fatalf("vertex %d rank %d: activity set has %d, occupancy says %d", vi, task.Rank, tid, got)
+			}
+		}
+	}
+}
+
+// TestBuildWithSharesFrontiers: two graphs built through one FrontierSet
+// share frontier pointers — the cross-build reuse SolveSweep and the
+// scheduling service depend on.
+func TestBuildWithSharesFrontiers(t *testing.T) {
+	fs := NewFrontierSet(machine.Default(), nil)
+	g1, g2 := irGraph(), irGraph()
+	ir1, err := BuildWith(fs, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir2, err := BuildWith(fs, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c1, c2 *Columns
+	for tid := range g1.Tasks {
+		if ir1.Class[tid] == Tunable {
+			c1, c2 = ir1.Cols[tid], ir2.Cols[tid]
+			break
+		}
+	}
+	if c1 == nil || c2 == nil {
+		t.Fatal("no tunable task found")
+	}
+	if c1.F != c2.F {
+		t.Fatal("equal (shape, rank) classes built through one FrontierSet must share a Frontier")
+	}
+}
+
+func TestFrontierNearestAndFloor(t *testing.T) {
+	fs := NewFrontierSet(machine.Default(), nil)
+	f := fs.For(machine.DefaultShape(), 0)
+	if len(f.Pts) < 2 {
+		t.Fatalf("degenerate frontier with %d points", len(f.Pts))
+	}
+	lo, hi := f.Pts[0].PowerW, f.Pts[len(f.Pts)-1].PowerW
+	if !(lo < hi) {
+		t.Fatalf("frontier not sorted by power: %v .. %v", lo, hi)
+	}
+
+	// Nearest at an exact frontier power returns that position.
+	for k := range f.Pts {
+		if got, ok := f.Nearest(f.Pts[k].PowerW); !ok || got != k {
+			t.Fatalf("Nearest(%v) = %d,%v, want %d", f.Pts[k].PowerW, got, ok, k)
+		}
+	}
+
+	// Floor never exceeds the target and clamps below the minimum.
+	mid := (f.Pts[0].PowerW + f.Pts[1].PowerW) / 2
+	if got, ok := f.Floor(mid); !ok || got != 0 {
+		t.Fatalf("Floor(%v) = %d,%v, want 0", mid, got, ok)
+	}
+	if got, ok := f.Floor(lo - 5); !ok || got != 0 {
+		t.Fatalf("Floor below minimum = %d,%v, want clamp to 0", got, ok)
+	}
+	if got, ok := f.Floor(hi + 5); !ok || got != len(f.Pts)-1 {
+		t.Fatalf("Floor above maximum = %d,%v, want last point", got, ok)
+	}
+	for k := range f.Pts {
+		got, _ := f.Floor(f.Pts[k].PowerW)
+		if f.Pts[got].PowerW > f.Pts[k].PowerW+1e-9 {
+			t.Fatalf("Floor(%v) chose a higher-power point %v", f.Pts[k].PowerW, f.Pts[got].PowerW)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package schedule converts fractional LP schedules into realizable ones —
+// schedules a runtime could actually execute — and validates every candidate
+// on the simulator, mirroring the paper's Sec. 6.1 replay validation.
+//
+// The LP's continuous solution mixes configurations ("we can emulate such a
+// schedule by switching the configuration mid-task", Sec. 3.2); hardware
+// offers only the discrete frontier points. Three realization strategies
+// bracket that gap:
+//
+//   - nearest rounds each task to "the configuration closest to the optimal
+//     point on the Pareto frontier" (Sec. 3.2's rounding rule) — fastest
+//     realizable schedule, but rounding up can momentarily exceed the cap;
+//   - down rounds each task to the highest frontier point at or below its
+//     LP-mixed power — cap-safe by construction, at some makespan cost;
+//   - replay emulates the convex mix by mid-task configuration switching,
+//     charging the paper's median 145 µs DVFS-transition overhead per
+//     switch and the task's time-averaged power (Eq. 8).
+//
+// Every candidate is evaluated by internal/sim; when the realized timeline
+// exceeds the cap at any event (rounding up, or co-activity shifts from the
+// earlier ASAP execution), a repair loop demotes the highest-power demotable
+// task co-active at the worst violation one frontier level and re-validates,
+// until the schedule is cap-clean. The loop terminates: every repair
+// strictly lowers one task's frontier level, so total repairs are bounded by
+// the sum of frontier sizes. Feasibility of the all-floor schedule is not
+// guaranteed in theory (the realized timeline re-orders co-activity), so an
+// exhausted repair budget reports an error rather than an unsafe schedule.
+//
+// The realized makespan is reported against the LP objective as the bound
+// gap — the empirical distance between the paper's theoretical performance
+// bound and a schedule that respects both discreteness and the cap.
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"powercap/internal/core"
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+	"powercap/internal/problem"
+	"powercap/internal/sim"
+)
+
+// Strategy names a realization rule.
+type Strategy string
+
+const (
+	// Nearest rounds each task to the frontier point closest in power to
+	// its LP mix (Sec. 3.2).
+	Nearest Strategy = "nearest"
+	// Down rounds each task to the highest frontier point not above its
+	// LP-mixed power (cap-safe).
+	Down Strategy = "down"
+	// Replay emulates the convex mix with mid-task switches at 145 µs per
+	// transition (Sec. 3.2 / Sec. 6.1).
+	Replay Strategy = "replay"
+)
+
+// Strategies lists all realization strategies in reporting order.
+var Strategies = []Strategy{Nearest, Down, Replay}
+
+// ParseStrategy maps a user-facing name to a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case Nearest, Down, Replay:
+		return Strategy(s), nil
+	}
+	return "", fmt.Errorf("schedule: unknown realization strategy %q (want nearest, down, or replay)", s)
+}
+
+// Options tunes realization.
+type Options struct {
+	// SwitchOverheadS is the cost of one mid-task configuration change
+	// under Replay; the paper reports a median of 145 µs.
+	SwitchOverheadS float64
+	// CapTolW is the instantaneous power excess tolerated before the
+	// repair loop engages (absorbs floating-point residue only).
+	CapTolW float64
+	// MaxRepairs bounds the repair loop; 0 means the natural bound, the
+	// sum of all tunable tasks' frontier sizes.
+	MaxRepairs int
+}
+
+// DefaultOptions returns the paper-parameterized realization options.
+func DefaultOptions() Options {
+	return Options{SwitchOverheadS: 145e-6, CapTolW: 1e-6}
+}
+
+// Realized is a realizable schedule with its simulator validation.
+type Realized struct {
+	Strategy Strategy
+	// Points is the realized operating point per task (what the runtime
+	// would execute); Configs the discrete configuration per tunable task
+	// (the final one, for Replay).
+	Points  []sim.TaskPoint
+	Configs []machine.Config
+	// Result is the simulator evaluation of the realized schedule.
+	Result *sim.Result
+	// MakespanS is the realized time to solution; LPMakespanS the LP
+	// objective it is measured against; BoundGapPct the relative gap
+	// 100·(realized − LP)/LP.
+	MakespanS   float64
+	LPMakespanS float64
+	BoundGapPct float64
+	// CapW is the job power constraint; CapViolationW the largest
+	// instantaneous excess after repair (0 for an accepted schedule).
+	CapW          float64
+	CapViolationW float64
+	// Repairs counts frontier-level demotions the repair loop applied;
+	// Switches the mid-task configuration changes (Replay only).
+	Repairs  int
+	Switches int
+}
+
+// Realize converts the LP schedule into a realizable one under the given
+// strategy and validates it on the simulator. The IR must be the one the
+// schedule was solved from (same graph and frontiers).
+func Realize(ir *problem.IR, sched *core.Schedule, strat Strategy, opts Options) (*Realized, error) {
+	g := ir.G
+	if len(sched.Choices) != len(g.Tasks) {
+		return nil, fmt.Errorf("schedule: %d choices for %d tasks", len(sched.Choices), len(g.Tasks))
+	}
+	if opts.CapTolW <= 0 {
+		opts.CapTolW = 1e-6
+	}
+
+	r := &Realized{
+		Strategy:    strat,
+		Points:      sim.Points(g),
+		Configs:     make([]machine.Config, len(g.Tasks)),
+		LPMakespanS: sched.MakespanS,
+		CapW:        sched.CapW,
+	}
+
+	// level[tid] is the task's current frontier position; -1 marks a task
+	// still realized as its continuous mix (Replay before any repair).
+	level := make([]int, len(g.Tasks))
+	budget := 0
+	for _, t := range g.Tasks {
+		level[t.ID] = -1
+		ch := sched.Choices[t.ID]
+		switch ir.Class[t.ID] {
+		case problem.Message:
+			// sim.Points prefilled the fixed duration.
+		case problem.Fixed:
+			r.Points[t.ID] = sim.TaskPoint{Duration: 0, PowerW: ir.FixedPowerW[t.ID]}
+		case problem.Tunable:
+			cols := ir.Cols[t.ID]
+			budget += len(cols.F.Pts)
+			switch strat {
+			case Nearest:
+				k, _ := cols.F.Nearest(ch.PowerW)
+				setLevel(r, cols, t.ID, k, level)
+			case Down:
+				k, _ := cols.F.Floor(ch.PowerW)
+				setLevel(r, cols, t.ID, k, level)
+			case Replay:
+				dur := ch.DurationS
+				if n := len(ch.Mix) - 1; n > 0 {
+					dur += float64(n) * opts.SwitchOverheadS
+					r.Switches += n
+				}
+				r.Points[t.ID] = sim.TaskPoint{Duration: dur, PowerW: ch.PowerW}
+				if len(ch.Mix) > 0 {
+					r.Configs[t.ID] = ch.Mix[len(ch.Mix)-1].Config
+				}
+			default:
+				return nil, fmt.Errorf("schedule: unknown strategy %q", strat)
+			}
+		}
+	}
+	if opts.MaxRepairs <= 0 {
+		opts.MaxRepairs = budget
+	}
+
+	// Validate, repairing cap violations by demoting the hottest demotable
+	// task co-active at the worst violation.
+	for {
+		res, err := sim.Evaluate(g, r.Points, sim.SlackHoldsTaskPower, 0)
+		if err != nil {
+			return nil, err
+		}
+		r.Result = res
+		r.MakespanS = res.Makespan
+		r.CapViolationW = res.MaxCapViolation(sched.CapW)
+		if r.CapViolationW <= opts.CapTolW {
+			r.CapViolationW = 0
+			break
+		}
+		if r.Repairs >= opts.MaxRepairs {
+			return nil, fmt.Errorf("schedule: %s realization still exceeds cap %.1f W by %.3f W after %d repairs",
+				strat, sched.CapW, r.CapViolationW, r.Repairs)
+		}
+		if !demoteWorst(ir, sched, r, level) {
+			return nil, fmt.Errorf("schedule: %s realization exceeds cap %.1f W by %.3f W with no demotable task",
+				strat, sched.CapW, r.CapViolationW)
+		}
+		r.Repairs++
+	}
+
+	if r.LPMakespanS > 0 {
+		r.BoundGapPct = 100 * (r.MakespanS - r.LPMakespanS) / r.LPMakespanS
+	}
+	return r, nil
+}
+
+func setLevel(r *Realized, cols *problem.Columns, tid dag.TaskID, k int, level []int) {
+	level[tid] = k
+	r.Points[tid] = sim.TaskPoint{Duration: cols.Durs[k], PowerW: cols.F.Pts[k].PowerW}
+	r.Configs[tid] = cols.F.Cfgs[k]
+}
+
+// demoteWorst finds the time of the largest cap excess in r.Result, then
+// demotes the highest-power demotable tunable task occupying a rank there by
+// one frontier level (a mixed Replay task first drops to the floor of its
+// average power). Returns false when no co-active task can go lower.
+func demoteWorst(ir *problem.IR, sched *core.Schedule, r *Realized, level []int) bool {
+	worstT, worstP := 0.0, math.Inf(-1)
+	for _, s := range r.Result.EventPower {
+		if s.PowerW > worstP {
+			worstT, worstP = s.Time, s.PowerW
+		}
+	}
+	occ := problem.NewOccupancy(ir.G, r.Result)
+
+	victim, victimLevel := dag.TaskID(-1), 0
+	victimPower := math.Inf(-1)
+	for rank := 0; rank < ir.G.NumRanks; rank++ {
+		tid, ok := occ.TaskAt(rank, worstT)
+		if !ok || ir.Class[tid] != problem.Tunable {
+			continue
+		}
+		cols := ir.Cols[tid]
+		cur := r.Points[tid].PowerW
+		next := -1
+		switch {
+		case level[tid] < 0: // Replay mix: drop to the floor of its average power
+			k, _ := cols.F.Floor(cur)
+			if cols.F.Pts[k].PowerW >= cur-1e-12 && k > 0 {
+				k-- // avg sat exactly on a frontier point: go strictly below
+			}
+			if cols.F.Pts[k].PowerW < cur-1e-12 {
+				next = k
+			}
+		case level[tid] > 0:
+			next = level[tid] - 1
+		}
+		if next >= 0 && cur > victimPower {
+			victim, victimLevel, victimPower = tid, next, cur
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	setLevel(r, ir.Cols[victim], victim, victimLevel, level)
+	return true
+}
+
+// RealizeAll realizes the schedule under every strategy. Strategies that
+// fail (repair budget exhausted) are skipped; an error is returned only when
+// none succeed.
+func RealizeAll(ir *problem.IR, sched *core.Schedule, opts Options) ([]*Realized, error) {
+	var out []*Realized
+	var firstErr error
+	for _, strat := range Strategies {
+		r, err := Realize(ir, sched, strat, opts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("schedule: every realization strategy failed: %w", firstErr)
+	}
+	return out, nil
+}
+
+// Best returns the fastest cap-clean realization from a RealizeAll result.
+func Best(rs []*Realized) *Realized {
+	var best *Realized
+	for _, r := range rs {
+		if r.CapViolationW > 0 {
+			continue
+		}
+		if best == nil || r.MakespanS < best.MakespanS {
+			best = r
+		}
+	}
+	return best
+}

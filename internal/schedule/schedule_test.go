@@ -1,0 +1,199 @@
+package schedule
+
+import (
+	"testing"
+
+	"powercap/internal/core"
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+	"powercap/internal/problem"
+	"powercap/internal/workloads"
+)
+
+func testGraph() *dag.Graph {
+	b := dag.NewBuilder(2)
+	sh := machine.DefaultShape()
+	b.Compute(0, 0.5, sh, "phase1")
+	b.Compute(1, 1.0, sh, "phase1")
+	b.Collective("sync")
+	b.Compute(0, 0.4, sh, "phase2")
+	b.Compute(1, 0.4, sh, "phase2")
+	return b.Finalize()
+}
+
+func solveOne(t *testing.T, g *dag.Graph, capW float64) (*core.Solver, *problem.IR, *core.Schedule) {
+	t.Helper()
+	s := core.NewSolver(machine.Default(), nil)
+	sched, err := s.Solve(g, capW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := s.IR(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ir, sched
+}
+
+func TestRealizeAllStrategiesCapClean(t *testing.T) {
+	g := testGraph()
+	for _, capW := range []float64{50, 60, 70, 90} {
+		_, ir, sched := solveOne(t, g, capW)
+		rs, err := RealizeAll(ir, sched, DefaultOptions())
+		if err != nil {
+			t.Fatalf("cap %v: %v", capW, err)
+		}
+		if len(rs) != len(Strategies) {
+			t.Fatalf("cap %v: %d of %d strategies realized", capW, len(rs), len(Strategies))
+		}
+		for _, r := range rs {
+			if r.CapViolationW != 0 {
+				t.Errorf("cap %v %s: residual violation %v W", capW, r.Strategy, r.CapViolationW)
+			}
+			if v := r.Result.MaxCapViolation(capW); v > 1e-6 {
+				t.Errorf("cap %v %s: simulator reports %v W over cap", capW, r.Strategy, v)
+			}
+			if r.MakespanS <= 0 {
+				t.Errorf("cap %v %s: degenerate makespan %v", capW, r.Strategy, r.MakespanS)
+			}
+			if r.LPMakespanS != sched.MakespanS {
+				t.Errorf("cap %v %s: LP makespan %v, want %v", capW, r.Strategy, r.LPMakespanS, sched.MakespanS)
+			}
+		}
+		if Best(rs) == nil {
+			t.Fatalf("cap %v: no cap-clean realization to pick", capW)
+		}
+	}
+}
+
+// TestDownNeverExceedsMixPower: the round-down-safe strategy must give every
+// tunable task at most its LP-mixed power before any repair runs.
+func TestDownNeverExceedsMixPower(t *testing.T) {
+	g := testGraph()
+	_, ir, sched := solveOne(t, g, 60)
+	r, err := Realize(ir, sched, Down, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Repairs != 0 {
+		t.Fatalf("down realization needed %d repairs; floor rounding should be cap-safe here", r.Repairs)
+	}
+	for _, task := range g.Tasks {
+		if ir.Class[task.ID] != problem.Tunable {
+			continue
+		}
+		if got, lp := r.Points[task.ID].PowerW, sched.Choices[task.ID].PowerW; got > lp+1e-9 {
+			t.Errorf("task %d: floor power %v exceeds LP mix power %v", task.ID, got, lp)
+		}
+	}
+}
+
+// TestReplayChargesSwitchOverhead: replay realizes the exact mixed durations
+// plus one transition per extra mix entry.
+func TestReplayChargesSwitchOverhead(t *testing.T) {
+	g := testGraph()
+	_, ir, sched := solveOne(t, g, 60)
+	opts := DefaultOptions()
+	r, err := Realize(ir, sched, Replay, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSwitches := 0
+	for _, task := range g.Tasks {
+		if ir.Class[task.ID] != problem.Tunable {
+			continue
+		}
+		ch := sched.Choices[task.ID]
+		if n := len(ch.Mix) - 1; n > 0 {
+			wantSwitches += n
+		}
+		if r.Repairs == 0 {
+			want := ch.DurationS + float64(len(ch.Mix)-1)*opts.SwitchOverheadS
+			if got := r.Points[task.ID].Duration; got != want {
+				t.Errorf("task %d: replay duration %v, want %v", task.ID, got, want)
+			}
+		}
+	}
+	if r.Switches != wantSwitches {
+		t.Errorf("switches %d, want %d", r.Switches, wantSwitches)
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, s := range Strategies {
+		got, err := ParseStrategy(string(s))
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseStrategy("upwards"); err == nil {
+		t.Error("ParseStrategy accepted an unknown name")
+	}
+}
+
+// TestPropertyRealizationBounds is the sweep property test: at every
+// feasible sweep point of each 8-rank workload, every realization strategy
+// must produce a simulator-validated schedule whose makespan is no better
+// than the LP bound (within tolerance — the realized ASAP timeline may
+// re-order events the LP pinned, which can shave a hair off) and whose
+// instantaneous power never exceeds the cap.
+func TestPropertyRealizationBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep property test is slow")
+	}
+	// Tolerance for realized < LP: the LP's fixed event order is itself a
+	// restriction, so an ASAP replay of rounded points can undercut the
+	// bound marginally; anything beyond a fraction of a percent would mean
+	// the realization is not actually executing the LP's choices.
+	const undercutTol = 5e-3
+	caps := []float64{70, 50, 40, 30}
+	opts := DefaultOptions()
+
+	for _, name := range []string{"SP", "CG", "FT"} {
+		w, err := workloads.ByName(name, workloads.Params{Ranks: 8, Iterations: 2, Seed: 1, WorkScale: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slices, err := dag.SliceAll(w.Graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := slices[1].Graph
+		s := core.NewSolver(machine.Default(), nil)
+		jobCaps := make([]float64, len(caps))
+		for i, c := range caps {
+			jobCaps[i] = c * 8
+		}
+		pts, err := s.SolveSweep(g, jobCaps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ir, err := s.IR(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feasible := 0
+		for _, pt := range pts {
+			if pt.Err != nil {
+				continue
+			}
+			feasible++
+			rs, err := RealizeAll(ir, pt.Schedule, opts)
+			if err != nil {
+				t.Fatalf("%s cap %v: %v", name, pt.CapW, err)
+			}
+			for _, r := range rs {
+				if v := r.Result.MaxCapViolation(pt.CapW); v > 1e-6 {
+					t.Errorf("%s cap %v %s: power exceeds cap by %v W", name, pt.CapW, r.Strategy, v)
+				}
+				if r.MakespanS < pt.Schedule.MakespanS*(1-undercutTol) {
+					t.Errorf("%s cap %v %s: realized %v undercuts LP bound %v",
+						name, pt.CapW, r.Strategy, r.MakespanS, pt.Schedule.MakespanS)
+				}
+			}
+		}
+		if feasible == 0 {
+			t.Fatalf("%s: no feasible sweep point", name)
+		}
+	}
+}

@@ -27,12 +27,15 @@ package service
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +84,13 @@ type Server struct {
 	// sees the flag or holds a read lock Drain waits on — never neither.
 	draining atomic.Bool
 	drainMu  sync.RWMutex
+
+	// sysPool shares one powercap.System per efficiency-scale vector, so
+	// requests against the same workload reuse the System's solver — and
+	// with it the digest-keyed problem-IR cache and frontier cache —
+	// instead of rebuilding the problem skeleton per request.
+	sysMu   sync.Mutex
+	sysPool map[string]*powercap.System
 }
 
 // New builds a Server from cfg.
@@ -153,6 +163,30 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// systemFor returns the pooled System for an efficiency-scale vector,
+// creating it on first use. Sharing the System shares its solver's
+// problem-IR and frontier caches across requests; the pool is bounded and
+// reset on overflow (each System's own caches are per graph digest, so a
+// reset only costs warm state, never correctness).
+func (s *Server) systemFor(eff []float64) *powercap.System {
+	key := make([]byte, 8*len(eff))
+	for i, e := range eff {
+		binary.LittleEndian.PutUint64(key[8*i:], math.Float64bits(e))
+	}
+	s.sysMu.Lock()
+	defer s.sysMu.Unlock()
+	if s.sysPool == nil || len(s.sysPool) > 128 {
+		s.sysPool = make(map[string]*powercap.System)
+	}
+	if sys, ok := s.sysPool[string(key)]; ok {
+		return sys
+	}
+	sys := powercap.NewSystem(s.model)
+	sys.EffScale = eff
+	s.sysPool[string(key)] = sys
+	return sys
 }
 
 // statusRecorder captures the response code for logging and latency
@@ -264,7 +298,12 @@ type SolveRequest struct {
 	JobCapW       float64       `json:"job_cap_w,omitempty"`
 	// Whole solves one LP over the entire graph instead of decomposing at
 	// iteration boundaries.
-	Whole     bool    `json:"whole,omitempty"`
+	Whole bool `json:"whole,omitempty"`
+	// Realize additionally converts the LP solution into a realizable
+	// schedule ("nearest", "down", "replay", or "best") validated on the
+	// simulator; the ?realize= query parameter sets the same field. The
+	// strategy is part of the cache key.
+	Realize   string  `json:"realize,omitempty"`
 	TimeoutMS float64 `json:"timeout_ms,omitempty"`
 }
 
@@ -287,6 +326,29 @@ func statsJSON(st powercap.SolverStats) *StatsJSON {
 	}
 }
 
+// RealizedJSON reports a realized schedule's validation in responses.
+type RealizedJSON struct {
+	Strategy      string  `json:"strategy"`
+	MakespanS     float64 `json:"makespan_s"`
+	LPMakespanS   float64 `json:"lp_makespan_s"`
+	BoundGapPct   float64 `json:"bound_gap_pct"`
+	CapViolationW float64 `json:"cap_violation_w"`
+	Repairs       int     `json:"repairs"`
+	Switches      int     `json:"switches"`
+}
+
+func realizedJSON(r *powercap.RealizedSchedule) *RealizedJSON {
+	return &RealizedJSON{
+		Strategy:      string(r.Strategy),
+		MakespanS:     r.MakespanS,
+		LPMakespanS:   r.LPMakespanS,
+		BoundGapPct:   r.BoundGapPct,
+		CapViolationW: r.CapViolationW,
+		Repairs:       r.Repairs,
+		Switches:      r.Switches,
+	}
+}
+
 // SolveResponse reports one solved (or provably infeasible) schedule.
 type SolveResponse struct {
 	Key         string  `json:"key"`
@@ -299,6 +361,9 @@ type SolveResponse struct {
 	MarginalSecPerW    float64    `json:"marginal_s_per_w,omitempty"`
 	IterationMakespans []float64  `json:"iteration_makespans,omitempty"`
 	Stats              *StatsJSON `json:"stats,omitempty"`
+	// Realized reports the validated realizable schedule when the request
+	// named a realization strategy.
+	Realized *RealizedJSON `json:"realized,omitempty"`
 
 	// Cached is true when the response came from the LRU or an in-flight
 	// identical solve rather than a fresh backend run.
@@ -306,10 +371,12 @@ type SolveResponse struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-// solveOutcome is the cached value for a solve key: either a schedule or a
-// proof of infeasibility (both are pure functions of the key).
+// solveOutcome is the cached value for a solve key: a schedule (with its
+// realization when requested) or a proof of infeasibility — all pure
+// functions of the key.
 type solveOutcome struct {
 	sched      *powercap.Schedule
+	realized   *powercap.RealizedSchedule
 	infeasible bool
 }
 
@@ -330,9 +397,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
-	sys := powercap.NewSystem(s.model)
-	sys.EffScale = eff
-	key := sys.ScheduleKey(g, jobCap, req.Whole)
+	if q := r.URL.Query().Get("realize"); q != "" {
+		req.Realize = q
+	}
+	if req.Realize != "" && !slices.Contains(powercap.RealizeStrategies(), req.Realize) {
+		s.badRequest(w, fmt.Errorf("unknown realize strategy %q (want one of %v)",
+			req.Realize, powercap.RealizeStrategies()))
+		return
+	}
+	sys := s.systemFor(eff)
+	key := sys.ScheduleKey(g, jobCap, req.Whole, req.Realize)
 
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
@@ -360,10 +434,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			}
 			return nil, serr
 		}
+		out := &solveOutcome{sched: sched}
+		if req.Realize != "" {
+			out.realized, serr = sys.RealizeSchedule(g, sched, req.Realize)
+			if serr != nil {
+				return nil, serr
+			}
+		}
 		s.metrics.Solves.Add(1)
 		s.metrics.WarmStarts.Add(uint64(sched.Stats.WarmStarts))
 		s.metrics.Pivots.Add(uint64(sched.Stats.SimplexIter))
-		return &solveOutcome{sched: sched}, nil
+		return out, nil
 	})
 	if err != nil {
 		s.solveError(w, err)
@@ -387,6 +468,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		resp.MarginalSecPerW = out.sched.MarginalSecPerW
 		resp.IterationMakespans = out.sched.IterationMakespans
 		resp.Stats = statsJSON(out.sched.Stats)
+		if out.realized != nil {
+			resp.Realized = realizedJSON(out.realized)
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -456,8 +540,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		jobCaps[i] = c * float64(g.NumRanks)
 	}
-	sys := powercap.NewSystem(s.model)
-	sys.EffScale = eff
+	sys := s.systemFor(eff)
 
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
@@ -546,11 +629,11 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
-	sys := powercap.SystemFor(wl, s.model)
+	sys := s.systemFor(wl.EffScale)
 	// Compare's result additionally depends on the exploration-iteration
 	// count, so extend the schedule key rather than reusing it bare.
 	key := fmt.Sprintf("compare|%s|expl=%d",
-		sys.ScheduleKey(wl.Graph, req.CapPerSocketW*float64(wl.Graph.NumRanks), false),
+		sys.ScheduleKey(wl.Graph, req.CapPerSocketW*float64(wl.Graph.NumRanks), false, ""),
 		sys.ExploreIters)
 
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)

@@ -296,6 +296,65 @@ func TestSolveCacheRepeat(t *testing.T) {
 	}
 }
 
+// TestSolveRealize: ?realize= (or the Realize body field) attaches a
+// simulator-validated realizable schedule to the solve response. The
+// realized makespan can never beat the LP bound, must carry zero cap
+// violation, and the rounding mode must be part of the cache key so an
+// LP-only solve and a realized solve never collide.
+func TestSolveRealize(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	code, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Workload: fastWL, CapPerSocketW: 55, Realize: "best"})
+	if code != http.StatusOK {
+		t.Fatalf("realized solve: %d (%s)", code, body)
+	}
+	var realized SolveResponse
+	json.Unmarshal(body, &realized)
+	if realized.Realized == nil {
+		t.Fatal("realized solve: response has no realized block")
+	}
+	r := realized.Realized
+	if r.CapViolationW != 0 {
+		t.Errorf("realized cap violation = %v W, want 0", r.CapViolationW)
+	}
+	if r.MakespanS < realized.MakespanS*(1-1e-9) {
+		t.Errorf("realized makespan %v beats the LP bound %v", r.MakespanS, realized.MakespanS)
+	}
+	if r.LPMakespanS != realized.MakespanS {
+		t.Errorf("realized LP bound %v != solve makespan %v", r.LPMakespanS, realized.MakespanS)
+	}
+
+	// The query parameter overrides the body field, and the strategy is
+	// part of the content address: distinct key, no realized block leaking
+	// into the plain solve.
+	code, body = postJSON(t, ts.URL+"/v1/solve?realize=down", SolveRequest{Workload: fastWL, CapPerSocketW: 55})
+	if code != http.StatusOK {
+		t.Fatalf("realize=down solve: %d (%s)", code, body)
+	}
+	var down SolveResponse
+	json.Unmarshal(body, &down)
+	if down.Realized == nil || down.Realized.Strategy != "down" {
+		t.Fatalf("realize=down: got %+v", down.Realized)
+	}
+	code, body = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Workload: fastWL, CapPerSocketW: 55})
+	if code != http.StatusOK {
+		t.Fatalf("plain solve: %d (%s)", code, body)
+	}
+	var plain SolveResponse
+	json.Unmarshal(body, &plain)
+	if plain.Realized != nil {
+		t.Error("plain solve unexpectedly carries a realized schedule")
+	}
+	keys := map[string]bool{realized.Key: true, down.Key: true, plain.Key: true}
+	if len(keys) != 3 {
+		t.Errorf("cache keys collide across realize modes: %v %v %v", realized.Key, down.Key, plain.Key)
+	}
+
+	if code, body := postJSON(t, ts.URL+"/v1/solve?realize=sideways", SolveRequest{Workload: fastWL, CapPerSocketW: 55}); code != http.StatusBadRequest {
+		t.Errorf("unknown realize strategy: %d (%s), want 400", code, body)
+	}
+}
+
 // TestSolveInlineTrace: a trace posted inline (the schema pctrace gen
 // emits) must solve to the same schedule as the workload it was taken
 // from.

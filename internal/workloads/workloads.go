@@ -68,8 +68,11 @@ type Workload struct {
 	Params   Params
 }
 
-// Names lists the available workloads in the paper's order of presentation.
-func Names() []string { return []string{"CoMD", "LULESH", "SP", "BT"} }
+// Names lists the available workloads: the paper's four in its order of
+// presentation, then the CG and FT proxies added for the realization
+// experiments (classic NAS kernels at the two ends of the memory-boundedness
+// spectrum the paper's four only partially cover).
+func Names() []string { return []string{"CoMD", "LULESH", "SP", "BT", "CG", "FT"} }
 
 // ByName builds the named workload (case-insensitive).
 func ByName(name string, p Params) (*Workload, error) {
@@ -82,6 +85,10 @@ func ByName(name string, p Params) (*Workload, error) {
 		return SP(p), nil
 	case "bt":
 		return BT(p), nil
+	case "cg":
+		return CG(p), nil
+	case "ft":
+		return FT(p), nil
 	default:
 		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
 	}
@@ -267,6 +274,111 @@ func SP(p Params) *Workload {
 		b.Collective("rhs-norm")
 	}
 	return &Workload{Name: "SP", Graph: b.Finalize(), EffScale: eff, Params: p}
+}
+
+// cgShape: the sparse matrix-vector product at CG's heart saturates memory
+// bandwidth early (irregular gathers through the sparse structure), so extra
+// threads past saturation buy little time while still drawing power — under
+// a cap the frontier favors few threads, making CG the strongest case for
+// power reallocation per watt among these proxies.
+func cgShape() machine.Shape {
+	return machine.Shape{
+		SerialFrac:     0.02,
+		MemFrac:        0.45,
+		MemSatThreads:  4,
+		ContentionCoef: 0.02,
+		Intensity:      0.70,
+	}
+}
+
+// CG builds the conjugate-gradient proxy: per iteration a heavy sparse
+// matvec with point-to-point partition exchanges, then the two dot-product
+// allreduces and a light vector-update phase. Row-partition skew gives a
+// mild static imbalance.
+func CG(p Params) *Workload {
+	p = p.normalize()
+	rng := rand.New(rand.NewSource(p.Seed + 4))
+	eff := effScales(rng, p.Ranks, 0.015)
+	sh := cgShape()
+	const exchBytes = 96 << 10
+
+	// Row-partition skew: nonzeros per rank vary with the sparsity pattern.
+	static := make([]float64, p.Ranks)
+	for r := range static {
+		static[r] = 1 + 0.04*rng.NormFloat64()
+	}
+
+	b := dag.NewBuilder(p.Ranks)
+	for r := 0; r < p.Ranks; r++ {
+		b.Compute(r, 0.05*p.WorkScale, sh, "setup")
+	}
+	for it := 0; it < p.Iterations; it++ {
+		b.Pcontrol()
+		for r := 0; r < p.Ranks; r++ {
+			w := 2.8 * p.WorkScale * static[r] * (1 + 0.02*rng.NormFloat64())
+			if w < 0.1*p.WorkScale {
+				w = 0.1 * p.WorkScale
+			}
+			b.Compute(r, w, sh, "matvec")
+		}
+		if p.Ranks > 1 {
+			for r := 0; r < p.Ranks; r++ {
+				b.Isend(r, (r+1)%p.Ranks, exchBytes)
+			}
+			for r := 0; r < p.Ranks; r++ {
+				b.Recv(r, (r-1+p.Ranks)%p.Ranks)
+			}
+		}
+		b.Collective("allreduce-rho")
+		for r := 0; r < p.Ranks; r++ {
+			b.Compute(r, 0.5*p.WorkScale, sh, "axpy")
+		}
+		b.Collective("allreduce-alpha")
+	}
+	return &Workload{Name: "CG", Graph: b.Finalize(), EffScale: eff, Params: p}
+}
+
+// ftShape: the 1-D FFT passes are compute-heavy and cache-friendly — high
+// intensity, late memory saturation — so FT holds 8 threads profitable far
+// down the cap range and stresses the frequency (rather than thread-count)
+// axis of the frontier.
+func ftShape() machine.Shape {
+	return machine.Shape{
+		SerialFrac:    0.02,
+		MemFrac:       0.10,
+		MemSatThreads: 7,
+		Intensity:     1.0,
+	}
+}
+
+// FT builds the 3-D FFT proxy: per iteration two local FFT passes separated
+// by the all-to-all transpose (modeled as a collective — every rank blocks
+// for every other), closed by the checksum allreduce. FFT work is nearly
+// perfectly balanced; what little skew exists is dynamic noise.
+func FT(p Params) *Workload {
+	p = p.normalize()
+	rng := rand.New(rand.NewSource(p.Seed + 5))
+	eff := effScales(rng, p.Ranks, 0.015)
+	sh := ftShape()
+
+	b := dag.NewBuilder(p.Ranks)
+	for r := 0; r < p.Ranks; r++ {
+		b.Compute(r, 0.05*p.WorkScale, sh, "setup")
+	}
+	for it := 0; it < p.Iterations; it++ {
+		b.Pcontrol()
+		for r := 0; r < p.Ranks; r++ {
+			w := 2.2 * p.WorkScale * (1 + 0.01*rng.NormFloat64())
+			b.Compute(r, w, sh, "fft-local")
+		}
+		b.Collective("alltoall-transpose")
+		for r := 0; r < p.Ranks; r++ {
+			w := 1.6 * p.WorkScale * (1 + 0.01*rng.NormFloat64())
+			b.Compute(r, w, sh, "fft-planes")
+		}
+		b.Collective("allreduce-checksum")
+	}
+	return &Workload{Name: "FT", Graph: b.Finalize(), EffScale: eff, Params: p}
 }
 
 // BT builds the block-tridiagonal proxy with NAS-MZ's hallmark: strongly

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"powercap/internal/conductor"
 	"powercap/internal/core"
@@ -121,9 +122,11 @@ func GraphDigest(g *Graph) string {
 // on this System: the graph digest plus everything else the resulting
 // Schedule depends on — the machine model calibration, the per-socket
 // efficiency scales (they re-shape every Pareto frontier), the job-level
-// cap, and whether the solve decomposes at iteration boundaries. Equal keys
-// imply byte-for-byte interchangeable schedules.
-func (s *System) ScheduleKey(g *Graph, jobCapW float64, whole bool) string {
+// cap, whether the solve decomposes at iteration boundaries, and which
+// realization strategy (if any, "" for none) converts the LP solution into
+// a realizable schedule. Equal keys imply byte-for-byte interchangeable
+// results.
+func (s *System) ScheduleKey(g *Graph, jobCapW float64, whole bool, realize string) string {
 	h := sha256.New()
 	d := dag.Digest(g)
 	h.Write(d[:])
@@ -138,6 +141,8 @@ func (s *System) ScheduleKey(g *Graph, jobCapW float64, whole bool) string {
 	} else {
 		h.Write([]byte{0})
 	}
+	binary.Write(h, binary.LittleEndian, uint64(len(realize)))
+	io.WriteString(h, realize)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -148,9 +153,10 @@ func DefaultModel() *Model { return machine.Default() }
 // DefaultShape returns a generic compute-heavy task shape.
 func DefaultShape() Shape { return machine.DefaultShape() }
 
-// NewWorkload builds one of the paper's benchmark proxies: "CoMD",
-// "LULESH", "SP", or "BT" (case-insensitive). It panics on unknown names;
-// use WorkloadByName for error handling.
+// NewWorkload builds one of the benchmark proxies: the paper's "CoMD",
+// "LULESH", "SP", or "BT", or the additional "CG" and "FT" NAS kernels
+// (case-insensitive). It panics on unknown names; use WorkloadByName for
+// error handling.
 func NewWorkload(name string, p WorkloadParams) *Workload {
 	w, err := workloads.ByName(name, p)
 	if err != nil {
@@ -169,6 +175,12 @@ func WorkloadNames() []string { return workloads.Names() }
 
 // System bundles a socket model with the per-socket efficiency variation
 // of a concrete machine, and exposes the paper's solvers and policies.
+//
+// All solve entry points share one lazily created LP solver, whose
+// digest-keyed problem-IR cache and frontier cache make repeated solves of
+// the same graph (sweeps, realization after a solve, repeated service
+// requests) pay for one problem build. Consequently Model and EffScale must
+// not be mutated once the first solve has run.
 type System struct {
 	Model *Model
 	// EffScale is the per-rank socket power-efficiency multiplier;
@@ -178,6 +190,21 @@ type System struct {
 	// Conductor's configuration-exploration phase and excluded from
 	// policy comparisons (the paper discards three).
 	ExploreIters int
+
+	mu sync.Mutex
+	lp *core.Solver
+}
+
+// solver returns the System's shared LP solver, creating it on first use.
+// core.Solver is safe for concurrent use, so every caller shares its IR and
+// frontier caches.
+func (s *System) solver() *core.Solver {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lp == nil {
+		s.lp = core.NewSolver(s.Model, s.EffScale)
+	}
+	return s.lp
 }
 
 // NewSystem creates a System over the given model (nil = DefaultModel).
@@ -208,18 +235,18 @@ func (s *System) UpperBound(g *Graph, jobCapW float64) (*Schedule, error) {
 // service request, a shutdown) stops the solve within a few pivots. The
 // returned error wraps ctx.Err() when the solve was canceled.
 func (s *System) UpperBoundCtx(ctx context.Context, g *Graph, jobCapW float64) (*Schedule, error) {
-	return core.NewSolver(s.Model, s.EffScale).SolveIterationsCtx(ctx, g, jobCapW)
+	return s.solver().SolveIterationsCtx(ctx, g, jobCapW)
 }
 
 // UpperBoundWhole solves one LP over the entire graph (no iteration
 // decomposition); use for graphs without Pcontrol boundaries.
 func (s *System) UpperBoundWhole(g *Graph, jobCapW float64) (*Schedule, error) {
-	return core.NewSolver(s.Model, s.EffScale).Solve(g, jobCapW)
+	return s.solver().Solve(g, jobCapW)
 }
 
 // UpperBoundWholeCtx is UpperBoundWhole with per-request cancellation.
 func (s *System) UpperBoundWholeCtx(ctx context.Context, g *Graph, jobCapW float64) (*Schedule, error) {
-	return core.NewSolver(s.Model, s.EffScale).SolveCtx(ctx, g, jobCapW)
+	return s.solver().SolveCtx(ctx, g, jobCapW)
 }
 
 // UpperBoundDiscrete solves the fixed-vertex-order formulation with true
@@ -228,7 +255,7 @@ func (s *System) UpperBoundWholeCtx(ctx context.Context, g *Graph, jobCapW float
 // otherwise); its purpose is quantifying the continuous relaxation's
 // rounding gap exactly.
 func (s *System) UpperBoundDiscrete(g *Graph, jobCapW float64) (*Schedule, error) {
-	return core.NewSolver(s.Model, s.EffScale).SolveDiscrete(g, jobCapW)
+	return s.solver().SolveDiscrete(g, jobCapW)
 }
 
 // FlowILP solves the appendix's flow-based integer-linear formulation,
@@ -333,7 +360,7 @@ func (s *System) CompareCtx(ctx context.Context, w *Workload, perSocketW float64
 	cmp.ConductorS = cres.MeasuredS
 
 	// LP bound per measured slice.
-	lps := core.NewSolver(s.Model, s.EffScale)
+	lps := s.solver()
 	for i := s.ExploreIters; i < len(slices); i++ {
 		sched, err := lps.SolveCtx(ctx, slices[i].Graph, jobCap)
 		if err != nil {

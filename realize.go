@@ -1,0 +1,108 @@
+package powercap
+
+import (
+	"context"
+
+	"powercap/internal/schedule"
+)
+
+// Schedule realization: turning the LP's fractional solution into a
+// schedule a runtime could execute, validated on the simulator
+// (internal/schedule, DESIGN.md §9). The realized makespan against the LP
+// objective is the bound gap — how much of the paper's theoretical bound
+// survives discreteness and the cap.
+
+// RealizedSchedule is a realizable schedule with its simulator validation:
+// realized makespan, bound gap vs the LP objective, residual cap violation
+// (0 for accepted schedules), and repair/switch counts.
+type RealizedSchedule = schedule.Realized
+
+// RealizeOptions tunes realization (switch overhead, cap tolerance, repair
+// budget).
+type RealizeOptions = schedule.Options
+
+// Realization strategy names accepted by RealizeSchedule and SolveRealized.
+const (
+	// RealizeNearest rounds each task to the frontier configuration
+	// closest in power to its LP mix (Sec. 3.2's rounding rule).
+	RealizeNearest = string(schedule.Nearest)
+	// RealizeDown rounds each task down to the highest frontier point not
+	// above its LP-mixed power (cap-safe by construction).
+	RealizeDown = string(schedule.Down)
+	// RealizeReplay emulates the convex mix by mid-task configuration
+	// switching at the paper's 145 µs per transition (Sec. 3.3).
+	RealizeReplay = string(schedule.Replay)
+	// RealizeBest realizes under every strategy and returns the fastest
+	// cap-clean result.
+	RealizeBest = "best"
+)
+
+// RealizeStrategies lists the accepted strategy names.
+func RealizeStrategies() []string {
+	return []string{RealizeNearest, RealizeDown, RealizeReplay, RealizeBest}
+}
+
+// RealizeSchedule converts a solved LP schedule into a realizable one under
+// the named strategy and validates it on the simulator; the returned
+// schedule never exceeds the cap (violations are repaired or reported as an
+// error). The graph must be the one the schedule was solved from; the
+// problem IR is reused from the System's solver cache, so realizing after a
+// solve costs no rebuild.
+func (s *System) RealizeSchedule(g *Graph, sched *Schedule, strategy string) (*RealizedSchedule, error) {
+	ir, err := s.solver().IR(g)
+	if err != nil {
+		return nil, err
+	}
+	opts := schedule.DefaultOptions()
+	if strategy == RealizeBest {
+		rs, err := schedule.RealizeAll(ir, sched, opts)
+		if err != nil {
+			return nil, err
+		}
+		return schedule.Best(rs), nil
+	}
+	strat, err := schedule.ParseStrategy(strategy)
+	if err != nil {
+		return nil, err
+	}
+	return schedule.Realize(ir, sched, strat, opts)
+}
+
+// RealizeAll realizes a solved schedule under every strategy (nearest,
+// down, replay), skipping strategies whose repair budget is exhausted; use
+// it to compare realization quality at one cap.
+func (s *System) RealizeAll(g *Graph, sched *Schedule) ([]*RealizedSchedule, error) {
+	ir, err := s.solver().IR(g)
+	if err != nil {
+		return nil, err
+	}
+	return schedule.RealizeAll(ir, sched, schedule.DefaultOptions())
+}
+
+// SolveRealized solves the fixed-vertex-order LP (decomposing at iteration
+// boundaries, like UpperBound) and realizes the solution under the named
+// strategy, returning both the LP bound and the validated realizable
+// schedule.
+func (s *System) SolveRealized(g *Graph, jobCapW float64, strategy string) (*Schedule, *RealizedSchedule, error) {
+	return s.SolveRealizedCtx(context.Background(), g, jobCapW, false, strategy)
+}
+
+// SolveRealizedCtx is SolveRealized with per-request cancellation and an
+// explicit choice between the whole-graph LP and iteration decomposition.
+func (s *System) SolveRealizedCtx(ctx context.Context, g *Graph, jobCapW float64, whole bool, strategy string) (*Schedule, *RealizedSchedule, error) {
+	var sched *Schedule
+	var err error
+	if whole {
+		sched, err = s.UpperBoundWholeCtx(ctx, g, jobCapW)
+	} else {
+		sched, err = s.UpperBoundCtx(ctx, g, jobCapW)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	realized, err := s.RealizeSchedule(g, sched, strategy)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sched, realized, nil
+}

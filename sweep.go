@@ -31,14 +31,14 @@ type SolverStats = core.Stats
 // returned error is reserved for problems with the graph itself. Monotonic
 // cap orders maximize basis reuse, but any order is correct.
 func (s *System) SolveSweep(g *Graph, jobCapsW []float64) ([]SweepPoint, error) {
-	return core.NewSolver(s.Model, s.EffScale).SolveSweep(g, jobCapsW)
+	return s.solver().SolveSweep(g, jobCapsW)
 }
 
 // SolveSweepCtx is SolveSweep with per-request cancellation threaded into
 // every cap's pivot loop; after ctx is done the remaining caps carry the
 // cancellation error without being attempted.
 func (s *System) SolveSweepCtx(ctx context.Context, g *Graph, jobCapsW []float64) ([]SweepPoint, error) {
-	return core.NewSolver(s.Model, s.EffScale).SolveSweepCtx(ctx, g, jobCapsW)
+	return s.solver().SolveSweepCtx(ctx, g, jobCapsW)
 }
 
 // MaxSweepPoints bounds how many caps a single "hi:lo:step" spec may
@@ -106,7 +106,7 @@ func (s *System) SweepParallel(g *Graph, jobCapsW []float64, workers int) ([]Swe
 	if workers <= 1 {
 		return s.SolveSweep(g, jobCapsW)
 	}
-	solver := core.NewSolver(s.Model, s.EffScale)
+	solver := s.solver()
 	pts := make([]SweepPoint, len(jobCapsW))
 	chunk := (len(jobCapsW) + workers - 1) / workers
 
@@ -165,7 +165,7 @@ func (s *System) SweepJobsParallel(jobs []SweepJob, workers int) []SweepJobResul
 	if workers < 1 {
 		workers = 1
 	}
-	solver := core.NewSolver(s.Model, s.EffScale)
+	solver := s.solver()
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
