@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve-smoke realization-smoke check
+.PHONY: all build vet test race bench serve-smoke realization-smoke chaos-smoke fuzz-smoke check
 
 all: check
 
@@ -38,4 +38,18 @@ realization-smoke:
 	$(GO) test -race -count=1 ./internal/problem/ ./internal/schedule/
 	$(GO) run ./cmd/experiments -ranks 4 -benchjson /dev/null realization
 
-check: vet build race serve-smoke realization-smoke
+# Fault-injected soak under the race detector: every fault class armed
+# against a live in-process daemon; asserts zero crashes, ≥99% valid
+# responses, never a cap-violating schedule, and full recovery (breakers
+# closed, bit-identical results) once faults clear.
+chaos-smoke:
+	$(GO) test -race -run TestChaosSoak -count=1 -v ./internal/service/
+
+# Bounded fuzz sessions over the trace parser and the canonical DAG digest
+# (the content-addressing the schedule cache rests on). Seeds are checked in
+# via f.Add; 5s each keeps the gate fast while still exploring.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzRead -fuzztime 5s ./internal/trace/
+	$(GO) test -run xxx -fuzz FuzzDigest -fuzztime 5s ./internal/dag/
+
+check: vet build race serve-smoke realization-smoke chaos-smoke fuzz-smoke

@@ -8,7 +8,7 @@
 //
 // Exhibits: fig1 table1 fig2 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 // fig15 table3 validate configsel overheads solver service realization
-// summary all.
+// resilience summary all.
 //
 // Absolute numbers depend on the simulated machine model; the shapes (who
 // wins, by how much, where the crossovers fall) are the reproduction
@@ -37,7 +37,7 @@ func main() {
 	flag.IntVar(&cfg.iters, "iters", 12, "application iterations per run (first 3 discarded)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload generation seed")
 	flag.Float64Var(&cfg.scale, "scale", 1.0, "task work scale (1.0 ≈ paper-like second-long iterations)")
-	flag.StringVar(&cfg.benchJSON, "benchjson", "", "write the solver/service/realization exhibit's measurements to this JSON file (e.g. BENCH_solver.json, BENCH_service.json, BENCH_realization.json)")
+	flag.StringVar(&cfg.benchJSON, "benchjson", "", "write the solver/service/realization/resilience exhibit's measurements to this JSON file (e.g. BENCH_solver.json, BENCH_resilience.json)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -66,9 +66,10 @@ func main() {
 		"solver":      runSolver,
 		"service":     runService,
 		"realization": runRealization,
+		"resilience":  runResilience,
 	}
 	order := []string{"fig1", "table1", "fig2", "fig3", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "service", "realization", "summary"}
+		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "service", "realization", "resilience", "summary"}
 
 	var todo []string
 	for _, a := range args {

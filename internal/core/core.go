@@ -251,11 +251,24 @@ func (s *Solver) SolveIterationsCtx(ctx context.Context, g *dag.Graph, capW floa
 	return s.solve(ctx, g, capW, true)
 }
 
+// SolveCtxWith is the fully parameterized solve: whole-graph or decomposed,
+// on an explicit LP backend instead of the Solver's default. The resilience
+// ladder (internal/resilience) uses it to retry the same request on the
+// dense reference backend after a sparse numerical breakdown without
+// mutating the shared Solver.
+func (s *Solver) SolveCtxWith(ctx context.Context, g *dag.Graph, capW float64, decompose bool, backend lp.Backend) (*Schedule, error) {
+	return s.solveWith(ctx, g, capW, decompose, backend)
+}
+
 // solve is the single entry point behind the four exported wrappers: one
 // ctx-aware path that either solves the whole graph or decomposes it at
 // iteration boundaries. A decomposing solve of a graph without Pcontrol
 // boundaries degrades to the whole-graph solve.
 func (s *Solver) solve(ctx context.Context, g *dag.Graph, capW float64, decompose bool) (*Schedule, error) {
+	return s.solveWith(ctx, g, capW, decompose, s.Backend)
+}
+
+func (s *Solver) solveWith(ctx context.Context, g *dag.Graph, capW float64, decompose bool, backend lp.Backend) (*Schedule, error) {
 	if decompose {
 		slices, err := dag.SliceAll(g)
 		if err != nil {
@@ -269,7 +282,7 @@ func (s *Solver) solve(ctx context.Context, g *dag.Graph, capW float64, decompos
 			}
 			for _, sl := range slices {
 				vt := make([]float64, len(sl.Graph.Vertices))
-				if err := s.solveInto(ctx, sl.Graph, capW, sched, sl.TaskMap, vt); err != nil {
+				if err := s.solveInto(ctx, sl.Graph, capW, backend, sched, sl.TaskMap, vt); err != nil {
 					return nil, fmt.Errorf("iteration slice: %w", err)
 				}
 				m := finalizeTime(sl.Graph, vt)
@@ -284,7 +297,7 @@ func (s *Solver) solve(ctx context.Context, g *dag.Graph, capW float64, decompos
 		Choices:     make([]TaskChoice, len(g.Tasks)),
 		VertexTimeS: make([]float64, len(g.Vertices)),
 	}
-	if err := s.solveInto(ctx, g, capW, sched, identityTaskMap(len(g.Tasks)), sched.VertexTimeS); err != nil {
+	if err := s.solveInto(ctx, g, capW, backend, sched, identityTaskMap(len(g.Tasks)), sched.VertexTimeS); err != nil {
 		return nil, err
 	}
 	sched.MakespanS = finalizeTime(g, sched.VertexTimeS)

@@ -213,8 +213,10 @@ func (g *Graph) TopoVertices() ([]VertexID, error) {
 }
 
 // Validate checks structural invariants: edge endpoints in range, compute
-// tasks owned by a valid rank, message endpoints distinct, acyclicity, and
-// exactly one Init and one Finalize vertex.
+// tasks owned by a valid rank, message endpoints distinct, message edges
+// connecting Send/Isend to Recv vertices of different ranks with exact
+// one-to-one matching, acyclicity, and exactly one Init and one Finalize
+// vertex.
 func (g *Graph) Validate() error {
 	inits, finals := 0, 0
 	for _, v := range g.Vertices {
@@ -249,6 +251,44 @@ func (g *Graph) Validate() error {
 		case Message:
 			if t.FixedDur < 0 {
 				return fmt.Errorf("dag: message task %d has negative duration", t.ID)
+			}
+			if t.Rank < 0 || t.Rank >= g.NumRanks {
+				return fmt.Errorf("dag: message task %d has invalid sender rank %d", t.ID, t.Rank)
+			}
+			src, dst := g.Vertices[t.Src], g.Vertices[t.Dst]
+			if src.Kind != VSend && src.Kind != VIsend {
+				return fmt.Errorf("dag: message task %d leaves a %s vertex, want Send/Isend", t.ID, src.Kind)
+			}
+			if dst.Kind != VRecv {
+				return fmt.Errorf("dag: message task %d enters a %s vertex, want Recv", t.ID, dst.Kind)
+			}
+			if src.Rank == dst.Rank {
+				return fmt.Errorf("dag: message task %d is a self-send on rank %d", t.ID, src.Rank)
+			}
+		}
+	}
+	// Message matching: every send vertex carries exactly one outgoing
+	// message edge and every recv vertex exactly one incoming edge. An
+	// unmatched send (or an edge attached to the wrong call kind) marks a
+	// truncated or hand-mangled trace that would otherwise surface deep in
+	// the problem build.
+	msgOut := make(map[VertexID]int)
+	msgIn := make(map[VertexID]int)
+	for _, t := range g.Tasks {
+		if t.Kind == Message {
+			msgOut[t.Src]++
+			msgIn[t.Dst]++
+		}
+	}
+	for _, v := range g.Vertices {
+		switch v.Kind {
+		case VSend, VIsend:
+			if msgOut[v.ID] != 1 {
+				return fmt.Errorf("dag: %s vertex %d has %d outgoing message edges, want 1 (unmatched send)", v.Kind, v.ID, msgOut[v.ID])
+			}
+		case VRecv:
+			if msgIn[v.ID] != 1 {
+				return fmt.Errorf("dag: Recv vertex %d has %d incoming message edges, want 1 (unmatched recv)", v.ID, msgIn[v.ID])
 			}
 		}
 	}

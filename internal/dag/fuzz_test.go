@@ -1,0 +1,90 @@
+package dag
+
+import (
+	"fmt"
+	"testing"
+
+	"powercap/internal/machine"
+)
+
+// buildFromBytes interprets prog as a small MPI program and replays it on a
+// Builder. Send/Recv matching is tracked in a slice (deterministic order),
+// and every pending send is drained before Finalize, so each byte string
+// maps to exactly one well-formed graph.
+func buildFromBytes(prog []byte) *Graph {
+	if len(prog) < 2 {
+		return nil
+	}
+	nr := 2 + int(prog[0])%3 // 2..4 ranks
+	b := NewBuilder(nr)
+	sh := machine.DefaultShape()
+	type ps struct{ src, dst int }
+	var pend []ps
+
+	limit := len(prog)
+	if limit > 200 {
+		limit = 200
+	}
+	for i := 1; i < limit; i++ {
+		op := prog[i]
+		r := int(op>>4) % nr
+		switch op % 4 {
+		case 0:
+			b.Compute(r, float64(op%16)*0.01, sh, fmt.Sprintf("c%d", op%3))
+		case 1:
+			b.Collective("")
+		case 2:
+			dst := (r + 1 + int(op>>2)%(nr-1)) % nr
+			b.Isend(r, dst, int(op)*64)
+			pend = append(pend, ps{r, dst})
+		case 3:
+			if len(pend) > 0 {
+				p := pend[0]
+				pend = pend[1:]
+				b.Recv(p.dst, p.src)
+			}
+		}
+	}
+	for _, p := range pend {
+		b.Recv(p.dst, p.src)
+	}
+	return b.Finalize()
+}
+
+// FuzzDigest checks, for every builder-generated graph: it validates, its
+// canonical digest is deterministic, and the digest is sensitive to content
+// changes (work, labels) — the properties the schedule cache's content
+// addressing rests on.
+func FuzzDigest(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0x10, 0x21, 0x05})
+	f.Add([]byte{2, 0x12, 0x06, 0x07, 0x33, 0x0b, 0x42})
+	f.Add([]byte{7, 0xfe, 0x22, 0x23, 0x01, 0x80, 0x91, 0xa2, 0xb3})
+
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		g := buildFromBytes(prog)
+		if g == nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("builder produced invalid graph: %v", err)
+		}
+		d1 := Digest(g)
+		if d2 := Digest(g); d2 != d1 {
+			t.Fatal("digest is not deterministic")
+		}
+		if len(g.Tasks) > 0 {
+			g.Tasks[0].Work += 1
+			if Digest(g) == d1 {
+				t.Fatal("digest insensitive to task work")
+			}
+			g.Tasks[0].Work -= 1
+		}
+		if len(g.Vertices) > 0 {
+			g.Vertices[0].Label += "x"
+			if Digest(g) == d1 {
+				t.Fatal("digest insensitive to vertex label")
+			}
+		}
+	})
+}

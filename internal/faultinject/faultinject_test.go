@@ -1,0 +1,91 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDisarmedNeverFires(t *testing.T) {
+	Disable()
+	for _, c := range Classes() {
+		for i := 0; i < 100; i++ {
+			if Fire(c) {
+				t.Fatalf("%v fired while disarmed", c)
+			}
+		}
+	}
+	if Armed() {
+		t.Fatal("Armed() true after Disable")
+	}
+	if SlowDelay() != 0 {
+		t.Fatalf("SlowDelay = %v while disarmed, want 0", SlowDelay())
+	}
+}
+
+func TestDeterministicSequence(t *testing.T) {
+	run := func() []bool {
+		Configure(42, map[Class]float64{LPNaN: 0.3})
+		defer Disable()
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = Fire(LPNaN)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRatesApproximatelyHold(t *testing.T) {
+	const n = 20000
+	for _, rate := range []float64{0.05, 0.5, 0.95} {
+		Configure(7, map[Class]float64{CacheError: rate})
+		hits := 0
+		for i := 0; i < n; i++ {
+			if Fire(CacheError) {
+				hits++
+			}
+		}
+		Disable()
+		got := float64(hits) / n
+		if math.Abs(got-rate) > 0.02 {
+			t.Fatalf("rate %.2f produced %.3f over %d draws", rate, got, n)
+		}
+		if Count(CacheError) != uint64(hits) {
+			t.Fatalf("Count = %d, want %d", Count(CacheError), hits)
+		}
+		if Queries(CacheError) != n {
+			t.Fatalf("Queries = %d, want %d", Queries(CacheError), n)
+		}
+	}
+}
+
+func TestUnconfiguredClassNeverFires(t *testing.T) {
+	Configure(1, map[Class]float64{LPNaN: 1.0})
+	defer Disable()
+	for i := 0; i < 100; i++ {
+		if Fire(WorkerPanic) {
+			t.Fatal("unconfigured class fired")
+		}
+	}
+	if !Fire(LPNaN) {
+		t.Fatal("rate-1.0 class did not fire")
+	}
+}
+
+func TestSlowDelayConfigurable(t *testing.T) {
+	Configure(1, map[Class]float64{SlowSolve: 1})
+	defer Disable()
+	if d := SlowDelay(); d != 10*time.Millisecond {
+		t.Fatalf("default SlowDelay = %v", d)
+	}
+	SetSlowDelay(3 * time.Millisecond)
+	if d := SlowDelay(); d != 3*time.Millisecond {
+		t.Fatalf("SlowDelay after set = %v", d)
+	}
+}

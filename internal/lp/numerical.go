@@ -1,0 +1,61 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Numerical-failure guards (DESIGN.md §10). Both simplex backends watch for
+// non-finite state — NaN/±Inf in the basic values or the phase objective —
+// at the same checkpoints where they poll for cancellation. The sparse
+// backend first attempts recovery by rebuilding its basis inverse from
+// scratch (reinversion recomputes xB = B⁻¹b from the clean standard form, so
+// drift or a corrupted working vector is genuinely repaired); the dense
+// tableau has no factored form to rebuild and reports the breakdown
+// directly. Breakdowns surface to callers as a typed *NumericalError, so the
+// fallback ladder can distinguish "bad problem" (Infeasible/Unbounded, a
+// statement about the LP) from "bad luck" (a solve attempt that went
+// numerically wrong and may succeed on another backend).
+
+// NumericalError reports a solve abandoned because the backend's working
+// state went numerically bad (non-finite values, a singular basis at
+// reinversion, or an FTRAN/BTRAN disagreement). It makes no statement about
+// the problem: retrying, switching backends, or falling back to a heuristic
+// are all legitimate responses, which is exactly what internal/resilience
+// does.
+type NumericalError struct {
+	// Backend names the implementation that broke down ("dense", "sparse").
+	Backend string
+	// Reason is a short machine-readable description of the breakdown.
+	Reason string
+	// Pivots is how many pivots were spent before the breakdown.
+	Pivots int
+}
+
+// Error implements error.
+func (e *NumericalError) Error() string {
+	return fmt.Sprintf("lp: %s backend numerical breakdown after %d pivots: %s",
+		e.Backend, e.Pivots, e.Reason)
+}
+
+// statusNumerical is the backends' internal "numerically stuck" outcome. It
+// never escapes the package: solveDense and solveSparse convert it into a
+// *NumericalError before returning.
+const statusNumerical Status = -1
+
+// maxNaNRetries bounds refactorization-and-retry attempts per solve; a
+// breakdown that survives this many reinversions is reported, not fought.
+const maxNaNRetries = 3
+
+// finiteAll reports whether every value is finite.
+func finiteAll(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// finite reports whether x is a finite float.
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

@@ -1,6 +1,10 @@
 package lp
 
-import "math"
+import (
+	"math"
+
+	"powercap/internal/faultinject"
+)
 
 // Revised simplex over sparse columns with a product-form basis inverse
 // (PFI). The basis inverse is maintained as a sequence of eta matrices:
@@ -64,6 +68,9 @@ type revised struct {
 	stallWindow int
 	cancel      func() bool // polled every cancelCheckEvery pivots
 	stats       SolveStats
+
+	nanRetries int    // refactorization-and-retry attempts spent on NaN/Inf
+	numReason  string // set when a pivot loop returns statusNumerical
 }
 
 func newRevised(f *spForm, o *Options) *revised {
@@ -181,13 +188,69 @@ func (rv *revised) computeXB() {
 	rv.ftran(rv.xB)
 }
 
-// refactorIfDue reinverts once the eta file outgrows its budget.
+// refactorIfDue reinverts once the eta file outgrows its budget. A false
+// return means the basis went singular — a numerical breakdown, recorded in
+// numReason for the statusNumerical paths.
 func (rv *revised) refactorIfDue() bool {
 	if rv.updates < refactorEvery {
 		return true
 	}
 	cols := append([]int(nil), rv.basis...)
-	return rv.factorize(cols)
+	if !rv.factorize(cols) {
+		rv.numReason = "singular basis at refactorization"
+		return false
+	}
+	return true
+}
+
+// stateFinite reports whether the working state (basic values and phase
+// objective) is numerically sound.
+func (rv *revised) stateFinite() bool {
+	return finiteAll(rv.xB) && finite(rv.phaseObjective())
+}
+
+// recoverNumerical attempts to repair non-finite working state by rebuilding
+// the basis inverse from scratch: reinversion recomputes xB = B⁻¹b from the
+// clean standard form, so a corrupted working vector or accumulated eta
+// drift is genuinely repaired. Bounded by maxNaNRetries per solve.
+func (rv *revised) recoverNumerical() bool {
+	for rv.nanRetries < maxNaNRetries {
+		rv.nanRetries++
+		if !rv.factorize(append([]int(nil), rv.basis...)) {
+			return false
+		}
+		if rv.stateFinite() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkpoint runs the per-cancelCheckEvery guards shared by the primal and
+// dual pivot loops. Cancellation is checked before anything else so a dead
+// context always surfaces as Canceled — never as a numerical artifact. The
+// returned status is meaningful only when ok is false.
+func (rv *revised) checkpoint() (st Status, ok bool) {
+	if rv.cancel != nil && rv.cancel() {
+		return Canceled, false
+	}
+	if faultinject.Armed() {
+		if faultinject.Fire(faultinject.LPStall) {
+			return IterLimit, false
+		}
+		if faultinject.Fire(faultinject.LPNaN) {
+			rv.xB[0] = math.NaN()
+		}
+	}
+	if !rv.stateFinite() {
+		if !rv.recoverNumerical() {
+			if rv.numReason == "" {
+				rv.numReason = "non-finite basic values or objective"
+			}
+			return statusNumerical, false
+		}
+	}
+	return Optimal, true
 }
 
 // computeY fills rv.y with the current-phase duals y = B⁻ᵀ c_B.
@@ -241,10 +304,23 @@ func (rv *revised) primal(iters *int) Status {
 	bland := false
 	stall := 0
 	lastObj := rv.phaseObjective()
+	// Pivot-count watchdog: a solve that has burned half its budget without
+	// terminating is likely cycling or creeping; pin Bland's rule on for the
+	// remainder, which guarantees finite termination.
+	watchdog := rv.maxIters / 2
 
 	for ; *iters < rv.maxIters; *iters++ {
-		if rv.cancel != nil && *iters%cancelCheckEvery == 0 && rv.cancel() {
-			return Canceled
+		if *iters%cancelCheckEvery == 0 {
+			if st, ok := rv.checkpoint(); !ok {
+				return st
+			}
+			// Refresh in case a NaN recovery rebuilt xB; bitwise a no-op
+			// otherwise (same state, same deterministic sum).
+			lastObj = rv.phaseObjective()
+		}
+		if *iters >= watchdog && !bland {
+			bland = true
+			rv.stats.BlandActivated = true
 		}
 		rv.computeY()
 		enter := rv.priceEntering(bland)
@@ -280,7 +356,7 @@ func (rv *revised) primal(iters *int) Status {
 
 		rv.pivotUpdate(leave, enter)
 		if !rv.refactorIfDue() {
-			return IterLimit // singular refactorization: numerically stuck
+			return statusNumerical
 		}
 
 		obj := rv.phaseObjective()
@@ -367,10 +443,18 @@ func (rv *revised) dual(iters *int) Status {
 	bland := false
 	stall := 0
 	lastInfeas := rv.primalInfeasibility()
+	watchdog := rv.maxIters / 2
 
 	for ; *iters < rv.maxIters; *iters++ {
-		if rv.cancel != nil && *iters%cancelCheckEvery == 0 && rv.cancel() {
-			return Canceled
+		if *iters%cancelCheckEvery == 0 {
+			if st, ok := rv.checkpoint(); !ok {
+				return st
+			}
+			lastInfeas = rv.primalInfeasibility()
+		}
+		if *iters >= watchdog && !bland {
+			bland = true
+			rv.stats.BlandActivated = true
 		}
 		// Leaving row: most negative basic value (smallest row index under
 		// the anti-cycling fallback).
@@ -431,11 +515,12 @@ func (rv *revised) dual(iters *int) Status {
 		f.scatterCol(enter, rv.alpha)
 		rv.ftran(rv.alpha)
 		if math.Abs(rv.alpha[leave]) <= epsPivot {
-			return IterLimit // FTRAN disagrees with BTRAN: numerically stuck
+			rv.numReason = "ftran/btran pivot mismatch"
+			return statusNumerical
 		}
 		rv.pivotUpdate(leave, enter)
 		if !rv.refactorIfDue() {
-			return IterLimit
+			return statusNumerical
 		}
 
 		infeas := rv.primalInfeasibility()
@@ -510,7 +595,11 @@ func solveSparse(p *Problem, o *Options) (*Solution, error) {
 		// Unusable warm basis: fall through to a cold solve on fresh state.
 	}
 	rv := newRevised(f, o)
-	return rv.solveCold(p), nil
+	sol := rv.solveCold(p)
+	if sol.Status == statusNumerical {
+		return nil, &NumericalError{Backend: "sparse", Reason: rv.numReason, Pivots: sol.Iters}
+	}
+	return sol, nil
 }
 
 // solveCold runs two-phase primal simplex from the slack/artificial basis.
@@ -519,8 +608,9 @@ func (rv *revised) solveCold(p *Problem) *Solution {
 	iters := 0
 	if !rv.factorize(f.initBasis) {
 		// The initial basis is triangular (±1 diagonals) and cannot be
-		// singular; treat failure as a numerically stuck solve.
-		return &Solution{Status: IterLimit, Objective: math.NaN(), X: make([]float64, f.nOrig), Stats: rv.stats}
+		// singular; failure here means the inputs are numerically rotten.
+		rv.numReason = "initial basis singular"
+		return &Solution{Status: statusNumerical, Objective: math.NaN(), X: make([]float64, f.nOrig), Stats: rv.stats}
 	}
 
 	needPhase1 := false
@@ -541,14 +631,14 @@ func (rv *revised) solveCold(p *Problem) *Solution {
 		}
 		st := rv.primal(&iters)
 		rv.stats.Phase1Iters = iters
-		if st == IterLimit || st == Canceled {
+		if st == IterLimit || st == Canceled || st == statusNumerical {
 			return &Solution{Status: st, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}
 		}
 		if rv.phaseObjective() > epsFeas {
 			return &Solution{Status: Infeasible, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}
 		}
 		if !rv.evictArtificials() {
-			return &Solution{Status: IterLimit, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}
+			return &Solution{Status: statusNumerical, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}
 		}
 		for j := range rv.blocked {
 			if f.artificial[j] {
@@ -634,7 +724,9 @@ func (rv *revised) solveWarm(p *Problem, warm []int) (*Solution, bool) {
 		// Abandoned by the caller: falling back to a cold solve would burn
 		// exactly the pivots cancellation is meant to save.
 		return &Solution{Status: Canceled, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}, true
-	case Infeasible, IterLimit:
+	case Infeasible, IterLimit, statusNumerical:
+		// Numerical trouble on a warm basis is not worth fighting: the cold
+		// solve starts from a pristine triangular basis.
 		return nil, false
 	}
 	st := rv.primal(&iters)

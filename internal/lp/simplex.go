@@ -1,6 +1,10 @@
 package lp
 
-import "math"
+import (
+	"math"
+
+	"powercap/internal/faultinject"
+)
 
 // Numerical tolerances for the dense simplex. The scheduling LPs produced by
 // internal/core are well scaled (seconds and watts, both O(1)–O(100)), so
@@ -52,8 +56,9 @@ type tableau struct {
 	colOwner []int
 
 	maxIters int
-	stallWin int  // Dantzig iterations without improvement → Bland
-	bland    bool // anti-cycling fallback engaged at least once
+	stallWin int    // Dantzig iterations without improvement → Bland
+	bland    bool   // anti-cycling fallback engaged at least once
+	numReason string // set when iterate returns statusNumerical
 
 	// cancel, when non-nil, is polled every cancelCheckEvery pivots; a
 	// true return abandons the solve with Status Canceled.
@@ -234,7 +239,7 @@ func (t *tableau) solve() (st Status, phase1, phase2 int) {
 		}
 		t.recomputeObjRow()
 		st, phase1 = t.iterate()
-		if st == IterLimit || st == Canceled {
+		if st == IterLimit || st == Canceled || st == statusNumerical {
 			return st, phase1, 0
 		}
 		if t.phaseObjective() > epsFeas {
@@ -306,15 +311,42 @@ func (t *tableau) evictArtificials() {
 
 // iterate performs simplex pivots with Dantzig pricing, falling back to
 // Bland's rule after stallWindow iterations without objective improvement.
+// A pivot-count watchdog pins Bland on permanently once half the budget is
+// spent — a solve that deep into its budget is cycling or near it, and
+// finite termination matters more than pricing speed.
 func (t *tableau) iterate() (Status, int) {
 	iters := 0
 	bland := false
 	stall := 0
 	lastObj := t.phaseObjective()
+	watchdog := t.maxIters / 2
 
 	for ; iters < t.maxIters; iters++ {
-		if t.cancel != nil && iters%cancelCheckEvery == 0 && t.cancel() {
-			return Canceled, iters
+		if iters%cancelCheckEvery == 0 {
+			// Cancellation is checked before anything else so a dead
+			// context always surfaces as Canceled, never as a numerical
+			// artifact of a half-finished pivot.
+			if t.cancel != nil && t.cancel() {
+				return Canceled, iters
+			}
+			if faultinject.Armed() {
+				if faultinject.Fire(faultinject.LPStall) {
+					return IterLimit, iters
+				}
+				if faultinject.Fire(faultinject.LPNaN) {
+					t.b[0] = math.NaN()
+				}
+			}
+			if !finiteAll(t.b) || !finite(t.phaseObjective()) {
+				// The dense tableau has no factored form to rebuild;
+				// report the breakdown and let the caller pick a fallback.
+				t.numReason = "non-finite basic values or objective"
+				return statusNumerical, iters
+			}
+		}
+		if iters >= watchdog && !bland {
+			bland = true
+			t.bland = true
 		}
 		// Refresh the incrementally maintained reduced costs occasionally
 		// to shed accumulated floating-point drift.
@@ -487,6 +519,9 @@ func solveDense(p *Problem, o *Options) (*Solution, error) {
 	t.stallWin = o.StallWindow
 	t.cancel = o.cancelFunc()
 	st, n1, n2 := t.solve()
+	if st == statusNumerical {
+		return nil, &NumericalError{Backend: "dense", Reason: t.numReason, Pivots: n1 + n2}
+	}
 	sol := &Solution{Status: st, Iters: n1 + n2, X: make([]float64, len(p.names))}
 	sol.Stats.Phase1Iters = n1
 	sol.Stats.Phase2Iters = n2

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"powercap/internal/faultinject"
 )
 
 // This file defines the pluggable solver engine: a Solver interface over
@@ -174,6 +176,9 @@ func Solve(p *Problem, opts ...Option) (*Solution, error) {
 	if o.StallWindow == 0 {
 		o.StallWindow = stallWindow
 	}
+	if faultinject.Armed() && faultinject.Fire(faultinject.SlowSolve) {
+		sleepSlow(o.Ctx)
+	}
 
 	start := time.Now()
 	var sol *Solution
@@ -192,6 +197,26 @@ func Solve(p *Problem, opts ...Option) (*Solution, error) {
 	sol.Stats.Backend = o.Backend.String()
 	sol.Stats.Wall = time.Since(start)
 	return sol, nil
+}
+
+// sleepSlow implements the SlowSolve fault: a context-aware delay of the
+// configured duration, injected before the backend runs so per-rung deadline
+// slices in internal/resilience get exercised.
+func sleepSlow(ctx context.Context) {
+	d := faultinject.SlowDelay()
+	if d <= 0 {
+		return
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // finishSolution fills the sense-dependent fields shared by all backends:

@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
 )
 
@@ -58,12 +59,35 @@ func newCache(capacity int) *cache {
 	}
 }
 
+// errSolvePanic marks a leader fn that panicked instead of returning; the
+// panic is re-raised to the leader's handler (where the recovery middleware
+// counts it) while coalesced waiters receive this error.
+var errSolvePanic = errors.New("service: solve panicked")
+
 // Do returns the value for key, running fn at most once per key across all
 // concurrent callers. The how result reports whether the value came from the
 // LRU, an in-flight solve, or a fresh backend run. A waiter whose ctx ends
 // before the leader finishes gets ctx.Err() — the leader keeps solving for
 // the benefit of the remaining waiters (its own ctx governs it).
 func (c *cache) Do(ctx context.Context, key string, fn func() (any, error)) (val any, how hitKind, err error) {
+	return c.DoMaybe(ctx, key, func() (any, bool, error) {
+		v, err := fn()
+		return v, true, err
+	})
+}
+
+// DoMaybe is Do for values that may be ineligible for caching: fn
+// additionally reports whether its (successful) value may enter the LRU.
+// Non-cacheable values still coalesce concurrent identical requests — every
+// waiter of this flight shares the result — but leave no entry behind, so
+// the next request re-solves. Degraded fallback schedules use this: serving
+// one under pressure is fine, replaying it from cache after the backend
+// recovers is not.
+//
+// If fn panics, the flight is failed with errSolvePanic (waiters are
+// released, the inflight entry is removed) and the panic resumes on the
+// leader's goroutine.
+func (c *cache) DoMaybe(ctx context.Context, key string, fn func() (val any, cacheable bool, err error)) (val any, how hitKind, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -84,15 +108,22 @@ func (c *cache) Do(ctx context.Context, key string, fn func() (any, error)) (val
 	c.inflight[key] = f
 	c.mu.Unlock()
 
-	f.val, f.err = fn()
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if f.err == nil {
-		c.insertLocked(key, f.val)
-	}
-	c.mu.Unlock()
-	close(f.done)
+	completed := false
+	cacheable := false
+	defer func() {
+		if !completed {
+			f.err = errSolvePanic
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil && cacheable {
+			c.insertLocked(key, f.val)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, cacheable, f.err = fn()
+	completed = true
 	return f.val, hitMiss, f.err
 }
 

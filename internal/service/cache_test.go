@@ -155,3 +155,78 @@ func waitUntil(t *testing.T, d time.Duration, cond func() bool) {
 		time.Sleep(200 * time.Microsecond)
 	}
 }
+
+// TestCachePanicReleasesWaiters: a leader whose fn panics must fail its
+// coalesced waiters (errSolvePanic) and remove the inflight entry, so the
+// key is solvable again — and the panic must still reach the leader's
+// caller.
+func TestCachePanicReleasesWaiters(t *testing.T) {
+	c := newCache(4)
+	gate := make(chan struct{})
+
+	waiterErr := make(chan error, 1)
+	leaderPanicked := make(chan any, 1)
+	go func() {
+		defer func() { leaderPanicked <- recover() }()
+		c.Do(context.Background(), "k", func() (any, error) {
+			<-gate
+			panic("leader bug")
+		})
+	}()
+	waitUntil(t, time.Second, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return len(c.inflight) == 1
+	})
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func() (any, error) {
+			t.Error("waiter must not become a second leader")
+			return nil, nil
+		})
+		waiterErr <- err
+	}()
+	// Give the waiter time to join the flight, then spring the panic.
+	time.Sleep(2 * time.Millisecond)
+	close(gate)
+
+	if err := <-waiterErr; !errors.Is(err, errSolvePanic) {
+		t.Fatalf("waiter err = %v, want errSolvePanic", err)
+	}
+	if p := <-leaderPanicked; p == nil {
+		t.Fatal("panic was swallowed instead of resuming on the leader")
+	}
+	c.mu.Lock()
+	stuck := len(c.inflight)
+	c.mu.Unlock()
+	if stuck != 0 {
+		t.Fatalf("%d inflight entries leaked after leader panic", stuck)
+	}
+	// The key works again.
+	val, how, err := c.Do(context.Background(), "k", func() (any, error) { return "ok", nil })
+	if err != nil || val.(string) != "ok" || how != hitMiss {
+		t.Fatalf("post-panic Do = %v, %v, %v", val, how, err)
+	}
+}
+
+// TestCacheDoMaybeUncacheable: a non-cacheable value is returned to its
+// caller (and any coalesced waiter) but never enters the LRU.
+func TestCacheDoMaybeUncacheable(t *testing.T) {
+	c := newCache(4)
+	calls := 0
+	fn := func() (any, bool, error) {
+		calls++
+		return "degraded", false, nil
+	}
+	for i := 0; i < 2; i++ {
+		val, how, err := c.DoMaybe(context.Background(), "k", fn)
+		if err != nil || val.(string) != "degraded" || how != hitMiss {
+			t.Fatalf("DoMaybe %d = %v, %v, %v", i, val, how, err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2 (no caching)", calls)
+	}
+	if c.Len() != 0 {
+		t.Fatal("uncacheable value entered the LRU")
+	}
+}

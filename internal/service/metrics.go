@@ -43,6 +43,23 @@ type Metrics struct {
 	// solves (sweep points included).
 	WarmStarts atomic.Uint64
 	Pivots     atomic.Uint64
+	// Panics counts panics recovered anywhere in the service — a solve
+	// worker or an HTTP handler. Each one is a contained 500 (or a clean
+	// worker retry), never a daemon death.
+	Panics atomic.Uint64
+	// Degraded counts solve responses served from below the fallback
+	// ladder's top rung; the Fallback* counters break them out by the rung
+	// that produced the schedule.
+	Degraded          atomic.Uint64
+	FallbackDense     atomic.Uint64
+	FallbackHeuristic atomic.Uint64
+	FallbackStatic    atomic.Uint64
+	// SolveRetries counts backoff retries the ladder spent on numerical
+	// failures before succeeding or descending.
+	SolveRetries atomic.Uint64
+	// CacheErrors counts cache-backend faults (injected or real) that forced
+	// a request to bypass the schedule cache and solve directly.
+	CacheErrors atomic.Uint64
 	// Inflight is the number of API requests currently inside a handler.
 	Inflight atomic.Int64
 
@@ -152,6 +169,13 @@ func (m *Metrics) Render(w io.Writer) {
 		{"pcschedd_infeasible_total", m.Infeasible.Load()},
 		{"pcschedd_warm_starts_total", m.WarmStarts.Load()},
 		{"pcschedd_pivots_total", m.Pivots.Load()},
+		{"pcschedd_panics_total", m.Panics.Load()},
+		{"pcschedd_degraded_total", m.Degraded.Load()},
+		{"pcschedd_fallback_dense_total", m.FallbackDense.Load()},
+		{"pcschedd_fallback_heuristic_total", m.FallbackHeuristic.Load()},
+		{"pcschedd_fallback_static_total", m.FallbackStatic.Load()},
+		{"pcschedd_solve_retries_total", m.SolveRetries.Load()},
+		{"pcschedd_cache_errors_total", m.CacheErrors.Load()},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "%s %d\n", c.name, c.v)

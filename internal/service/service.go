@@ -35,12 +35,14 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"powercap"
+	"powercap/internal/faultinject"
 	"powercap/internal/trace"
 )
 
@@ -60,6 +62,9 @@ type Config struct {
 	// MaxTimeout clamps client-supplied deadlines (default 5m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// Resilience tunes the fallback ladder every pooled System solves
+	// through (zero value = defaults: see resilience.Config).
+	Resilience powercap.ResilienceConfig
 	// Log receives one structured line per request (nil = discard).
 	Log *log.Logger
 }
@@ -72,6 +77,7 @@ type Server struct {
 	queueDepth     int
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
+	resilience     powercap.ResilienceConfig
 	logger         *log.Logger
 
 	metrics Metrics
@@ -121,6 +127,7 @@ func New(cfg Config) *Server {
 		queueDepth:     cfg.QueueDepth,
 		defaultTimeout: cfg.DefaultTimeout,
 		maxTimeout:     cfg.MaxTimeout,
+		resilience:     cfg.Resilience,
 		logger:         cfg.Log,
 		cache:          newCache(cfg.CacheSize),
 		sem:            make(chan struct{}, cfg.Workers),
@@ -185,24 +192,33 @@ func (s *Server) systemFor(eff []float64) *powercap.System {
 	}
 	sys := powercap.NewSystem(s.model)
 	sys.EffScale = eff
+	sys.Resilience = s.resilience
 	s.sysPool[string(key)] = sys
 	return sys
 }
 
 // statusRecorder captures the response code for logging and latency
-// classification.
+// classification, and whether anything was written yet (so the panic
+// recovery layer knows if a 500 can still be sent).
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// api wraps an API handler with lifecycle tracking, drain rejection,
-// request metrics, and the structured request log.
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// api wraps an API handler with lifecycle tracking, drain rejection, panic
+// containment, request metrics, and the structured request log.
 func (s *Server) api(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -225,7 +241,25 @@ func (s *Server) api(h func(http.ResponseWriter, *http.Request)) http.HandlerFun
 
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
-		h(rec, r)
+		func() {
+			// Contain handler panics: the request gets a 500 (when no bytes
+			// were written yet), the counter records it, and the daemon —
+			// including the drain bookkeeping deferred above — lives on.
+			defer func() {
+				if p := recover(); p != nil {
+					s.metrics.Panics.Add(1)
+					rec.status = http.StatusInternalServerError
+					if s.logger != nil {
+						s.logger.Printf("panic recovered: %v\n%s", p, debug.Stack())
+					}
+					if !rec.wrote {
+						writeError(rec, http.StatusInternalServerError,
+							fmt.Sprintf("internal error: %v", p))
+					}
+				}
+			}()
+			h(rec, r)
+		}()
 
 		dur := time.Since(start)
 		s.metrics.RequestLatency.Observe(dur)
@@ -362,8 +396,18 @@ type SolveResponse struct {
 	IterationMakespans []float64  `json:"iteration_makespans,omitempty"`
 	Stats              *StatsJSON `json:"stats,omitempty"`
 	// Realized reports the validated realizable schedule when the request
-	// named a realization strategy.
+	// named a realization strategy (or, for degraded results, the ladder's
+	// own simulator certification).
 	Realized *RealizedJSON `json:"realized,omitempty"`
+
+	// Degraded marks a schedule produced below the fallback ladder's top
+	// rung; DegradedRung names the rung that served it and DegradedReason
+	// carries the machine-readable descent chain. SolveRetries counts the
+	// ladder's backoff retries on numerical failures.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedRung   string `json:"degraded_rung,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	SolveRetries   int    `json:"solve_retries,omitempty"`
 
 	// Cached is true when the response came from the LRU or an in-flight
 	// identical solve rather than a fresh backend run.
@@ -373,11 +417,16 @@ type SolveResponse struct {
 
 // solveOutcome is the cached value for a solve key: a schedule (with its
 // realization when requested) or a proof of infeasibility — all pure
-// functions of the key.
+// functions of the key. Degraded outcomes are served but never cached: the
+// key's true value is the top-rung schedule, which a later request may get.
 type solveOutcome struct {
 	sched      *powercap.Schedule
 	realized   *powercap.RealizedSchedule
 	infeasible bool
+	degraded   bool
+	rung       string
+	reason     string
+	retries    int
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -405,47 +454,42 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			req.Realize, powercap.RealizeStrategies()))
 		return
 	}
+	degradedPolicy := r.URL.Query().Get("degraded")
+	switch degradedPolicy {
+	case "", "allow", "forbid":
+	default:
+		s.badRequest(w, fmt.Errorf("unknown degraded policy %q (want allow or forbid)", degradedPolicy))
+		return
+	}
 	sys := s.systemFor(eff)
 	key := sys.ScheduleKey(g, jobCap, req.Whole, req.Realize)
 
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 
-	val, how, err := s.cache.Do(ctx, key, func() (any, error) {
-		release, err := s.acquire(ctx)
+	fn := func() (any, bool, error) {
+		out, err := s.solveWorker(ctx, sys, g, jobCap, &req)
+		if err != nil && errors.Is(err, errSolvePanic) {
+			// The panic is already contained and counted; the request gets
+			// one clean retry before failing.
+			out, err = s.solveWorker(ctx, sys, g, jobCap, &req)
+		}
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		defer release()
-		t0 := time.Now()
-		var sched *powercap.Schedule
-		var serr error
-		if req.Whole {
-			sched, serr = sys.UpperBoundWholeCtx(ctx, g, jobCap)
-		} else {
-			sched, serr = sys.UpperBoundCtx(ctx, g, jobCap)
-		}
-		s.metrics.SolveLatency.Observe(time.Since(t0))
-		if serr != nil {
-			if errors.Is(serr, powercap.ErrInfeasible) {
-				s.metrics.Solves.Add(1)
-				s.metrics.Infeasible.Add(1)
-				return &solveOutcome{infeasible: true}, nil
-			}
-			return nil, serr
-		}
-		out := &solveOutcome{sched: sched}
-		if req.Realize != "" {
-			out.realized, serr = sys.RealizeSchedule(g, sched, req.Realize)
-			if serr != nil {
-				return nil, serr
-			}
-		}
-		s.metrics.Solves.Add(1)
-		s.metrics.WarmStarts.Add(uint64(sched.Stats.WarmStarts))
-		s.metrics.Pivots.Add(uint64(sched.Stats.SimplexIter))
-		return out, nil
-	})
+		return out, !out.degraded, nil
+	}
+	var val any
+	var how hitKind
+	if faultinject.Armed() && faultinject.Fire(faultinject.CacheError) {
+		// Injected cache-backend failure: bypass the cache and solve
+		// directly. Correctness never depends on the cache.
+		s.metrics.CacheErrors.Add(1)
+		how = hitMiss
+		val, _, err = fn()
+	} else {
+		val, how, err = s.cache.DoMaybe(ctx, key, fn)
+	}
 	if err != nil {
 		s.solveError(w, err)
 		return
@@ -453,6 +497,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.countHit(how)
 
 	out := val.(*solveOutcome)
+	if out.degraded && degradedPolicy == "forbid" {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("degraded schedule (%s) refused by ?degraded=forbid", out.reason))
+		return
+	}
 	resp := &SolveResponse{
 		Key:         key,
 		GraphDigest: powercap.GraphDigest(g),
@@ -468,11 +517,81 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		resp.MarginalSecPerW = out.sched.MarginalSecPerW
 		resp.IterationMakespans = out.sched.IterationMakespans
 		resp.Stats = statsJSON(out.sched.Stats)
+		resp.Degraded = out.degraded
+		resp.DegradedRung = out.rung
+		resp.DegradedReason = out.reason
+		resp.SolveRetries = out.retries
 		if out.realized != nil {
 			resp.Realized = realizedJSON(out.realized)
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// solveWorker runs one resilient solve on a worker slot. A panic anywhere in
+// the solve path is recovered here — counted, turned into errSolvePanic, and
+// the worker slot released cleanly — so a poisoned request can never take
+// the daemon (or a pooled worker) down with it.
+func (s *Server) solveWorker(ctx context.Context, sys *powercap.System, g *powercap.Graph, jobCap float64, req *SolveRequest) (out *solveOutcome, err error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	defer func() {
+		if p := recover(); p != nil {
+			s.metrics.Panics.Add(1)
+			if s.logger != nil {
+				s.logger.Printf("solve panic recovered: %v\n%s", p, debug.Stack())
+			}
+			out, err = nil, fmt.Errorf("%w: %v", errSolvePanic, p)
+		}
+	}()
+	if faultinject.Armed() && faultinject.Fire(faultinject.WorkerPanic) {
+		panic("faultinject: worker panic")
+	}
+
+	t0 := time.Now()
+	res, serr := sys.UpperBoundResilientCtx(ctx, g, jobCap, req.Whole)
+	s.metrics.SolveLatency.Observe(time.Since(t0))
+	if serr != nil {
+		if errors.Is(serr, powercap.ErrInfeasible) {
+			s.metrics.Solves.Add(1)
+			s.metrics.Infeasible.Add(1)
+			return &solveOutcome{infeasible: true}, nil
+		}
+		return nil, serr
+	}
+	out = &solveOutcome{
+		sched:    res.Schedule,
+		realized: res.Realized,
+		degraded: res.Degraded,
+		rung:     res.Rung.String(),
+		reason:   res.Reason,
+		retries:  res.Retries,
+	}
+	if req.Realize != "" && !res.Degraded {
+		out.realized, serr = sys.RealizeSchedule(g, res.Schedule, req.Realize)
+		if serr != nil {
+			return nil, serr
+		}
+	}
+	s.metrics.Solves.Add(1)
+	s.metrics.SolveRetries.Add(uint64(res.Retries))
+	s.metrics.WarmStarts.Add(uint64(res.Schedule.Stats.WarmStarts))
+	s.metrics.Pivots.Add(uint64(res.Schedule.Stats.SimplexIter))
+	if res.Degraded {
+		s.metrics.Degraded.Add(1)
+		switch res.Rung {
+		case powercap.RungDense:
+			s.metrics.FallbackDense.Add(1)
+		case powercap.RungHeuristic:
+			s.metrics.FallbackHeuristic.Add(1)
+		case powercap.RungStatic:
+			s.metrics.FallbackStatic.Add(1)
+		}
+	}
+	return out, nil
 }
 
 // SweepRequest asks for the LP bound across a family of per-socket caps,
@@ -677,7 +796,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"queue_used":  len(s.queue),
 		"inflight":    s.metrics.Inflight.Load(),
 		"cached":      s.cache.Len(),
+		"breakers":    s.breakerStates(),
 	})
+}
+
+// breakerStates aggregates circuit-breaker state per ladder rung across the
+// pooled Systems, reporting the worst state seen (open > half-open >
+// closed): an operator probing /healthz wants to know if *any* workload's
+// sparse backend is being skipped.
+func (s *Server) breakerStates() map[string]string {
+	agg := make(map[string]string, 4)
+	for r := powercap.RungSparse; r <= powercap.RungStatic; r++ {
+		agg[r.String()] = "closed"
+	}
+	s.sysMu.Lock()
+	defer s.sysMu.Unlock()
+	for _, sys := range s.sysPool {
+		for rung, st := range sys.Ladder().BreakerStates() {
+			if breakerRank(st) > breakerRank(agg[rung]) {
+				agg[rung] = st
+			}
+		}
+	}
+	return agg
+}
+
+func breakerRank(state string) int {
+	switch state {
+	case "open":
+		return 2
+	case "half-open":
+		return 1
+	default:
+		return 0
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -720,7 +872,16 @@ func (s *Server) badRequest(w http.ResponseWriter, err error) {
 
 // resolveGraph materializes the application graph named by a request:
 // inline trace JSON or a workload proxy, but not both and not neither.
-func resolveGraph(tf *trace.File, ws *WorkloadSpec) (*powercap.Graph, []float64, string, error) {
+// Malformed input that slips past the codec's structural checks and panics
+// in graph construction is converted into an error here, so it surfaces as
+// a 400 instead of a dead worker.
+func resolveGraph(tf *trace.File, ws *WorkloadSpec) (g *powercap.Graph, eff []float64, name string, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			g, eff, name = nil, nil, ""
+			err = fmt.Errorf("invalid request graph: %v", p)
+		}
+	}()
 	switch {
 	case tf != nil && ws != nil:
 		return nil, nil, "", errors.New("give either trace or workload, not both")

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+)
+
+// seedTrace is a small valid trace (two ranks, one message, one collective)
+// used as the fuzz corpus anchor.
+func seedTrace() []byte {
+	b := dag.NewBuilder(2)
+	sh := machine.DefaultShape()
+	b.Compute(0, 0.5, sh, "w")
+	b.Compute(1, 0.7, sh, "w")
+	b.Send(0, 1, 4096)
+	b.Recv(1, 0)
+	b.Collective("sync")
+	g := b.Finalize()
+	var buf bytes.Buffer
+	if err := Write(&buf, "seed", g, []float64{1.0, 0.98}); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRead feeds arbitrary bytes to the trace parser. The contract: Read
+// either rejects the input with an error, or returns a graph that passes
+// Validate and survives a Write/Read round trip with an identical canonical
+// digest. It must never panic and never accept a structurally broken graph.
+func FuzzRead(f *testing.F) {
+	f.Add(seedTrace())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"num_ranks":1,"vertices":[],"tasks":[]}`))
+	f.Add([]byte(`{"version":1,"num_ranks":2,"vertices":[{"id":0,"kind":"init","rank":-1},{"id":1,"kind":"send","rank":0},{"id":2,"kind":"finalize","rank":-1}],"tasks":[]}`))
+	f.Add([]byte(`{"version":1,"num_ranks":1,"vertices":[{"id":0,"kind":"init","rank":-1},{"id":1,"kind":"finalize","rank":-1}],"tasks":[{"id":0,"kind":"compute","rank":0,"src":1,"dst":0}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, eff, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("Read accepted an invalid graph: %v", verr)
+		}
+		var out bytes.Buffer
+		if werr := Write(&out, "roundtrip", g, eff); werr != nil {
+			t.Fatalf("Write failed on accepted graph: %v", werr)
+		}
+		g2, _, rerr := Read(&out)
+		if rerr != nil {
+			t.Fatalf("round trip rejected: %v", rerr)
+		}
+		if dag.Digest(g) != dag.Digest(g2) {
+			t.Fatal("round trip changed the canonical digest")
+		}
+	})
+}

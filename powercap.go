@@ -40,6 +40,7 @@ import (
 	"powercap/internal/machine"
 	"powercap/internal/policy"
 	"powercap/internal/replay"
+	"powercap/internal/resilience"
 	"powercap/internal/sim"
 	"powercap/internal/trace"
 	"powercap/internal/workloads"
@@ -190,9 +191,14 @@ type System struct {
 	// Conductor's configuration-exploration phase and excluded from
 	// policy comparisons (the paper discards three).
 	ExploreIters int
+	// Resilience tunes the fallback ladder behind UpperBoundResilient
+	// (zero value = defaults). Like Model and EffScale, it must not be
+	// mutated after the first resilient solve.
+	Resilience ResilienceConfig
 
-	mu sync.Mutex
-	lp *core.Solver
+	mu     sync.Mutex
+	lp     *core.Solver
+	ladder *resilience.Ladder
 }
 
 // solver returns the System's shared LP solver, creating it on first use.
