@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve-smoke realization-smoke chaos-smoke fuzz-smoke check
+.PHONY: all build vet test race bench serve-smoke realization-smoke chaos-smoke fuzz-smoke obs-smoke check
 
 all: check
 
@@ -45,6 +45,14 @@ realization-smoke:
 chaos-smoke:
 	$(GO) test -race -run TestChaosSoak -count=1 -v ./internal/service/
 
+# Observability smoke: race-detected span-layer tests, then a traced solve
+# against a real pcschedd — validates the inline Chrome trace JSON (nesting
+# checked strictly), request-ID propagation into header/body/access-log,
+# double /metrics scrape with counter monotonicity, and /debug/pprof.
+obs-smoke:
+	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -run TestObsSmoke -count=1 -v ./cmd/pcschedd/
+
 # Bounded fuzz sessions over the trace parser and the canonical DAG digest
 # (the content-addressing the schedule cache rests on). Seeds are checked in
 # via f.Add; 5s each keeps the gate fast while still exploring.
@@ -52,4 +60,4 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzRead -fuzztime 5s ./internal/trace/
 	$(GO) test -run xxx -fuzz FuzzDigest -fuzztime 5s ./internal/dag/
 
-check: vet build race serve-smoke realization-smoke chaos-smoke fuzz-smoke
+check: vet build race serve-smoke realization-smoke chaos-smoke obs-smoke fuzz-smoke

@@ -8,7 +8,7 @@
 //
 // Exhibits: fig1 table1 fig2 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 // fig15 table3 validate configsel overheads solver service realization
-// resilience summary all.
+// resilience observability summary all.
 //
 // Absolute numbers depend on the simulated machine model; the shapes (who
 // wins, by how much, where the crossovers fall) are the reproduction
@@ -65,11 +65,12 @@ func main() {
 		"configsel":   runConfigSel,
 		"solver":      runSolver,
 		"service":     runService,
-		"realization": runRealization,
-		"resilience":  runResilience,
+		"realization":   runRealization,
+		"resilience":    runResilience,
+		"observability": runObservability,
 	}
 	order := []string{"fig1", "table1", "fig2", "fig3", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "service", "realization", "resilience", "summary"}
+		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "service", "realization", "resilience", "observability", "summary"}
 
 	var todo []string
 	for _, a := range args {

@@ -8,11 +8,19 @@
 //	pcsched -workload LULESH -ranks 16 -cap 50
 //	pcsched -workload BT -cap 30 -policy all
 //	pcsched -workload BT -cap 30 -policy all -json
+//	pcsched -workload BT -cap 30 -policy lp -json
 //	pcsched -workload SP -sweep 70:30:5 -workers 4
+//	pcsched -workload LULESH -cap 50 -trace trace.json
 //
 // With -policy all -json, the three-way comparison is emitted as JSON in
-// the same schema pcschedd's POST /v1/compare returns, so scripted
-// consumers can switch between the CLI and the service freely.
+// the same schema pcschedd's POST /v1/compare returns; with -policy lp
+// -json, the solve is emitted in the POST /v1/solve response schema
+// (including the solver-effort stats block), so scripted consumers can
+// switch between the CLI and the service freely.
+//
+// -trace FILE records the whole solve pipeline — trace construction, IR
+// build, LP phases, realization, simulation — as spans and writes a Chrome
+// trace-event JSON document; open it in chrome://tracing or Perfetto.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"sort"
 
 	"powercap"
+	"powercap/internal/obs"
 	"powercap/internal/service"
 )
 
@@ -35,25 +44,46 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("pcsched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		name    = fs.String("workload", "CoMD", "workload: CoMD, LULESH, SP, BT, CG, or FT")
-		ranks   = fs.Int("ranks", 16, "MPI ranks (one socket each)")
-		iters   = fs.Int("iters", 8, "application iterations")
-		seed    = fs.Int64("seed", 1, "workload seed")
-		scale   = fs.Float64("scale", 1.0, "task work scale")
-		capW    = fs.Float64("cap", 50, "per-socket average power cap (W)")
-		policy  = fs.String("policy", "lp", "lp, static, conductor, or all")
-		jsonOut = fs.Bool("json", false, "with -policy all: emit the comparison as JSON (the pcschedd /v1/compare schema)")
-		gantt   = fs.Bool("gantt", false, "render an ASCII timeline of the replayed LP schedule")
-		sweep   = fs.String("sweep", "", "per-socket cap sweep \"hi:lo:step\" (W): solve the LP bound at every cap, warm-started; overrides -cap and -policy")
-		workers = fs.Int("workers", 1, "parallel sweep workers (contiguous cap chunks; only with -sweep)")
-		realize = fs.String("realize", "", "realize the LP schedule as an executable one: nearest, down, replay, or best (simulator-validated, reported with its bound gap)")
+		name     = fs.String("workload", "CoMD", "workload: CoMD, LULESH, SP, BT, CG, or FT")
+		ranks    = fs.Int("ranks", 16, "MPI ranks (one socket each)")
+		iters    = fs.Int("iters", 8, "application iterations")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		scale    = fs.Float64("scale", 1.0, "task work scale")
+		capW     = fs.Float64("cap", 50, "per-socket average power cap (W)")
+		policy   = fs.String("policy", "lp", "lp, static, conductor, or all")
+		jsonOut  = fs.Bool("json", false, "emit JSON: with -policy all the /v1/compare schema, with -policy lp the /v1/solve schema")
+		gantt    = fs.Bool("gantt", false, "render an ASCII timeline of the replayed LP schedule")
+		sweep    = fs.String("sweep", "", "per-socket cap sweep \"hi:lo:step\" (W): solve the LP bound at every cap, warm-started; overrides -cap and -policy")
+		workers  = fs.Int("workers", 1, "parallel sweep workers (contiguous cap chunks; only with -sweep)")
+		realize  = fs.String("realize", "", "realize the LP schedule as an executable one: nearest, down, replay, or best (simulator-validated, reported with its bound gap)")
+		traceOut = fs.String("trace", "", "write the pipeline spans of this run as Chrome trace-event JSON to FILE (chrome://tracing / Perfetto)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *traceOut != "" {
+		tr := obs.NewTrace(0)
+		obs.SetGlobal(tr)
+		defer func() {
+			obs.SetGlobal(nil)
+			f, ferr := os.Create(*traceOut)
+			if ferr != nil {
+				tr.Release()
+				err = errors.Join(err, ferr)
+				return
+			}
+			werr := obs.WriteChrome(f, tr)
+			cerr := f.Close()
+			fmt.Fprintf(stderr, "pcsched: trace: %d spans written to %s\n",
+				len(tr.Snapshot()), *traceOut)
+			tr.Release()
+			err = errors.Join(err, werr, cerr)
+		}()
 	}
 
 	w, err := powercap.WorkloadByName(*name, powercap.WorkloadParams{
@@ -66,10 +96,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	jobCap := *capW * float64(*ranks)
 
 	if *jsonOut {
-		if *policy != "all" || *sweep != "" {
-			return errors.New("-json requires -policy all (and no -sweep)")
+		if *sweep != "" {
+			return errors.New("-json does not support -sweep")
 		}
-		return runCompareJSON(sys, w, *capW, stdout)
+		switch *policy {
+		case "all":
+			return runCompareJSON(sys, w, *capW, stdout)
+		case "lp":
+			return runSolveJSON(sys, w, jobCap, *realize, stdout)
+		default:
+			return errors.New("-json requires -policy all or -policy lp")
+		}
 	}
 
 	fmt.Fprintf(stdout, "%s: %d ranks, %d iterations, %d tasks, %d MPI-call vertices\n",
@@ -148,6 +185,41 @@ func runCompareJSON(sys *powercap.System, w *powercap.Workload, perSocketW float
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(&service.CompareResponse{Comparison: *cmp})
+}
+
+// runSolveJSON solves the decomposed LP and emits the result in the
+// service's /v1/solve response schema — same cache key, graph digest, and
+// solver-effort stats block the daemon reports for the identical request,
+// so CLI and service numbers can be diffed directly.
+func runSolveJSON(sys *powercap.System, w *powercap.Workload, jobCap float64, realize string, stdout io.Writer) error {
+	resp := &service.SolveResponse{
+		Key:         sys.ScheduleKey(w.Graph, jobCap, false, realize),
+		GraphDigest: powercap.GraphDigest(w.Graph),
+		Workload:    w.Name,
+		JobCapW:     jobCap,
+	}
+	sched, err := sys.UpperBound(w.Graph, jobCap)
+	if err != nil {
+		if !errors.Is(err, powercap.ErrInfeasible) {
+			return err
+		}
+		resp.Infeasible = true
+	} else {
+		resp.MakespanS = sched.MakespanS
+		resp.MarginalSecPerW = sched.MarginalSecPerW
+		resp.IterationMakespans = sched.IterationMakespans
+		resp.Stats = service.NewStatsJSON(sched.Stats)
+		if realize != "" {
+			rl, err := sys.RealizeSchedule(w.Graph, sched, realize)
+			if err != nil {
+				return err
+			}
+			resp.Realized = service.NewRealizedJSON(rl)
+		}
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resp)
 }
 
 // printScheduleSummary aggregates the LP's choices per task class.

@@ -6,9 +6,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"powercap/internal/obs"
 	"powercap/internal/service"
 )
 
@@ -58,15 +61,122 @@ func TestJSONMatchesService(t *testing.T) {
 	}
 }
 
-// TestJSONRequiresPolicyAll: -json outside -policy all is an error, not
-// silently ignored.
-func TestJSONRequiresPolicyAll(t *testing.T) {
+// TestSolveJSONMatchesService is the solve-side CLI↔service parity test:
+// `pcsched -policy lp -json` must emit the /v1/solve response schema with
+// the same cache key, graph digest, makespan, and solver-effort stats the
+// service reports for the identical request — the satellite guarantee that
+// CLI and daemon report the same effort numbers.
+func TestSolveJSONMatchesService(t *testing.T) {
+	args := []string{
+		"-workload", "CoMD", "-ranks", "2", "-iters", "6",
+		"-seed", "1", "-scale", "0.1", "-cap", "55",
+		"-policy", "lp", "-json",
+	}
 	var out, errs bytes.Buffer
-	if err := run([]string{"-policy", "lp", "-json"}, &out, &errs); err == nil {
-		t.Fatal("-json with -policy lp did not error")
+	if err := run(args, &out, &errs); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errs.String())
+	}
+	var cli service.SolveResponse
+	if err := json.Unmarshal(out.Bytes(), &cli); err != nil {
+		t.Fatalf("-json output is not a SolveResponse: %v\n%s", err, out.String())
+	}
+	if cli.MakespanS <= 0 || cli.Stats == nil || cli.Stats.SimplexPivots <= 0 {
+		t.Fatalf("CLI solve missing makespan or stats: %+v", cli)
+	}
+
+	ts := httptest.NewServer(service.New(service.Config{Workers: 2}))
+	defer ts.Close()
+	body := `{"workload":{"name":"CoMD","ranks":2,"iters":6,"seed":1,"scale":0.1},"cap_per_socket_w":55}`
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("service solve: %d (%s)", resp.StatusCode, raw)
+	}
+	var svc service.SolveResponse
+	if err := json.Unmarshal(raw, &svc); err != nil {
+		t.Fatal(err)
+	}
+	if cli.Key != svc.Key || cli.GraphDigest != svc.GraphDigest {
+		t.Errorf("CLI and service key/digest disagree:\ncli: %s %s\nsvc: %s %s",
+			cli.Key, cli.GraphDigest, svc.Key, svc.GraphDigest)
+	}
+	if cli.MakespanS != svc.MakespanS {
+		t.Errorf("makespan: cli %v != svc %v", cli.MakespanS, svc.MakespanS)
+	}
+	if *cli.Stats != *svc.Stats {
+		t.Errorf("solver effort disagrees:\ncli: %+v\nsvc: %+v", *cli.Stats, *svc.Stats)
+	}
+	if svc.RequestID == "" || resp.Header.Get("X-Request-Id") != svc.RequestID {
+		t.Errorf("service response id %q not echoed in X-Request-Id %q",
+			svc.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+}
+
+// TestJSONPolicyGate: -json is an error outside -policy all/lp, and with
+// -sweep — never silently ignored.
+func TestJSONPolicyGate(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run([]string{"-policy", "static", "-json"}, &out, &errs); err == nil {
+		t.Fatal("-json with -policy static did not error")
+	}
+	if err := run([]string{"-policy", "conductor", "-json"}, &out, &errs); err == nil {
+		t.Fatal("-json with -policy conductor did not error")
 	}
 	if err := run([]string{"-policy", "all", "-json", "-sweep", "60:50:5"}, &out, &errs); err == nil {
 		t.Fatal("-json with -sweep did not error")
+	}
+	if err := run([]string{"-policy", "lp", "-json", "-sweep", "60:50:5"}, &out, &errs); err == nil {
+		t.Fatal("-json -policy lp with -sweep did not error")
+	}
+}
+
+// TestTraceFlagWritesChromeJSON: -trace produces a well-formed Chrome
+// trace-event document covering the solve pipeline, with strictly valid
+// span nesting.
+func TestTraceFlagWritesChromeJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	args := []string{
+		"-workload", "CoMD", "-ranks", "2", "-iters", "3",
+		"-scale", "0.1", "-cap", "55", "-realize", "down", "-trace", path,
+	}
+	var out, errs bytes.Buffer
+	if err := run(args, &out, &errs); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errs.String())
+	}
+	if !strings.Contains(errs.String(), "spans written to") {
+		t.Errorf("missing trace confirmation on stderr: %s", errs.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc obs.Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	if doc.DroppedSpans != 0 {
+		t.Errorf("trace dropped %d spans", doc.DroppedSpans)
+	}
+	if err := obs.CheckNesting(doc.TraceEvents); err != nil {
+		t.Errorf("nesting: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+	}
+	for _, want := range []string{
+		"core.solve", "lp.solve", "problem.build", "schedule.realize", "sim.evaluate",
+	} {
+		if !names[want] {
+			t.Errorf("span %q missing from trace (have %v)", want, names)
+		}
 	}
 }
 

@@ -21,7 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -56,7 +56,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	logger := log.New(stderr, "pcschedd ", log.LstdFlags|log.Lmicroseconds)
+	// Structured logging: one slog text line per event, every request line
+	// carrying its request_id (also echoed as X-Request-Id).
+	logger := slog.New(slog.NewTextHandler(stderr, nil))
 	reqLog := logger
 	if *quiet {
 		reqLog = nil
@@ -90,19 +92,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case <-ctx.Done():
 	}
 
-	logger.Printf("shutdown: draining in-flight solves (grace %v)", *grace)
+	logger.Info("shutdown: draining in-flight solves", "grace", grace.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	// Drain first so in-flight solves finish and respond while the
 	// listener still accepts their connections; Shutdown then closes the
 	// listener and waits for the last responses to flush.
 	if err := svc.Drain(drainCtx); err != nil {
-		logger.Printf("shutdown: drain incomplete: %v", err)
+		logger.Warn("shutdown: drain incomplete", "err", err)
 	}
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
 	<-errc // Serve has returned http.ErrServerClosed
-	logger.Printf("shutdown: done")
+	logger.Info("shutdown: done")
 	return nil
 }

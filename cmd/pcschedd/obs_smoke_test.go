@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"powercap/internal/obs"
+	"powercap/internal/service"
+)
+
+// TestObsSmoke is the observability smoke harness behind `make obs-smoke`:
+// against a real pcschedd process it runs a traced solve and validates the
+// inline Chrome trace document (well-formed JSON, strictly nested spans,
+// the pipeline stages present), checks that the request ID is echoed in
+// header, body, and the access log, scrapes /metrics twice asserting
+// counter monotonicity, and probes /debug/pprof.
+func TestObsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping daemon smoke test in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "pcschedd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building pcschedd: %v\n%s", err, out)
+	}
+
+	// No -quiet: the access log (with request IDs) is under test.
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if _, url, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			base = url
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("no listening line from pcschedd")
+	}
+
+	// Traced solve: the response must carry the request ID and a valid
+	// Chrome trace document covering the solve pipeline.
+	solveReq := `{"workload":{"name":"CoMD","ranks":2,"iters":3,"seed":1,"scale":0.1},"cap_per_socket_w":55}`
+	resp, err := http.Post(base+"/v1/solve?trace=1", "application/json", strings.NewReader(solveReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced solve: status %d (%s)", resp.StatusCode, raw)
+	}
+	headerID := resp.Header.Get("X-Request-Id")
+	if headerID == "" {
+		t.Fatal("no X-Request-Id on solve response")
+	}
+	var sr service.SolveResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatalf("solve response is not valid JSON: %v", err)
+	}
+	if sr.RequestID != headerID {
+		t.Errorf("body request_id %q != header %q", sr.RequestID, headerID)
+	}
+	if sr.Trace == nil || len(sr.Trace.TraceEvents) == 0 {
+		t.Fatalf("?trace=1 response has no trace: %s", raw)
+	}
+	if sr.Trace.DroppedSpans != 0 {
+		t.Errorf("trace dropped %d spans", sr.Trace.DroppedSpans)
+	}
+	if err := obs.CheckNesting(sr.Trace.TraceEvents); err != nil {
+		t.Errorf("trace nesting: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range sr.Trace.TraceEvents {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"resilience.ladder", "core.solve", "lp.solve", "problem.build"} {
+		if !names[want] {
+			t.Errorf("span %q missing from inline trace (have %v)", want, names)
+		}
+	}
+
+	// Counter monotonicity: scrape, do more work, scrape again — no
+	// *_total may decrease, and the work must be visible.
+	m1 := fetchMetrics(t, base)
+	if m1["pcschedd_traced_requests_total"] != 1 {
+		t.Errorf("traced_requests_total = %v, want 1", m1["pcschedd_traced_requests_total"])
+	}
+	resp2, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(
+		`{"workload":{"name":"CoMD","ranks":2,"iters":3,"seed":1,"scale":0.1},"cap_per_socket_w":50}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	m2 := fetchMetrics(t, base)
+	for name, v1 := range m1 {
+		if !strings.Contains(name, "_total") {
+			continue
+		}
+		if v2 := m2[name]; v2 < v1 {
+			t.Errorf("counter %s went backwards: %v -> %v", name, v1, v2)
+		}
+	}
+	if m2["pcschedd_requests_total"] <= m1["pcschedd_requests_total"] {
+		t.Errorf("requests_total did not advance: %v -> %v",
+			m1["pcschedd_requests_total"], m2["pcschedd_requests_total"])
+	}
+	if m2["pcschedd_solves_total"] != m1["pcschedd_solves_total"]+1 {
+		t.Errorf("solves_total %v -> %v, want +1",
+			m1["pcschedd_solves_total"], m2["pcschedd_solves_total"])
+	}
+	stageSeen := false
+	for name := range m2 {
+		if strings.HasPrefix(name, `pcschedd_stage_latency_seconds_count{stage="lp.solve"`) {
+			stageSeen = true
+		}
+	}
+	if !stageSeen {
+		t.Error("per-stage histogram for lp.solve missing from /metrics")
+	}
+
+	// pprof must be reachable on the service mux.
+	pp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, pp.Body)
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/: status %d", pp.StatusCode)
+	}
+
+	// Stop the daemon, then check the access log (reading stderr while the
+	// process runs would race with its writes).
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("pcschedd exited uncleanly: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pcschedd did not exit after SIGTERM")
+	}
+	log := stderr.String()
+	if !strings.Contains(log, "request_id="+headerID) {
+		t.Errorf("access log does not carry request_id=%s:\n%s", headerID, log)
+	}
+	if !strings.Contains(log, "msg=request") {
+		t.Errorf("no structured access-log lines on stderr:\n%s", log)
+	}
+}

@@ -164,9 +164,10 @@ func emitPowerRows(ir *problem.IR, prob *lp.Problem, tv map[dag.TaskID]*taskLPVa
 
 // buildLP constructs the cap-independent LP for graph g: variables,
 // precedence, event-order, and event-power rows, with the power-row RHS
-// values left at their deduction-only baseline (cap 0).
-func (s *Solver) buildLP(g *dag.Graph) (*builtLP, error) {
-	ir, err := s.IR(g)
+// values left at their deduction-only baseline (cap 0). ctx carries obs
+// span parentage only.
+func (s *Solver) buildLP(ctx context.Context, g *dag.Graph) (*builtLP, error) {
+	ir, err := s.IRCtx(ctx, g)
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +202,7 @@ func (s *Solver) solveBuilt(ctx context.Context, b *builtLP, capW float64, warmB
 		}
 	}
 
-	opts := []lp.Option{lp.WithBackend(backend)}
+	opts := []lp.Option{lp.WithBackend(backend), lp.WithSpanContext(ctx)}
 	if len(warmBasis) > 0 {
 		opts = append(opts, lp.WithWarmBasis(warmBasis))
 	}
@@ -292,7 +293,7 @@ func (s *Solver) extractInto(b *builtLP, sol *lp.Solution, out *Schedule, taskMa
 // solveInto builds and solves the LP for graph g under capW, writing task
 // choices through taskMap into out.Choices and vertex times into vt.
 func (s *Solver) solveInto(ctx context.Context, g *dag.Graph, capW float64, backend lp.Backend, out *Schedule, taskMap []dag.TaskID, vt []float64) error {
-	b, err := s.buildLP(g)
+	b, err := s.buildLP(ctx, g)
 	if err != nil {
 		return err
 	}

@@ -41,6 +41,7 @@ import (
 	"powercap/internal/dag"
 	"powercap/internal/lp"
 	"powercap/internal/machine"
+	"powercap/internal/obs"
 	"powercap/internal/problem"
 )
 
@@ -195,15 +196,27 @@ func (s *Solver) Frontier(shape machine.Shape, rank int) *problem.Frontier {
 // layer, and repeated service requests against the same graph share one
 // build (initial schedule, activity sets, event order, frontier columns).
 func (s *Solver) IR(g *dag.Graph) (*problem.IR, error) {
+	return s.IRCtx(context.Background(), g)
+}
+
+// IRCtx is IR with obs span parentage: a cache miss records the IR build
+// (problem.build and its children) under the caller's span.
+func (s *Solver) IRCtx(ctx context.Context, g *dag.Graph) (*problem.IR, error) {
 	key := dag.Digest(g)
 	s.mu.Lock()
 	if ir, ok := s.irCache[key]; ok {
 		s.mu.Unlock()
+		_, sp := obs.Start(ctx, "problem.ir")
+		sp.SetAttr("cached", true)
+		sp.End()
 		return ir, nil
 	}
 	s.mu.Unlock()
 
-	ir, err := problem.BuildWith(s.Frontiers(), g)
+	ictx, sp := obs.Start(ctx, "problem.ir")
+	sp.SetAttr("cached", false)
+	ir, err := problem.BuildWithCtx(ictx, s.Frontiers(), g)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -269,8 +282,17 @@ func (s *Solver) solve(ctx context.Context, g *dag.Graph, capW float64, decompos
 }
 
 func (s *Solver) solveWith(ctx context.Context, g *dag.Graph, capW float64, decompose bool, backend lp.Backend) (*Schedule, error) {
+	ctx, span := obs.Start(ctx, "core.solve")
+	defer span.End()
+	span.SetAttr("cap_w", capW)
+	span.SetAttr("backend", backend.String())
+	span.SetAttr("decompose", decompose)
+
 	if decompose {
+		_, sp := obs.Start(ctx, "dag.slice")
 		slices, err := dag.SliceAll(g)
+		sp.SetAttr("slices", len(slices))
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -280,9 +302,13 @@ func (s *Solver) solveWith(ctx context.Context, g *dag.Graph, capW float64, deco
 				Choices:     make([]TaskChoice, len(g.Tasks)),
 				VertexTimeS: nil, // per-iteration local times are not global
 			}
-			for _, sl := range slices {
+			for si, sl := range slices {
+				ictx, isp := obs.Start(ctx, "core.iteration")
+				isp.SetAttr("slice", si)
 				vt := make([]float64, len(sl.Graph.Vertices))
-				if err := s.solveInto(ctx, sl.Graph, capW, backend, sched, sl.TaskMap, vt); err != nil {
+				err := s.solveInto(ictx, sl.Graph, capW, backend, sched, sl.TaskMap, vt)
+				isp.End()
+				if err != nil {
 					return nil, fmt.Errorf("iteration slice: %w", err)
 				}
 				m := finalizeTime(sl.Graph, vt)

@@ -39,7 +39,7 @@ func (s *Solver) SolveSweep(g *dag.Graph, caps []float64) ([]SweepPoint, error) 
 // current cap's pivot loop stops and the remaining caps are marked with the
 // cancellation error without being attempted.
 func (s *Solver) SolveSweepCtx(ctx context.Context, g *dag.Graph, caps []float64) ([]SweepPoint, error) {
-	b, err := s.buildLP(g)
+	b, err := s.buildLP(ctx, g)
 	if err != nil {
 		return nil, err
 	}

@@ -12,9 +12,11 @@
 package dag
 
 import (
+	"context"
 	"fmt"
 
 	"powercap/internal/machine"
+	"powercap/internal/obs"
 )
 
 // VertexID indexes a vertex within its Graph.
@@ -218,6 +220,15 @@ func (g *Graph) TopoVertices() ([]VertexID, error) {
 // one-to-one matching, acyclicity, and exactly one Init and one Finalize
 // vertex.
 func (g *Graph) Validate() error {
+	return g.ValidateCtx(context.Background())
+}
+
+// ValidateCtx is Validate recorded as a dag.validate obs span under ctx.
+func (g *Graph) ValidateCtx(ctx context.Context) error {
+	_, span := obs.Start(ctx, "dag.validate")
+	defer span.End()
+	span.SetAttr("vertices", len(g.Vertices))
+	span.SetAttr("tasks", len(g.Tasks))
 	inits, finals := 0, 0
 	for _, v := range g.Vertices {
 		switch v.Kind {

@@ -1,9 +1,11 @@
 package lp
 
 import (
+	"context"
 	"math"
 
 	"powercap/internal/faultinject"
+	"powercap/internal/obs"
 )
 
 // Revised simplex over sparse columns with a product-form basis inverse
@@ -71,6 +73,11 @@ type revised struct {
 
 	nanRetries int    // refactorization-and-retry attempts spent on NaN/Inf
 	numReason  string // set when a pivot loop returns statusNumerical
+
+	// sctx parents obs spans; the phase wrappers in solveCold/solveWarm
+	// repoint it at their own span so refactorizations nest under the phase
+	// that triggered them.
+	sctx context.Context
 }
 
 func newRevised(f *spForm, o *Options) *revised {
@@ -94,7 +101,24 @@ func newRevised(f *spForm, o *Options) *revised {
 		rv.stallWindow = stallWindow
 	}
 	rv.cancel = o.cancelFunc()
+	rv.sctx = o.spanContext()
 	return rv
+}
+
+// phase wraps one pivot-loop phase in an obs span named name, nesting any
+// refactorizations it triggers under that span. iters counts the pivots the
+// phase consumed (for the span attribute).
+func (rv *revised) phase(name string, iters *int, run func() Status) Status {
+	before := *iters
+	pctx, sp := obs.Start(rv.sctx, name)
+	old := rv.sctx
+	rv.sctx = pctx
+	st := run()
+	rv.sctx = old
+	sp.SetAttr("pivots", *iters-before)
+	sp.SetAttr("status", st.String())
+	sp.End()
+	return st
 }
 
 // ftran solves B·x = v in place (v dense, length m).
@@ -142,6 +166,8 @@ func (rv *revised) appendEta(r int, alpha []float64) {
 // rows by partial pivoting. Returns false when the column set is singular.
 // On success rv.basis holds the (re-rowed) basis and rv.xB the basic values.
 func (rv *revised) factorize(cols []int) bool {
+	_, sp := obs.Start(rv.sctx, "lp.refactorize")
+	defer sp.End()
 	f := rv.f
 	rv.etas = rv.etas[:0]
 	rv.updates = 0
@@ -629,7 +655,7 @@ func (rv *revised) solveCold(p *Problem) *Solution {
 				rv.cost[j] = 0
 			}
 		}
-		st := rv.primal(&iters)
+		st := rv.phase("lp.phase1", &iters, func() Status { return rv.primal(&iters) })
 		rv.stats.Phase1Iters = iters
 		if st == IterLimit || st == Canceled || st == statusNumerical {
 			return &Solution{Status: st, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}
@@ -648,7 +674,7 @@ func (rv *revised) solveCold(p *Problem) *Solution {
 	}
 
 	copy(rv.cost, f.cost)
-	st := rv.primal(&iters)
+	st := rv.phase("lp.phase2", &iters, func() Status { return rv.primal(&iters) })
 	rv.stats.Phase2Iters = iters - rv.stats.Phase1Iters
 	if st != Optimal {
 		return &Solution{Status: st, Objective: math.NaN(), Iters: iters, X: make([]float64, f.nOrig), Stats: rv.stats}
@@ -717,7 +743,7 @@ func (rv *revised) solveWarm(p *Problem, warm []int) (*Solution, bool) {
 	rv.stats.WarmStarted = true
 
 	iters := 0
-	switch rv.dual(&iters) {
+	switch rv.phase("lp.dual", &iters, func() Status { return rv.dual(&iters) }) {
 	case Optimal:
 		// Fall through to a primal polish (usually zero pivots).
 	case Canceled:
@@ -729,7 +755,7 @@ func (rv *revised) solveWarm(p *Problem, warm []int) (*Solution, bool) {
 		// solve starts from a pristine triangular basis.
 		return nil, false
 	}
-	st := rv.primal(&iters)
+	st := rv.phase("lp.phase2", &iters, func() Status { return rv.primal(&iters) })
 	rv.stats.Phase2Iters = iters - rv.stats.DualIters
 	switch st {
 	case Optimal:

@@ -1,9 +1,11 @@
 package lp
 
 import (
+	"context"
 	"math"
 
 	"powercap/internal/faultinject"
+	"powercap/internal/obs"
 )
 
 // Numerical tolerances for the dense simplex. The scheduling LPs produced by
@@ -63,6 +65,9 @@ type tableau struct {
 	// cancel, when non-nil, is polled every cancelCheckEvery pivots; a
 	// true return abandons the solve with Status Canceled.
 	cancel func() bool
+
+	// sctx parents the per-phase obs spans (nil is fine: disabled path).
+	sctx context.Context
 }
 
 func (t *tableau) at(i, j int) float64     { return t.a[i*t.n+j] }
@@ -238,7 +243,11 @@ func (t *tableau) solve() (st Status, phase1, phase2 int) {
 			}
 		}
 		t.recomputeObjRow()
+		_, sp := obs.Start(t.sctx, "lp.phase1")
 		st, phase1 = t.iterate()
+		sp.SetAttr("pivots", phase1)
+		sp.SetAttr("status", st.String())
+		sp.End()
 		if st == IterLimit || st == Canceled || st == statusNumerical {
 			return st, phase1, 0
 		}
@@ -255,7 +264,11 @@ func (t *tableau) solve() (st Status, phase1, phase2 int) {
 
 	copy(t.cost, phase2Cost)
 	t.recomputeObjRow()
+	_, sp := obs.Start(t.sctx, "lp.phase2")
 	st, phase2 = t.iterate()
+	sp.SetAttr("pivots", phase2)
+	sp.SetAttr("status", st.String())
+	sp.End()
 	return st, phase1, phase2
 }
 
@@ -518,6 +531,7 @@ func solveDense(p *Problem, o *Options) (*Solution, error) {
 	}
 	t.stallWin = o.StallWindow
 	t.cancel = o.cancelFunc()
+	t.sctx = o.spanContext()
 	st, n1, n2 := t.solve()
 	if st == statusNumerical {
 		return nil, &NumericalError{Backend: "dense", Reason: t.numReason, Pivots: n1 + n2}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"powercap/internal/faultinject"
+	"powercap/internal/obs"
 )
 
 // This file defines the pluggable solver engine: a Solver interface over
@@ -72,6 +73,12 @@ type Options struct {
 	// thread per-request deadlines through here so an abandoned request
 	// stops burning simplex pivots.
 	Ctx context.Context
+	// SpanCtx, when non-nil, carries obs span parentage only — it never
+	// feeds cancellation. Callers that want both pass the same context to
+	// WithContext and WithSpanContext; callers that must preserve the
+	// "background context means no cancel polling" fast path (internal/core)
+	// can trace without arming the polls.
+	SpanCtx context.Context
 }
 
 // Option mutates Options.
@@ -93,6 +100,20 @@ func WithWarmBasis(basis []int) Option { return func(o *Options) { o.WarmBasis =
 // deadline passes, the pivot loops stop at their next poll and the solve
 // returns Status Canceled.
 func WithContext(ctx context.Context) Option { return func(o *Options) { o.Ctx = ctx } }
+
+// WithSpanContext supplies the context obs spans parent onto, without
+// enabling cancellation polling. With tracing disarmed this costs nothing.
+func WithSpanContext(ctx context.Context) Option { return func(o *Options) { o.SpanCtx = ctx } }
+
+// spanContext resolves where backend spans should parent: the explicit span
+// context if set, else the cancellation context. May be nil (obs.Start
+// accepts nil and falls back to the global trace).
+func (o *Options) spanContext() context.Context {
+	if o.SpanCtx != nil {
+		return o.SpanCtx
+	}
+	return o.Ctx
+}
 
 // cancelCheckEvery is how many pivots pass between context polls. Polling
 // is one atomic load inside ctx.Err(), but scheduling-LP pivots can be
@@ -180,6 +201,13 @@ func Solve(p *Problem, opts ...Option) (*Solution, error) {
 		sleepSlow(o.Ctx)
 	}
 
+	sctx, span := obs.Start(o.spanContext(), "lp.solve")
+	defer span.End()
+	span.SetAttr("backend", o.Backend.String())
+	span.SetAttr("vars", p.NumVars())
+	span.SetAttr("rows", p.NumConstraints())
+	o.SpanCtx = sctx // backends parent their phase spans under lp.solve
+
 	start := time.Now()
 	var sol *Solution
 	var err error
@@ -196,6 +224,8 @@ func Solve(p *Problem, opts ...Option) (*Solution, error) {
 	}
 	sol.Stats.Backend = o.Backend.String()
 	sol.Stats.Wall = time.Since(start)
+	span.SetAttr("status", sol.Status.String())
+	span.SetAttr("pivots", sol.Stats.Pivots())
 	return sol, nil
 }
 

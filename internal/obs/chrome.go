@@ -1,0 +1,115 @@
+// Chrome trace-event export: SpanRecords become "complete" events (ph "X")
+// in the JSON object format, loadable directly in chrome://tracing and
+// Perfetto. Timestamps are microseconds from the Trace epoch; the span ID
+// and parent ID ride along as top-level "sid"/"parent" fields (viewers
+// ignore unknown keys) so nesting stays checkable after a JSON round-trip —
+// CheckNesting is what `make obs-smoke` and the observability exhibit run
+// against the exported document.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Event is one trace-event in Chrome's JSON object format.
+type Event struct {
+	Name   string         `json:"name"`
+	Phase  string         `json:"ph"`
+	TS     float64        `json:"ts"`  // µs from trace epoch
+	Dur    float64        `json:"dur"` // µs
+	PID    int            `json:"pid"`
+	TID    uint64         `json:"tid"`
+	ID     uint64         `json:"sid"`
+	Parent uint64         `json:"parent,omitempty"`
+	Args   map[string]any `json:"args,omitempty"`
+}
+
+// Document is the top-level Chrome trace JSON object. DroppedSpans is an
+// extension field: non-zero means the Trace hit its span bound and the
+// document is incomplete.
+type Document struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit,omitempty"`
+	DroppedSpans    int     `json:"droppedSpans,omitempty"`
+}
+
+// ChromeEvents converts completed spans to events, ordered by start time
+// (parents before their children on ties, which viewers prefer).
+func ChromeEvents(recs []SpanRecord) []Event {
+	evs := make([]Event, 0, len(recs))
+	for _, r := range recs {
+		evs = append(evs, Event{
+			Name:   r.Name,
+			Phase:  "X",
+			TS:     float64(r.StartNS) / 1e3,
+			Dur:    float64(r.DurNS) / 1e3,
+			PID:    1,
+			TID:    r.TID,
+			ID:     r.ID,
+			Parent: r.Parent,
+			Args:   r.Attrs,
+		})
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].TS != evs[j].TS {
+			return evs[i].TS < evs[j].TS
+		}
+		return evs[i].Dur > evs[j].Dur
+	})
+	return evs
+}
+
+// WriteChrome serializes the Trace's spans as a Chrome trace JSON document.
+func WriteChrome(w io.Writer, tr *Trace) error {
+	doc := Document{
+		TraceEvents:     ChromeEvents(tr.Snapshot()),
+		DisplayTimeUnit: "ms",
+		DroppedSpans:    tr.Dropped(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// nestEps (µs) absorbs the float rounding of ns→µs conversion when
+// comparing span endpoints; well under a nanosecond, so it can never mask a
+// real containment violation.
+const nestEps = 1e-3
+
+// CheckNesting validates the structural invariants the span layer promises:
+// unique span IDs, every non-root's parent present in the document, child on
+// the parent's track, and child interval contained in the parent's. It is
+// strict — a missing parent (e.g. dropped by the span bound) is an error,
+// not a skip.
+func CheckNesting(events []Event) error {
+	byID := make(map[uint64]Event, len(events))
+	for _, e := range events {
+		if e.ID == 0 {
+			return fmt.Errorf("span %q: zero id", e.Name)
+		}
+		if prev, dup := byID[e.ID]; dup {
+			return fmt.Errorf("duplicate span id %d (%q and %q)", e.ID, prev.Name, e.Name)
+		}
+		byID[e.ID] = e
+	}
+	for _, e := range events {
+		if e.Parent == 0 {
+			continue
+		}
+		p, ok := byID[e.Parent]
+		if !ok {
+			return fmt.Errorf("span %q (id %d): parent %d missing from trace", e.Name, e.ID, e.Parent)
+		}
+		if p.TID != e.TID {
+			return fmt.Errorf("span %q (tid %d): parent %q on different track %d", e.Name, e.TID, p.Name, p.TID)
+		}
+		if e.TS < p.TS-nestEps || e.TS+e.Dur > p.TS+p.Dur+nestEps {
+			return fmt.Errorf("span %q [%.3f, %.3f] escapes parent %q [%.3f, %.3f]",
+				e.Name, e.TS, e.TS+e.Dur, p.Name, p.TS, p.TS+p.Dur)
+		}
+	}
+	return nil
+}

@@ -1,9 +1,11 @@
 package problem
 
 import (
+	"context"
 	"sync"
 
 	"powercap/internal/machine"
+	"powercap/internal/obs"
 	"powercap/internal/pareto"
 )
 
@@ -103,12 +105,21 @@ func (fs *FrontierSet) EffScale() []float64 { return fs.eff }
 // For returns the convex Pareto frontier for a task shape on a rank's
 // socket, computing and caching it on first use.
 func (fs *FrontierSet) For(shape machine.Shape, rank int) *Frontier {
+	return fs.ForCtx(context.Background(), shape, rank)
+}
+
+// ForCtx is For with obs span parentage: a cache miss records the cloud
+// construction and hull computation as a pareto.frontier span under ctx.
+func (fs *FrontierSet) ForCtx(ctx context.Context, shape machine.Shape, rank int) *Frontier {
 	key := frontierKey{shape: shape, rank: rank}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if f, ok := fs.cache[key]; ok {
 		return f
 	}
+	_, span := obs.Start(ctx, "pareto.frontier")
+	defer span.End()
+	span.SetAttr("rank", rank)
 	cfgs := fs.model.Configs()
 	cloud := make([]pareto.Point, len(cfgs))
 	for i, c := range cfgs {

@@ -25,10 +25,12 @@
 package problem
 
 import (
+	"context"
 	"sort"
 
 	"powercap/internal/dag"
 	"powercap/internal/machine"
+	"powercap/internal/obs"
 	"powercap/internal/sim"
 )
 
@@ -87,7 +89,19 @@ func Build(model *machine.Model, effScale []float64, g *dag.Graph) (*IR, error) 
 // one FrontierSet across many builds (iteration slices, multiple graphs on
 // one System) to share the per-(shape, rank) frontier work.
 func BuildWith(fs *FrontierSet, g *dag.Graph) (*IR, error) {
-	init, err := initialSchedule(fs, g)
+	return BuildWithCtx(context.Background(), fs, g)
+}
+
+// BuildWithCtx is BuildWith with obs span parentage: the build itself, the
+// initial-schedule simulation, and any frontier constructions it triggers
+// record as spans under ctx.
+func BuildWithCtx(ctx context.Context, fs *FrontierSet, g *dag.Graph) (*IR, error) {
+	ctx, span := obs.Start(ctx, "problem.build")
+	defer span.End()
+	span.SetAttr("tasks", len(g.Tasks))
+	span.SetAttr("vertices", len(g.Vertices))
+
+	init, err := initialSchedule(ctx, fs, g)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +124,7 @@ func BuildWith(fs *FrontierSet, g *dag.Graph) (*IR, error) {
 			ir.FixedPowerW[t.ID] = fs.model.IdlePower(fs.Eff(t.Rank))
 		default:
 			ir.Class[t.ID] = Tunable
-			f := fs.For(t.Shape, t.Rank)
+			f := fs.ForCtx(ctx, t.Shape, t.Rank)
 			durs := make([]float64, len(f.Pts))
 			for k, p := range f.Pts {
 				durs[k] = p.TimeS * t.Work
@@ -153,7 +167,7 @@ func (ir *IR) Simultaneous(a, b dag.VertexID) bool {
 
 // initialSchedule evaluates the power-unconstrained schedule: every tunable
 // task at the maximum configuration.
-func initialSchedule(fs *FrontierSet, g *dag.Graph) (*sim.Result, error) {
+func initialSchedule(ctx context.Context, fs *FrontierSet, g *dag.Graph) (*sim.Result, error) {
 	pts := sim.Points(g)
 	maxCfg := fs.model.MaxConfig()
 	for i, t := range g.Tasks {
@@ -165,5 +179,5 @@ func initialSchedule(fs *FrontierSet, g *dag.Graph) (*sim.Result, error) {
 			PowerW:   fs.model.Power(t.Shape, maxCfg, fs.Eff(t.Rank)),
 		}
 	}
-	return sim.Evaluate(g, pts, sim.SlackHoldsTaskPower, 0)
+	return sim.EvaluateCtx(ctx, g, pts, sim.SlackHoldsTaskPower, 0)
 }

@@ -1,6 +1,8 @@
 package resilience
 
 import (
+	"context"
+
 	"powercap/internal/core"
 	"powercap/internal/dag"
 	"powercap/internal/problem"
@@ -16,8 +18,8 @@ import (
 // take the floor of their fair per-rank power share. Without slackAware it
 // is the static last resort: every task at the floor of the uniform fair
 // share, the paper's static baseline.
-func (l *Ladder) heuristicRung(sv *core.Solver, g *dag.Graph, capW float64, slackAware bool) (*core.Schedule, *schedule.Realized, error) {
-	ir, err := sv.IR(g)
+func (l *Ladder) heuristicRung(ctx context.Context, sv *core.Solver, g *dag.Graph, capW float64, slackAware bool) (*core.Schedule, *schedule.Realized, error) {
+	ir, err := sv.IRCtx(ctx, g)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -49,7 +51,7 @@ func (l *Ladder) heuristicRung(sv *core.Solver, g *dag.Graph, capW float64, slac
 
 	opts := schedule.DefaultOptions()
 	opts.MaxRepairs = l.cfg.MaxRepairs
-	realized, err := schedule.Realize(ir, sched, schedule.Down, opts)
+	realized, err := schedule.RealizeCtx(ctx, ir, sched, schedule.Down, opts)
 	if err != nil {
 		return nil, nil, err
 	}

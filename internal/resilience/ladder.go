@@ -24,6 +24,7 @@ import (
 	"powercap/internal/core"
 	"powercap/internal/dag"
 	"powercap/internal/lp"
+	"powercap/internal/obs"
 	"powercap/internal/schedule"
 )
 
@@ -163,6 +164,10 @@ func (l *Ladder) BreakerStates() map[string]string {
 // problem itself is bad (infeasible cap, malformed graph), the parent
 // context dies, or every rung — including the static last resort — fails.
 func (l *Ladder) Solve(ctx context.Context, sv *core.Solver, g *dag.Graph, capW float64, decompose bool) (*Outcome, error) {
+	ctx, span := obs.Start(ctx, "resilience.ladder")
+	defer span.End()
+	span.SetAttr("cap_w", capW)
+
 	out := &Outcome{}
 	var chain []string
 	var lastErr error
@@ -182,6 +187,9 @@ func (l *Ladder) Solve(ctx context.Context, sv *core.Solver, g *dag.Graph, capW 
 				out.Degraded = true
 				out.Reason = strings.Join(append(chain, rung.String()), "→")
 			}
+			span.SetAttr("rung", rung.String())
+			span.SetAttr("attempts", out.Attempts)
+			span.SetAttr("degraded", out.Degraded)
 			return out, nil
 		}
 		if errors.Is(err, core.ErrInfeasible) {
@@ -204,7 +212,12 @@ func (l *Ladder) attempt(ctx context.Context, sv *core.Solver, g *dag.Graph, cap
 	var lastErr error
 	for try := 0; ; try++ {
 		out.Attempts++
-		sched, realized, err := l.runRung(ctx, sv, g, capW, decompose, rung)
+		actx, sp := obs.Start(ctx, "resilience."+rung.String())
+		sp.SetAttr("try", try)
+		sp.SetAttr("breaker", br.State())
+		sched, realized, err := l.runRung(actx, sv, g, capW, decompose, rung)
+		sp.SetAttr("ok", err == nil)
+		sp.End()
 		if err == nil {
 			br.Success()
 			return sched, realized, nil
@@ -239,15 +252,15 @@ func (l *Ladder) runRung(ctx context.Context, sv *core.Solver, g *dag.Graph, cap
 		if err != nil {
 			return nil, nil, err
 		}
-		realized, err := l.validate(sv, g, sched)
+		realized, err := l.validate(ctx, sv, g, sched)
 		if err != nil {
 			return nil, nil, err
 		}
 		return sched, realized, nil
 	case RungHeuristic:
-		return l.heuristicRung(sv, g, capW, true)
+		return l.heuristicRung(ctx, sv, g, capW, true)
 	case RungStatic:
-		return l.heuristicRung(sv, g, capW, false)
+		return l.heuristicRung(ctx, sv, g, capW, false)
 	default:
 		return nil, nil, fmt.Errorf("resilience: unknown rung %v", rung)
 	}
@@ -255,14 +268,14 @@ func (l *Ladder) runRung(ctx context.Context, sv *core.Solver, g *dag.Graph, cap
 
 // validate runs the realization/repair loop on an LP schedule and refuses
 // any result the simulator cannot certify cap-clean.
-func (l *Ladder) validate(sv *core.Solver, g *dag.Graph, sched *core.Schedule) (*schedule.Realized, error) {
-	ir, err := sv.IR(g)
+func (l *Ladder) validate(ctx context.Context, sv *core.Solver, g *dag.Graph, sched *core.Schedule) (*schedule.Realized, error) {
+	ir, err := sv.IRCtx(ctx, g)
 	if err != nil {
 		return nil, err
 	}
 	opts := schedule.DefaultOptions()
 	opts.MaxRepairs = l.cfg.MaxRepairs
-	return schedule.Realize(ir, sched, schedule.Down, opts)
+	return schedule.RealizeCtx(ctx, ir, sched, schedule.Down, opts)
 }
 
 // rungContext carves the rung's deadline slice out of the parent's

@@ -247,7 +247,7 @@ func TestHeuristicRungsCapSafe(t *testing.T) {
 	l := New(Config{Sleep: noSleep})
 	for _, g := range []*dag.Graph{smallGraph(), bigGraph()} {
 		for _, slackAware := range []bool{true, false} {
-			sched, realized, err := l.heuristicRung(sv, g, 80*float64(g.NumRanks)/2, slackAware)
+			sched, realized, err := l.heuristicRung(context.Background(), sv, g, 80*float64(g.NumRanks)/2, slackAware)
 			if err != nil {
 				t.Fatalf("slackAware=%v: %v", slackAware, err)
 			}

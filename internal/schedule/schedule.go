@@ -32,12 +32,14 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"powercap/internal/core"
 	"powercap/internal/dag"
 	"powercap/internal/machine"
+	"powercap/internal/obs"
 	"powercap/internal/problem"
 	"powercap/internal/sim"
 )
@@ -117,6 +119,25 @@ type Realized struct {
 // strategy and validates it on the simulator. The IR must be the one the
 // schedule was solved from (same graph and frontiers).
 func Realize(ir *problem.IR, sched *core.Schedule, strat Strategy, opts Options) (*Realized, error) {
+	return RealizeCtx(context.Background(), ir, sched, strat, opts)
+}
+
+// RealizeCtx is Realize recorded as a schedule.realize obs span, with each
+// simulator validation (sim.evaluate) and the repair loop (schedule.repair)
+// nested under it.
+func RealizeCtx(ctx context.Context, ir *problem.IR, sched *core.Schedule, strat Strategy, opts Options) (*Realized, error) {
+	ctx, span := obs.Start(ctx, "schedule.realize")
+	defer span.End()
+	span.SetAttr("strategy", string(strat))
+	r, err := realize(ctx, ir, sched, strat, opts)
+	if err == nil {
+		span.SetAttr("repairs", r.Repairs)
+		span.SetAttr("bound_gap_pct", r.BoundGapPct)
+	}
+	return r, err
+}
+
+func realize(ctx context.Context, ir *problem.IR, sched *core.Schedule, strat Strategy, opts Options) (*Realized, error) {
 	g := ir.G
 	if len(sched.Choices) != len(g.Tasks) {
 		return nil, fmt.Errorf("schedule: %d choices for %d tasks", len(sched.Choices), len(g.Tasks))
@@ -177,7 +198,7 @@ func Realize(ir *problem.IR, sched *core.Schedule, strat Strategy, opts Options)
 	// Validate, repairing cap violations by demoting the hottest demotable
 	// task co-active at the worst violation.
 	for {
-		res, err := sim.Evaluate(g, r.Points, sim.SlackHoldsTaskPower, 0)
+		res, err := sim.EvaluateCtx(ctx, g, r.Points, sim.SlackHoldsTaskPower, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -192,7 +213,11 @@ func Realize(ir *problem.IR, sched *core.Schedule, strat Strategy, opts Options)
 			return nil, fmt.Errorf("schedule: %s realization still exceeds cap %.1f W by %.3f W after %d repairs",
 				strat, sched.CapW, r.CapViolationW, r.Repairs)
 		}
-		if !demoteWorst(ir, sched, r, level) {
+		_, rsp := obs.Start(ctx, "schedule.repair")
+		rsp.SetAttr("violation_w", r.CapViolationW)
+		ok := demoteWorst(ir, sched, r, level)
+		rsp.End()
+		if !ok {
 			return nil, fmt.Errorf("schedule: %s realization exceeds cap %.1f W by %.3f W with no demotable task",
 				strat, sched.CapW, r.CapViolationW)
 		}
@@ -261,10 +286,16 @@ func demoteWorst(ir *problem.IR, sched *core.Schedule, r *Realized, level []int)
 // fail (repair budget exhausted) are skipped; an error is returned only when
 // none succeed.
 func RealizeAll(ir *problem.IR, sched *core.Schedule, opts Options) ([]*Realized, error) {
+	return RealizeAllCtx(context.Background(), ir, sched, opts)
+}
+
+// RealizeAllCtx is RealizeAll with obs span parentage for each strategy's
+// realization.
+func RealizeAllCtx(ctx context.Context, ir *problem.IR, sched *core.Schedule, opts Options) ([]*Realized, error) {
 	var out []*Realized
 	var firstErr error
 	for _, strat := range Strategies {
-		r, err := Realize(ir, sched, strat, opts)
+		r, err := RealizeCtx(ctx, ir, sched, strat, opts)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err

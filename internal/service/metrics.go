@@ -3,14 +3,18 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // Observability layer: lock-free counters and latency histograms exposed in
-// a Prometheus-compatible text format at /metrics. Everything is plain
+// a Prometheus-compatible text format at /metrics (with # HELP/# TYPE
+// metadata for every family). Counter and histogram updates are plain
 // atomics — the service's hot path (cache hit) must not take a lock to be
-// counted.
+// counted; only the per-stage histogram registry (fed off the hot path,
+// from harvested obs traces) takes a mutex.
 
 // Metrics aggregates the service's counters and histograms. All fields are
 // safe for concurrent use; read them with atomic loads (or Snapshot).
@@ -60,6 +64,11 @@ type Metrics struct {
 	// CacheErrors counts cache-backend faults (injected or real) that forced
 	// a request to bypass the schedule cache and solve directly.
 	CacheErrors atomic.Uint64
+	// TracedRequests counts requests that asked for (and got) an inline
+	// trace (?trace=1); TraceSpansDropped accumulates spans those traces
+	// discarded at their bound, so truncation is visible fleet-wide.
+	TracedRequests    atomic.Uint64
+	TraceSpansDropped atomic.Uint64
 	// Inflight is the number of API requests currently inside a handler.
 	Inflight atomic.Int64
 
@@ -69,12 +78,51 @@ type Metrics struct {
 	QueueWait      Histogram
 	SolveLatency   Histogram
 	RequestLatency Histogram
+
+	// stages holds per-pipeline-stage latency histograms keyed by obs span
+	// name (lp.phase1, problem.build, resilience.sparse, …), fed by
+	// harvesting each traced request's spans after the handler returns.
+	// The resilience.<rung> entries double as the per-rung ladder latency
+	// histograms.
+	stageMu sync.Mutex
+	stages  map[string]*Histogram
+}
+
+// ObserveStage records one pipeline-stage duration under the stage's span
+// name. Stage names become label values, so only obs span names (a fixed,
+// code-defined vocabulary) should reach here.
+func (m *Metrics) ObserveStage(stage string, d time.Duration) {
+	m.stageMu.Lock()
+	h, ok := m.stages[stage]
+	if !ok {
+		if m.stages == nil {
+			m.stages = make(map[string]*Histogram)
+		}
+		h = &Histogram{}
+		m.stages[stage] = h
+	}
+	m.stageMu.Unlock()
+	h.Observe(d)
+}
+
+// StageNames lists the stages observed so far, sorted.
+func (m *Metrics) StageNames() []string {
+	m.stageMu.Lock()
+	defer m.stageMu.Unlock()
+	names := make([]string, 0, len(m.stages))
+	for n := range m.stages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // latencyBounds are the histogram bucket upper bounds in seconds,
-// log-spaced from 100 µs to 30 s — scheduling solves span from sub-ms
-// (cache hits) to tens of seconds (32-rank cold solves).
+// log-spaced from 5 µs to 30 s — pipeline stages run from microseconds
+// (a cached frontier lookup, one refactorization) through sub-ms cache
+// hits up to tens of seconds (32-rank cold solves).
 var latencyBounds = [...]float64{
+	0.000005, 0.00001, 0.000025, 0.00005,
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
 }
@@ -139,49 +187,91 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return lower
 }
 
-// writeHistogram renders one histogram in Prometheus text format.
+// writeHistogram renders one histogram series in Prometheus text format.
+// labels, when non-empty, is a rendered label pair ("stage=\"lp.solve\"")
+// spliced into every sample of the series (alongside le on buckets).
 func writeHistogram(w io.Writer, name string, h *Histogram) {
+	writeHistogramLabeled(w, name, "", h)
+}
+
+func writeHistogramLabeled(w io.Writer, name, labels string, h *Histogram) {
+	sep := ""
+	if labels != "" {
+		sep = labels + ","
+	}
 	var cum uint64
 	for i, b := range latencyBounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n", name, sep, b, cum)
 	}
 	cum += h.counts[len(latencyBounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, time.Duration(h.sumNS.Load()).Seconds())
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, sep, cum)
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, time.Duration(h.sumNS.Load()).Seconds())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count.Load())
 }
 
-// Render writes every counter and histogram in Prometheus text format.
+// writeMeta emits the # HELP / # TYPE preamble of one metric family.
+func writeMeta(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// Render writes every counter and histogram in Prometheus text format,
+// each family preceded by its # HELP and # TYPE metadata.
 func (m *Metrics) Render(w io.Writer) {
 	counters := []struct {
-		name string
-		v    uint64
+		name, help string
+		v          uint64
 	}{
-		{"pcschedd_requests_total", m.Requests.Load()},
-		{"pcschedd_solves_total", m.Solves.Load()},
-		{"pcschedd_cache_hits_total", m.CacheHits.Load()},
-		{"pcschedd_cache_misses_total", m.CacheMisses.Load()},
-		{"pcschedd_coalesced_total", m.Coalesced.Load()},
-		{"pcschedd_canceled_total", m.Canceled.Load()},
-		{"pcschedd_rejected_total", m.Rejected.Load()},
-		{"pcschedd_bad_requests_total", m.BadRequests.Load()},
-		{"pcschedd_infeasible_total", m.Infeasible.Load()},
-		{"pcschedd_warm_starts_total", m.WarmStarts.Load()},
-		{"pcschedd_pivots_total", m.Pivots.Load()},
-		{"pcschedd_panics_total", m.Panics.Load()},
-		{"pcschedd_degraded_total", m.Degraded.Load()},
-		{"pcschedd_fallback_dense_total", m.FallbackDense.Load()},
-		{"pcschedd_fallback_heuristic_total", m.FallbackHeuristic.Load()},
-		{"pcschedd_fallback_static_total", m.FallbackStatic.Load()},
-		{"pcschedd_solve_retries_total", m.SolveRetries.Load()},
-		{"pcschedd_cache_errors_total", m.CacheErrors.Load()},
+		{"pcschedd_requests_total", "API requests accepted into a handler.", m.Requests.Load()},
+		{"pcschedd_solves_total", "Backend LP solves run to completion.", m.Solves.Load()},
+		{"pcschedd_cache_hits_total", "Requests served without a backend solve (LRU hits plus coalesced).", m.CacheHits.Load()},
+		{"pcschedd_cache_misses_total", "Requests that ran a backend solve.", m.CacheMisses.Load()},
+		{"pcschedd_coalesced_total", "Cache hits that joined an in-flight identical solve.", m.Coalesced.Load()},
+		{"pcschedd_canceled_total", "Requests abandoned by deadline or client disconnect.", m.Canceled.Load()},
+		{"pcschedd_rejected_total", "Admission-control rejections (queue full or draining).", m.Rejected.Load()},
+		{"pcschedd_bad_requests_total", "Malformed requests answered 400.", m.BadRequests.Load()},
+		{"pcschedd_infeasible_total", "Solves that proved the power cap infeasible.", m.Infeasible.Load()},
+		{"pcschedd_warm_starts_total", "LP solves that reused a prior basis.", m.WarmStarts.Load()},
+		{"pcschedd_pivots_total", "Simplex pivots across all backend solves.", m.Pivots.Load()},
+		{"pcschedd_panics_total", "Panics recovered in handlers or solve workers.", m.Panics.Load()},
+		{"pcschedd_degraded_total", "Solve responses served from below the ladder's top rung.", m.Degraded.Load()},
+		{"pcschedd_fallback_dense_total", "Degraded responses produced by the dense LP rung.", m.FallbackDense.Load()},
+		{"pcschedd_fallback_heuristic_total", "Degraded responses produced by the slack-aware heuristic rung.", m.FallbackHeuristic.Load()},
+		{"pcschedd_fallback_static_total", "Degraded responses produced by the static fair-share rung.", m.FallbackStatic.Load()},
+		{"pcschedd_solve_retries_total", "Backoff retries spent on numerical solve failures.", m.SolveRetries.Load()},
+		{"pcschedd_cache_errors_total", "Cache faults that forced a request to bypass the schedule cache.", m.CacheErrors.Load()},
+		{"pcschedd_traced_requests_total", "Requests that returned an inline trace (?trace=1).", m.TracedRequests.Load()},
+		{"pcschedd_trace_spans_dropped_total", "Spans discarded because a request trace hit its span bound.", m.TraceSpansDropped.Load()},
 	}
 	for _, c := range counters {
+		writeMeta(w, c.name, c.help, "counter")
 		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
 	}
+
+	writeMeta(w, "pcschedd_inflight_requests", "API requests currently inside a handler.", "gauge")
 	fmt.Fprintf(w, "pcschedd_inflight_requests %d\n", m.Inflight.Load())
+
+	writeMeta(w, "pcschedd_queue_wait_seconds", "Time spent waiting for a solve worker slot.", "histogram")
 	writeHistogram(w, "pcschedd_queue_wait_seconds", &m.QueueWait)
+	writeMeta(w, "pcschedd_solve_latency_seconds", "Backend solve time alone.", "histogram")
 	writeHistogram(w, "pcschedd_solve_latency_seconds", &m.SolveLatency)
+	writeMeta(w, "pcschedd_request_latency_seconds", "Full handler time, decode to respond.", "histogram")
 	writeHistogram(w, "pcschedd_request_latency_seconds", &m.RequestLatency)
+
+	stages := m.StageNames()
+	if len(stages) > 0 {
+		writeMeta(w, "pcschedd_stage_latency_seconds",
+			"Per-pipeline-stage latency by obs span name (resilience.* entries are the per-rung ladder latencies).",
+			"histogram")
+		for _, name := range stages {
+			m.stageMu.Lock()
+			h := m.stages[name]
+			m.stageMu.Unlock()
+			writeHistogramLabeled(w, "pcschedd_stage_latency_seconds", fmt.Sprintf("stage=%q", name), h)
+		}
+	}
 }

@@ -20,20 +20,29 @@
 //     cancelCheckEvery pivots), and Drain performs a graceful shutdown:
 //     in-flight solves complete and respond, new work is refused.
 //
-//   - Observability. Atomic counters and latency histograms for every
-//     stage (queue wait, solve, full request) are rendered at /metrics;
-//     each request emits one structured log line.
+//   - Observability. Atomic counters and latency histograms (queue wait,
+//     solve, full request, and per-pipeline-stage) are rendered at /metrics
+//     with full # HELP/# TYPE metadata. Every API request runs under a
+//     bounded obs trace whose spans are harvested into the stage histograms
+//     after the handler returns; ?trace=1 additionally inlines the Chrome
+//     trace-event document in the JSON response. Each request gets a
+//     generated request ID — echoed in the X-Request-Id header, the
+//     response body, and the one structured (log/slog) access-log line it
+//     emits — and /debug/pprof exposes the runtime profiles.
 package service
 
 import (
 	"context"
+	"crypto/rand"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
 	"slices"
@@ -43,6 +52,7 @@ import (
 
 	"powercap"
 	"powercap/internal/faultinject"
+	"powercap/internal/obs"
 	"powercap/internal/trace"
 )
 
@@ -65,8 +75,13 @@ type Config struct {
 	// Resilience tunes the fallback ladder every pooled System solves
 	// through (zero value = defaults: see resilience.Config).
 	Resilience powercap.ResilienceConfig
+	// TraceSpanLimit bounds the spans a single request's trace retains
+	// before dropping (default obs.DefaultMaxSpans); droppedSpans in the
+	// inline document and pcschedd_trace_spans_dropped_total report the
+	// overflow.
+	TraceSpanLimit int
 	// Log receives one structured line per request (nil = discard).
-	Log *log.Logger
+	Log *slog.Logger
 }
 
 // Server is the scheduling service; it implements http.Handler and is safe
@@ -78,7 +93,8 @@ type Server struct {
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
 	resilience     powercap.ResilienceConfig
-	logger         *log.Logger
+	traceSpanLimit int
+	logger         *slog.Logger
 
 	metrics Metrics
 	cache   *cache
@@ -121,6 +137,9 @@ func New(cfg Config) *Server {
 	if cfg.Model == nil {
 		cfg.Model = powercap.DefaultModel()
 	}
+	if cfg.TraceSpanLimit <= 0 {
+		cfg.TraceSpanLimit = obs.DefaultMaxSpans
+	}
 	s := &Server{
 		model:          cfg.Model,
 		workers:        cfg.Workers,
@@ -128,6 +147,7 @@ func New(cfg Config) *Server {
 		defaultTimeout: cfg.DefaultTimeout,
 		maxTimeout:     cfg.MaxTimeout,
 		resilience:     cfg.Resilience,
+		traceSpanLimit: cfg.TraceSpanLimit,
 		logger:         cfg.Log,
 		cache:          newCache(cfg.CacheSize),
 		sem:            make(chan struct{}, cfg.Workers),
@@ -139,6 +159,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/compare", s.api(s.handleCompare))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Runtime profiles on the service mux (the daemon does not use
+	// http.DefaultServeMux, so the net/http/pprof side-effect registration
+	// alone would be unreachable). Index serves the named profiles (heap,
+	// goroutine, block, …) under the subtree.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
 }
 
@@ -217,8 +246,31 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// requestIDKey carries the generated request ID in the request context.
+type requestIDKey struct{}
+
+// reqSeq backs newRequestID if the system entropy source ever fails.
+var reqSeq atomic.Uint64
+
+// newRequestID returns a fresh 16-hex-digit request identifier.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("seq-%012x", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RequestIDFrom returns the request ID generated for this request, or ""
+// outside an api-wrapped handler.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
 // api wraps an API handler with lifecycle tracking, drain rejection, panic
-// containment, request metrics, and the structured request log.
+// containment, request identity, per-request tracing, request metrics, and
+// the structured access log.
 func (s *Server) api(h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -239,6 +291,21 @@ func (s *Server) api(h func(http.ResponseWriter, *http.Request)) http.HandlerFun
 		s.metrics.Inflight.Add(1)
 		defer s.metrics.Inflight.Add(-1)
 
+		// Request identity: generated before decode, attached to the
+		// context, echoed in the response header (so even error responses
+		// carry it) and in the JSON body, and stamped on the access line.
+		reqID := newRequestID()
+		w.Header().Set("X-Request-Id", reqID)
+		ctx := context.WithValue(r.Context(), requestIDKey{}, reqID)
+
+		// Every request solves under a bounded trace; the spans feed the
+		// per-stage latency histograms once the handler returns, and
+		// ?trace=1 responses inline the document. Coalesced waiters share
+		// the leader's solve, so only the leader's trace sees solve spans.
+		tr := obs.NewTrace(s.traceSpanLimit)
+		ctx = obs.WithTrace(ctx, tr)
+		r = r.WithContext(ctx)
+
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
 		func() {
@@ -250,7 +317,10 @@ func (s *Server) api(h func(http.ResponseWriter, *http.Request)) http.HandlerFun
 					s.metrics.Panics.Add(1)
 					rec.status = http.StatusInternalServerError
 					if s.logger != nil {
-						s.logger.Printf("panic recovered: %v\n%s", p, debug.Stack())
+						s.logger.Error("panic recovered",
+							"request_id", reqID,
+							"panic", fmt.Sprint(p),
+							"stack", string(debug.Stack()))
 					}
 					if !rec.wrote {
 						writeError(rec, http.StatusInternalServerError,
@@ -261,11 +331,28 @@ func (s *Server) api(h func(http.ResponseWriter, *http.Request)) http.HandlerFun
 			h(rec, r)
 		}()
 
+		// Harvest the request's spans into the per-stage histograms. The
+		// leader's fn runs on this goroutine (cache.DoMaybe), so no solve
+		// can still be writing spans here; Release after harvesting restores
+		// the obs disabled fast path once no other request is in flight.
+		for _, sr := range tr.Snapshot() {
+			s.metrics.ObserveStage(sr.Name, time.Duration(sr.DurNS))
+		}
+		if d := tr.Dropped(); d > 0 {
+			s.metrics.TraceSpansDropped.Add(uint64(d))
+		}
+		tr.Release()
+
 		dur := time.Since(start)
 		s.metrics.RequestLatency.Observe(dur)
 		if s.logger != nil {
-			s.logger.Printf("method=%s path=%s status=%d dur_ms=%.2f remote=%s",
-				r.Method, r.URL.Path, rec.status, float64(dur)/float64(time.Millisecond), r.RemoteAddr)
+			s.logger.Info("request",
+				"request_id", reqID,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"dur_ms", float64(dur)/float64(time.Millisecond),
+				"remote", r.RemoteAddr)
 		}
 	}
 }
@@ -350,7 +437,9 @@ type StatsJSON struct {
 	Refactorizations int `json:"refactorizations"`
 }
 
-func statsJSON(st powercap.SolverStats) *StatsJSON {
+// NewStatsJSON converts solver stats to the response schema (shared with
+// pcsched -json so CLI and service report identical effort numbers).
+func NewStatsJSON(st powercap.SolverStats) *StatsJSON {
 	return &StatsJSON{
 		Solves:           st.Solves,
 		SimplexPivots:    st.SimplexIter,
@@ -371,7 +460,8 @@ type RealizedJSON struct {
 	Switches      int     `json:"switches"`
 }
 
-func realizedJSON(r *powercap.RealizedSchedule) *RealizedJSON {
+// NewRealizedJSON converts a realized schedule to the response schema.
+func NewRealizedJSON(r *powercap.RealizedSchedule) *RealizedJSON {
 	return &RealizedJSON{
 		Strategy:      string(r.Strategy),
 		MakespanS:     r.MakespanS,
@@ -385,6 +475,10 @@ func realizedJSON(r *powercap.RealizedSchedule) *RealizedJSON {
 
 // SolveResponse reports one solved (or provably infeasible) schedule.
 type SolveResponse struct {
+	// RequestID is the server-generated identifier for this request, also
+	// sent as the X-Request-Id response header and logged on the access
+	// line — quote it when reporting a problem.
+	RequestID   string  `json:"request_id,omitempty"`
 	Key         string  `json:"key"`
 	GraphDigest string  `json:"graph_digest"`
 	Workload    string  `json:"workload,omitempty"`
@@ -413,6 +507,12 @@ type SolveResponse struct {
 	// identical solve rather than a fresh backend run.
 	Cached    bool    `json:"cached"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// Trace is the request's Chrome trace-event document, inlined when the
+	// request asked for it with ?trace=1; load it in chrome://tracing or
+	// Perfetto. Its droppedSpans field is non-zero when the span bound
+	// truncated it. Cache hits carry few or no spans (there was no solve).
+	Trace *obs.Document `json:"trace,omitempty"`
 }
 
 // solveOutcome is the cached value for a solve key: a schedule (with its
@@ -436,7 +536,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
-	g, eff, name, err := resolveGraph(req.Trace, req.Workload)
+	g, eff, name, err := resolveGraph(r.Context(), req.Trace, req.Workload)
 	if err != nil {
 		s.badRequest(w, err)
 		return
@@ -503,6 +603,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := &SolveResponse{
+		RequestID:   RequestIDFrom(r.Context()),
 		Key:         key,
 		GraphDigest: powercap.GraphDigest(g),
 		Workload:    name,
@@ -516,16 +617,38 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		resp.MakespanS = out.sched.MakespanS
 		resp.MarginalSecPerW = out.sched.MarginalSecPerW
 		resp.IterationMakespans = out.sched.IterationMakespans
-		resp.Stats = statsJSON(out.sched.Stats)
+		resp.Stats = NewStatsJSON(out.sched.Stats)
 		resp.Degraded = out.degraded
 		resp.DegradedRung = out.rung
 		resp.DegradedReason = out.reason
 		resp.SolveRetries = out.retries
 		if out.realized != nil {
-			resp.Realized = realizedJSON(out.realized)
+			resp.Realized = NewRealizedJSON(out.realized)
 		}
 	}
+	resp.Trace = s.inlineTrace(r)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// inlineTrace builds the Chrome trace document for a ?trace=1 request (nil
+// otherwise). Snapshot is a copy, so the harvest in api() still sees every
+// span.
+func (s *Server) inlineTrace(r *http.Request) *obs.Document {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true":
+	default:
+		return nil
+	}
+	tr := obs.FromContext(r.Context())
+	if tr == nil {
+		return nil
+	}
+	s.metrics.TracedRequests.Add(1)
+	return &obs.Document{
+		TraceEvents:     obs.ChromeEvents(tr.Snapshot()),
+		DisplayTimeUnit: "ms",
+		DroppedSpans:    tr.Dropped(),
+	}
 }
 
 // solveWorker runs one resilient solve on a worker slot. A panic anywhere in
@@ -542,7 +665,10 @@ func (s *Server) solveWorker(ctx context.Context, sys *powercap.System, g *power
 		if p := recover(); p != nil {
 			s.metrics.Panics.Add(1)
 			if s.logger != nil {
-				s.logger.Printf("solve panic recovered: %v\n%s", p, debug.Stack())
+				s.logger.Error("solve panic recovered",
+					"request_id", RequestIDFrom(ctx),
+					"panic", fmt.Sprint(p),
+					"stack", string(debug.Stack()))
 			}
 			out, err = nil, fmt.Errorf("%w: %v", errSolvePanic, p)
 		}
@@ -571,7 +697,7 @@ func (s *Server) solveWorker(ctx context.Context, sys *powercap.System, g *power
 		retries:  res.Retries,
 	}
 	if req.Realize != "" && !res.Degraded {
-		out.realized, serr = sys.RealizeSchedule(g, res.Schedule, req.Realize)
+		out.realized, serr = sys.RealizeScheduleCtx(ctx, g, res.Schedule, req.Realize)
 		if serr != nil {
 			return nil, serr
 		}
@@ -616,11 +742,14 @@ type SweepPointJSON struct {
 
 // SweepResponse reports a warm-started sweep.
 type SweepResponse struct {
+	RequestID   string           `json:"request_id,omitempty"`
 	Workload    string           `json:"workload,omitempty"`
 	GraphDigest string           `json:"graph_digest"`
 	Points      []SweepPointJSON `json:"points"`
 	Stats       *StatsJSON       `json:"stats,omitempty"`
 	ElapsedMS   float64          `json:"elapsed_ms"`
+	// Trace is inlined for ?trace=1 requests (see SolveResponse.Trace).
+	Trace *obs.Document `json:"trace,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -630,7 +759,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
-	g, eff, name, err := resolveGraph(req.Trace, req.Workload)
+	g, eff, name, err := resolveGraph(r.Context(), req.Trace, req.Workload)
 	if err != nil {
 		s.badRequest(w, err)
 		return
@@ -684,7 +813,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp := &SweepResponse{Workload: name, GraphDigest: powercap.GraphDigest(g)}
+	resp := &SweepResponse{
+		RequestID:   RequestIDFrom(r.Context()),
+		Workload:    name,
+		GraphDigest: powercap.GraphDigest(g),
+	}
 	var agg powercap.SolverStats
 	for i, pt := range pts {
 		pj := SweepPointJSON{PerSocketW: perSocket[i], JobCapW: pt.CapW}
@@ -705,8 +838,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.WarmStarts.Add(uint64(agg.WarmStarts))
 	s.metrics.Pivots.Add(uint64(agg.SimplexIter))
-	resp.Stats = statsJSON(agg)
+	resp.Stats = NewStatsJSON(agg)
 	resp.ElapsedMS = msSince(start)
+	resp.Trace = s.inlineTrace(r)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -723,6 +857,7 @@ type CompareRequest struct {
 // CompareResponse wraps a powercap.Comparison; cmd/pcsched -json emits the
 // same schema, so service and CLI output are interchangeable.
 type CompareResponse struct {
+	RequestID  string              `json:"request_id,omitempty"`
 	Comparison powercap.Comparison `json:"comparison"`
 	Cached     bool                `json:"cached"`
 	ElapsedMS  float64             `json:"elapsed_ms"`
@@ -778,6 +913,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	s.countHit(how)
 	writeJSON(w, http.StatusOK, &CompareResponse{
+		RequestID:  RequestIDFrom(r.Context()),
 		Comparison: *val.(*powercap.Comparison),
 		Cached:     how != hitMiss,
 		ElapsedMS:  msSince(start),
@@ -835,6 +971,19 @@ func breakerRank(state string) int {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.Render(w)
+	// Process-level gauges live here rather than in Metrics: they are
+	// read from the runtime and the server, not accumulated.
+	writeMeta(w, "pcschedd_goroutines", "Live goroutines in the daemon process.", "gauge")
+	fmt.Fprintf(w, "pcschedd_goroutines %d\n", runtime.NumGoroutine())
+	writeMeta(w, "pcschedd_cache_entries", "Finished schedules resident in the LRU.", "gauge")
+	fmt.Fprintf(w, "pcschedd_cache_entries %d\n", s.cache.Len())
+	s.sysMu.Lock()
+	pooled := len(s.sysPool)
+	s.sysMu.Unlock()
+	writeMeta(w, "pcschedd_systems_pooled", "powercap.System instances pooled by efficiency-scale vector.", "gauge")
+	fmt.Fprintf(w, "pcschedd_systems_pooled %d\n", pooled)
+	writeMeta(w, "pcschedd_build_info", "Build metadata as labels; the value is always 1.", "gauge")
+	fmt.Fprintf(w, "pcschedd_build_info{go_version=%q} 1\n", runtime.Version())
 }
 
 // countHit records the cache outcome of a successful lookup.
@@ -875,7 +1024,7 @@ func (s *Server) badRequest(w http.ResponseWriter, err error) {
 // Malformed input that slips past the codec's structural checks and panics
 // in graph construction is converted into an error here, so it surfaces as
 // a 400 instead of a dead worker.
-func resolveGraph(tf *trace.File, ws *WorkloadSpec) (g *powercap.Graph, eff []float64, name string, err error) {
+func resolveGraph(ctx context.Context, tf *trace.File, ws *WorkloadSpec) (g *powercap.Graph, eff []float64, name string, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			g, eff, name = nil, nil, ""
@@ -886,7 +1035,7 @@ func resolveGraph(tf *trace.File, ws *WorkloadSpec) (g *powercap.Graph, eff []fl
 	case tf != nil && ws != nil:
 		return nil, nil, "", errors.New("give either trace or workload, not both")
 	case tf != nil:
-		g, eff, err := trace.Decode(tf)
+		g, eff, err := trace.DecodeCtx(ctx, tf)
 		if err != nil {
 			return nil, nil, "", err
 		}

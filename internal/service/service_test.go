@@ -5,7 +5,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -524,31 +523,6 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
-// TestMetricsRenderParseable: every line /metrics emits must be of the form
-// "name value".
-func TestMetricsRenderParseable(t *testing.T) {
-	var m Metrics
-	m.Requests.Add(3)
-	m.QueueWait.Observe(time.Millisecond)
-	var buf bytes.Buffer
-	m.Render(&buf)
-	out := buf.String()
-	sc := bufio.NewScanner(strings.NewReader(out))
-	lines := 0
-	for sc.Scan() {
-		lines++
-		fields := strings.Fields(sc.Text())
-		if len(fields) != 2 {
-			t.Fatalf("bad metrics line %q", sc.Text())
-		}
-		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
-			t.Fatalf("bad metric value in %q", sc.Text())
-		}
-	}
-	if lines < 12 {
-		t.Fatalf("only %d metric lines", lines)
-	}
-	if !strings.Contains(out, fmt.Sprintf("pcschedd_requests_total %d", 3)) {
-		t.Error("requests counter missing from render")
-	}
-}
+// The Prometheus exposition conformance test for the full /metrics output
+// lives in metrics_test.go (TestMetricsConformance), along with the
+// Histogram boundary tests.

@@ -12,11 +12,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"powercap/internal/dag"
+	"powercap/internal/obs"
 )
 
 // TaskPoint is the operating point chosen for one task: its duration and
@@ -80,6 +82,16 @@ type PowerSample struct {
 // idlePowerW is used only under SlackIdle (per-rank idle draw). The points
 // slice must have one entry per task in g.
 func Evaluate(g *dag.Graph, points []TaskPoint, slack SlackPolicy, idlePowerW float64) (*Result, error) {
+	return EvaluateCtx(context.Background(), g, points, slack, idlePowerW)
+}
+
+// EvaluateCtx is Evaluate recorded as a sim.evaluate obs span under ctx
+// (parentage only; the simulation itself is not cancelable — it is a single
+// linear sweep).
+func EvaluateCtx(ctx context.Context, g *dag.Graph, points []TaskPoint, slack SlackPolicy, idlePowerW float64) (*Result, error) {
+	_, span := obs.Start(ctx, "sim.evaluate")
+	defer span.End()
+	span.SetAttr("tasks", len(g.Tasks))
 	if len(points) != len(g.Tasks) {
 		return nil, fmt.Errorf("sim: %d points for %d tasks", len(points), len(g.Tasks))
 	}

@@ -12,12 +12,14 @@
 package trace
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 
 	"powercap/internal/dag"
 	"powercap/internal/machine"
+	"powercap/internal/obs"
 )
 
 // FormatVersion identifies the trace schema; bump on incompatible change.
@@ -130,6 +132,16 @@ func Encode(name string, g *dag.Graph, effScale []float64) *File {
 
 // Decode reconstructs the graph from a File, validating structure.
 func Decode(f *File) (*dag.Graph, []float64, error) {
+	return DecodeCtx(context.Background(), f)
+}
+
+// DecodeCtx is Decode recorded as a trace.decode obs span (with the graph
+// validation nested under it as dag.validate).
+func DecodeCtx(ctx context.Context, f *File) (*dag.Graph, []float64, error) {
+	ctx, span := obs.Start(ctx, "trace.decode")
+	defer span.End()
+	span.SetAttr("vertices", len(f.Vertices))
+	span.SetAttr("tasks", len(f.Tasks))
 	if f.Version != FormatVersion {
 		return nil, nil, fmt.Errorf("trace: unsupported version %d (want %d)", f.Version, FormatVersion)
 	}
@@ -186,7 +198,7 @@ func Decode(f *File) (*dag.Graph, []float64, error) {
 		}
 		g.Tasks = append(g.Tasks, t)
 	}
-	if err := g.Validate(); err != nil {
+	if err := g.ValidateCtx(ctx); err != nil {
 		return nil, nil, fmt.Errorf("trace: decoded graph invalid: %w", err)
 	}
 	return g, f.EffScale, nil
@@ -201,11 +213,19 @@ func Write(w io.Writer, name string, g *dag.Graph, effScale []float64) error {
 
 // Read parses a JSON trace and reconstructs the graph.
 func Read(r io.Reader) (*dag.Graph, []float64, error) {
+	return ReadCtx(context.Background(), r)
+}
+
+// ReadCtx is Read recorded as a trace.parse obs span, with the structural
+// decode (and its dag.validate) nested under it.
+func ReadCtx(ctx context.Context, r io.Reader) (*dag.Graph, []float64, error) {
+	ctx, span := obs.Start(ctx, "trace.parse")
+	defer span.End()
 	var f File
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&f); err != nil {
 		return nil, nil, fmt.Errorf("trace: %w", err)
 	}
-	return Decode(&f)
+	return DecodeCtx(ctx, &f)
 }

@@ -49,13 +49,20 @@ func RealizeStrategies() []string {
 // problem IR is reused from the System's solver cache, so realizing after a
 // solve costs no rebuild.
 func (s *System) RealizeSchedule(g *Graph, sched *Schedule, strategy string) (*RealizedSchedule, error) {
-	ir, err := s.solver().IR(g)
+	return s.RealizeScheduleCtx(context.Background(), g, sched, strategy)
+}
+
+// RealizeScheduleCtx is RealizeSchedule with obs span parentage: the
+// realization, its simulator validations, and any repairs record as spans
+// under ctx.
+func (s *System) RealizeScheduleCtx(ctx context.Context, g *Graph, sched *Schedule, strategy string) (*RealizedSchedule, error) {
+	ir, err := s.solver().IRCtx(ctx, g)
 	if err != nil {
 		return nil, err
 	}
 	opts := schedule.DefaultOptions()
 	if strategy == RealizeBest {
-		rs, err := schedule.RealizeAll(ir, sched, opts)
+		rs, err := schedule.RealizeAllCtx(ctx, ir, sched, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -65,7 +72,7 @@ func (s *System) RealizeSchedule(g *Graph, sched *Schedule, strategy string) (*R
 	if err != nil {
 		return nil, err
 	}
-	return schedule.Realize(ir, sched, strat, opts)
+	return schedule.RealizeCtx(ctx, ir, sched, strat, opts)
 }
 
 // RealizeAll realizes a solved schedule under every strategy (nearest,
@@ -100,7 +107,7 @@ func (s *System) SolveRealizedCtx(ctx context.Context, g *Graph, jobCapW float64
 	if err != nil {
 		return nil, nil, err
 	}
-	realized, err := s.RealizeSchedule(g, sched, strategy)
+	realized, err := s.RealizeScheduleCtx(ctx, g, sched, strategy)
 	if err != nil {
 		return nil, nil, err
 	}
