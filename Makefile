@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve-smoke realization-smoke chaos-smoke fuzz-smoke obs-smoke check
+.PHONY: all build vet test race bench serve-smoke realization-smoke chaos-smoke fuzz-smoke obs-smoke scale-smoke check
 
 all: check
 
@@ -17,8 +17,10 @@ vet:
 test:
 	$(GO) test ./...
 
+# The race detector is 10-20× on a 1-CPU runner; internal/core alone runs
+# ~11 min there, past go test's default 10m per-package timeout.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Sweep/solver benchmarks only (fast smoke: one iteration each).
 bench:
@@ -53,6 +55,15 @@ obs-smoke:
 	$(GO) test -race -count=1 ./internal/obs/
 	$(GO) test -run TestObsSmoke -count=1 -v ./cmd/pcschedd/
 
+# Large-trace path smoke: race-detected runs of the coarsening, windowed
+# decomposition, and synthetic-generator tests (including the property that
+# windowing alone never beats the monolithic bound), then a shrunken
+# end-to-end scale exhibit (gap ladder + a monolithic-breakdown size).
+scale-smoke:
+	$(GO) test -race -count=1 ./internal/coarsen/
+	$(GO) test -race -count=1 -run 'TestWindowed|TestSynthetic' ./internal/core/ ./internal/workloads/
+	$(GO) test -run TestScaleExhibitSmoke -count=1 -v ./cmd/experiments/
+
 # Bounded fuzz sessions over the trace parser and the canonical DAG digest
 # (the content-addressing the schedule cache rests on). Seeds are checked in
 # via f.Add; 5s each keeps the gate fast while still exploring.
@@ -60,4 +71,4 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzRead -fuzztime 5s ./internal/trace/
 	$(GO) test -run xxx -fuzz FuzzDigest -fuzztime 5s ./internal/dag/
 
-check: vet build race serve-smoke realization-smoke chaos-smoke obs-smoke fuzz-smoke
+check: vet build race serve-smoke realization-smoke chaos-smoke obs-smoke scale-smoke fuzz-smoke

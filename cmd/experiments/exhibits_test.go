@@ -69,3 +69,24 @@ func TestFig2GraphValidates(t *testing.T) {
 		t.Fatalf("fig2 graph has %d tasks, want 6", len(g.Tasks))
 	}
 }
+
+// TestScaleExhibitSmoke runs the windowed-scaling exhibit at a tiny size:
+// one ladder point plus a small headline point, the monolithic LP given
+// its budget, and a two-worker thread sweep.
+func TestScaleExhibitSmoke(t *testing.T) {
+	cfg := tinyConfig()
+	sz := scaleSizes{
+		ranks:        2,
+		ladder:       []int{300},
+		large:        800,
+		threadEvents: 800,
+		threads:      []int{1, 2},
+		perSocketW:   50,
+		coarsenEps:   2e-3,
+		monoBudgetX:  10,
+		minBudgetS:   60,
+	}
+	if err := runScaleSized(cfg, sz); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,7 +8,7 @@
 //
 // Exhibits: fig1 table1 fig2 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 // fig15 table3 validate configsel overheads solver service realization
-// resilience observability summary all.
+// resilience observability scale summary all.
 //
 // Absolute numbers depend on the simulated machine model; the shapes (who
 // wins, by how much, where the crossovers fall) are the reproduction
@@ -46,31 +46,32 @@ func main() {
 	}
 
 	exhibits := map[string]func(config) error{
-		"fig1":        runFig1,
-		"table1":      runTable1,
-		"fig2":        runFig2,
-		"fig3":        runFig3,
-		"fig8":        runFig8,
-		"fig9":        runFig9,
-		"fig10":       runFig10,
-		"fig11":       func(c config) error { return runBenchFigure(c, "CoMD", "Figure 11") },
-		"fig13":       func(c config) error { return runBenchFigure(c, "BT", "Figure 13") },
-		"fig14":       func(c config) error { return runBenchFigure(c, "SP", "Figure 14") },
-		"fig15":       func(c config) error { return runBenchFigure(c, "LULESH", "Figure 15") },
-		"fig12":       runFig12,
-		"table3":      runTable3,
-		"overheads":   runOverheads,
-		"summary":     runSummary,
-		"validate":    runValidate,
-		"configsel":   runConfigSel,
-		"solver":      runSolver,
-		"service":     runService,
+		"fig1":          runFig1,
+		"table1":        runTable1,
+		"fig2":          runFig2,
+		"fig3":          runFig3,
+		"fig8":          runFig8,
+		"fig9":          runFig9,
+		"fig10":         runFig10,
+		"fig11":         func(c config) error { return runBenchFigure(c, "CoMD", "Figure 11") },
+		"fig13":         func(c config) error { return runBenchFigure(c, "BT", "Figure 13") },
+		"fig14":         func(c config) error { return runBenchFigure(c, "SP", "Figure 14") },
+		"fig15":         func(c config) error { return runBenchFigure(c, "LULESH", "Figure 15") },
+		"fig12":         runFig12,
+		"table3":        runTable3,
+		"overheads":     runOverheads,
+		"summary":       runSummary,
+		"validate":      runValidate,
+		"configsel":     runConfigSel,
+		"solver":        runSolver,
+		"service":       runService,
 		"realization":   runRealization,
 		"resilience":    runResilience,
 		"observability": runObservability,
+		"scale":         runScale,
 	}
 	order := []string{"fig1", "table1", "fig2", "fig3", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "service", "realization", "resilience", "observability", "summary"}
+		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "service", "realization", "resilience", "observability", "scale", "summary"}
 
 	var todo []string
 	for _, a := range args {

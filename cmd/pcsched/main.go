@@ -61,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		workers  = fs.Int("workers", 1, "parallel sweep workers (contiguous cap chunks; only with -sweep)")
 		realize  = fs.String("realize", "", "realize the LP schedule as an executable one: nearest, down, replay, or best (simulator-validated, reported with its bound gap)")
 		traceOut = fs.String("trace", "", "write the pipeline spans of this run as Chrome trace-event JSON to FILE (chrome://tracing / Perfetto)")
+		windows  = fs.Int("windows", 0, "solve by windowed decomposition with this many event windows (> 1; the large-trace path, see DESIGN.md §12)")
+		coarsen  = fs.Float64("coarsen-eps", 0, "merge same-rank compute chains below this many seconds of work before solving (windowed path; 0 disables)")
+		events   = fs.Int("events", 0, "use a synthetic Zipf trace with this many events instead of -workload (the large-trace generator)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,11 +89,18 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}()
 	}
 
-	w, err := powercap.WorkloadByName(*name, powercap.WorkloadParams{
-		Ranks: *ranks, Iterations: *iters, Seed: *seed, WorkScale: *scale,
-	})
-	if err != nil {
-		return err
+	var w *powercap.Workload
+	if *events > 0 {
+		w = powercap.SyntheticWorkload(powercap.SynthParams{
+			Ranks: *ranks, Events: *events, Seed: *seed, WorkScale: *scale,
+		})
+	} else {
+		w, err = powercap.WorkloadByName(*name, powercap.WorkloadParams{
+			Ranks: *ranks, Iterations: *iters, Seed: *seed, WorkScale: *scale,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	sys := powercap.SystemFor(w, nil)
 	jobCap := *capW * float64(*ranks)
@@ -103,7 +113,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		case "all":
 			return runCompareJSON(sys, w, *capW, stdout)
 		case "lp":
-			return runSolveJSON(sys, w, jobCap, *realize, stdout)
+			return runSolveJSON(sys, w, jobCap, *realize, *windows, *coarsen, stdout)
 		default:
 			return errors.New("-json requires -policy all or -policy lp")
 		}
@@ -140,16 +150,35 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			res.TotalS, res.MeasuredS, res.Reallocations, res.MisIdentified)
 	}
 	if runLP {
-		sched, err := sys.UpperBound(w.Graph, jobCap)
-		if err != nil {
-			if errors.Is(err, powercap.ErrInfeasible) {
-				fmt.Fprintf(stdout, "LP: infeasible at %.0f W per socket\n", *capW)
-				return nil
+		var sched *powercap.Schedule
+		if *windows > 1 || *coarsen > 0 {
+			ws, err := sys.SolveWindowed(w.Graph, jobCap, powercap.WindowedOptions{
+				Windows: *windows, OverlapEvents: -1, CoarsenEps: *coarsen,
+			})
+			if err != nil {
+				if errors.Is(err, powercap.ErrInfeasible) {
+					fmt.Fprintf(stdout, "LP: infeasible at %.0f W per socket\n", *capW)
+					return nil
+				}
+				return err
 			}
-			return err
+			sched = ws.Schedule
+			fmt.Fprintf(stdout, "LP bound:  %.3f s windowed (%d windows, %d tasks merged; %d speculative + %d commit solves, %.0f%% warm-start hits, %d escalations; seam excess %.2g W, simulated %.3f s)\n",
+				ws.MakespanS, ws.Windows, ws.MergedTasks, ws.SpeculativeSolves, ws.CommitSolves,
+				ws.WarmStartRate()*100, ws.Escalations, ws.SeamViolationW, ws.SimMakespanS)
+		} else {
+			var err error
+			sched, err = sys.UpperBound(w.Graph, jobCap)
+			if err != nil {
+				if errors.Is(err, powercap.ErrInfeasible) {
+					fmt.Fprintf(stdout, "LP: infeasible at %.0f W per socket\n", *capW)
+					return nil
+				}
+				return err
+			}
+			fmt.Fprintf(stdout, "LP bound:  %.3f s (%d LP solves, %d simplex pivots)\n",
+				sched.MakespanS, sched.Stats.Solves, sched.Stats.SimplexIter)
 		}
-		fmt.Fprintf(stdout, "LP bound:  %.3f s (%d LP solves, %d simplex pivots)\n",
-			sched.MakespanS, sched.Stats.Solves, sched.Stats.SimplexIter)
 
 		printScheduleSummary(stdout, w, sched)
 
@@ -191,14 +220,27 @@ func runCompareJSON(sys *powercap.System, w *powercap.Workload, perSocketW float
 // service's /v1/solve response schema — same cache key, graph digest, and
 // solver-effort stats block the daemon reports for the identical request,
 // so CLI and service numbers can be diffed directly.
-func runSolveJSON(sys *powercap.System, w *powercap.Workload, jobCap float64, realize string, stdout io.Writer) error {
+func runSolveJSON(sys *powercap.System, w *powercap.Workload, jobCap float64, realize string, windows int, coarsenEps float64, stdout io.Writer) error {
 	resp := &service.SolveResponse{
-		Key:         sys.ScheduleKey(w.Graph, jobCap, false, realize),
+		Key:         sys.ScheduleKey(w.Graph, jobCap, false, realize, windows, coarsenEps),
 		GraphDigest: powercap.GraphDigest(w.Graph),
 		Workload:    w.Name,
 		JobCapW:     jobCap,
 	}
-	sched, err := sys.UpperBound(w.Graph, jobCap)
+	var sched *powercap.Schedule
+	var err error
+	if windows > 1 || coarsenEps > 0 {
+		var ws *powercap.WindowedSchedule
+		ws, err = sys.SolveWindowed(w.Graph, jobCap, powercap.WindowedOptions{
+			Windows: windows, OverlapEvents: -1, CoarsenEps: coarsenEps,
+		})
+		if err == nil {
+			sched = ws.Schedule
+			resp.Windowed = service.NewWindowedJSON(ws)
+		}
+	} else {
+		sched, err = sys.UpperBound(w.Graph, jobCap)
+	}
 	if err != nil {
 		if !errors.Is(err, powercap.ErrInfeasible) {
 			return err

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"powercap/internal/core"
 	"powercap/internal/dag"
@@ -40,6 +41,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pctrace gen  -workload <name> [-ranks N] [-iters N] [-seed N] [-scale F] [-o file]
+  pctrace gen  -events N [-ranks N] [-zipf S] [-seed N] [-scale F] [-o file]   (synthetic Zipf trace)
   pctrace info  <trace.json>
   pctrace solve -cap <W/socket> <trace.json>`)
 	os.Exit(2)
@@ -47,17 +49,27 @@ func usage() {
 
 func cmdGen(args []string) {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
-	name := fs.String("workload", "CoMD", "workload name")
+	name := fs.String("workload", "CoMD", "workload name, or \"synthetic\" for the Zipf large-trace generator")
 	ranks := fs.Int("ranks", 8, "MPI ranks")
-	iters := fs.Int("iters", 6, "iterations")
+	iters := fs.Int("iters", 6, "iterations (benchmark proxies)")
+	events := fs.Int("events", 0, "target event (vertex) count — selects the synthetic generator")
+	zipfS := fs.Float64("zipf", 0, "synthetic Zipf exponent for phase-task work (> 1; default 1.5)")
 	seed := fs.Int64("seed", 1, "seed")
 	scale := fs.Float64("scale", 1.0, "work scale")
 	out := fs.String("o", "", "output file (default stdout)")
 	_ = fs.Parse(args)
 
-	w, err := workloads.ByName(*name, workloads.Params{Ranks: *ranks, Iterations: *iters, Seed: *seed, WorkScale: *scale})
-	if err != nil {
-		fatal(err)
+	var w *workloads.Workload
+	if *events > 0 || strings.EqualFold(*name, "synthetic") {
+		w = workloads.Synthetic(workloads.SynthParams{
+			Ranks: *ranks, Events: *events, Seed: *seed, WorkScale: *scale, ZipfS: *zipfS,
+		})
+	} else {
+		var err error
+		w, err = workloads.ByName(*name, workloads.Params{Ranks: *ranks, Iterations: *iters, Seed: *seed, WorkScale: *scale})
+		if err != nil {
+			fatal(err)
+		}
 	}
 	dst := os.Stdout
 	if *out != "" {

@@ -1,0 +1,301 @@
+// Package coarsen shrinks application DAGs before the LP sees them: maximal
+// chains of short same-rank compute tasks are merged into single tasks when
+// their combined work stays below a caller-chosen epsilon, with an exact
+// bookkeeping map so solved schedules expand back to the original task
+// granularity without approximation.
+//
+// The merge is exact for everything downstream of the problem IR because a
+// task's duration at any frontier configuration is linear in its work
+// (Columns.Durs[k] = F.Pts[k].TimeS * work): a merged task of work
+// w1 + w2 run at configuration k takes exactly as long as the two
+// constituents run back to back at k, provided both constituents share the
+// same response shape (and hence the same frontier). Coarsening therefore
+// only reduces the LP's *power reallocation resolution* — the merged chain
+// must run at one (mixed) operating point instead of re-deciding per
+// sub-task — which is precisely the fidelity/size trade the windowed solver
+// wants to make on 100k-event traces dominated by sub-epsilon tasks.
+//
+// Chains never cross message edges, collectives, iteration boundaries, or
+// rank changes: a vertex is removable only when it is a purely local
+// ordering point (one compute in, one compute out, same rank — in builder
+// graphs these are the Wait vertices of already-completed eager sends).
+package coarsen
+
+import (
+	"fmt"
+
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+)
+
+// Mapping records how a coarse graph was derived from its original, with
+// enough structure to expand any per-coarse-task decision back to original
+// task granularity exactly.
+type Mapping struct {
+	// Orig and Coarse are the two graphs the mapping connects. With
+	// epsilon <= 0 (coarsening disabled) Coarse is Orig itself and every
+	// map below is the identity.
+	Orig   *dag.Graph
+	Coarse *dag.Graph
+	// EpsWorkS is the epsilon the mapping was built with: the maximum
+	// cumulative work (seconds at one thread, max frequency) of a merged
+	// chain.
+	EpsWorkS float64
+
+	// VertexOrig maps each coarse vertex to the original vertex it kept.
+	VertexOrig []dag.VertexID
+	// CoarseVertex maps each original vertex to its coarse vertex, or -1
+	// for interior vertices removed by a merge.
+	CoarseVertex []dag.VertexID
+	// Groups lists, per coarse task, the original tasks it stands for in
+	// chain order (length 1 for unmerged tasks).
+	Groups [][]dag.TaskID
+	// Interior lists, per coarse task, the removed original vertices
+	// between its constituents in chain order (length len(group)-1).
+	Interior [][]dag.VertexID
+	// TaskCoarse maps each original task to the coarse task containing it.
+	TaskCoarse []dag.TaskID
+
+	// MergedTasks counts original tasks eliminated (original - coarse);
+	// MergedVertices counts removed interior vertices.
+	MergedTasks    int
+	MergedVertices int
+}
+
+// Identity reports whether the mapping is a no-op (epsilon disabled or
+// nothing merged).
+func (m *Mapping) Identity() bool { return m.Coarse == m.Orig }
+
+// Fractions returns each constituent's share of coarse task ct's work, in
+// chain order. Shares sum to 1 for groups with positive work; an all-zero
+// group (merged degenerate tasks) returns all zeros, consistent with its
+// zero duration at every configuration.
+func (m *Mapping) Fractions(ct dag.TaskID) []float64 {
+	group := m.Groups[ct]
+	out := make([]float64, len(group))
+	total := 0.0
+	for _, tid := range group {
+		total += m.Orig.Tasks[tid].Work
+	}
+	if total <= 0 {
+		return out
+	}
+	for i, tid := range group {
+		out[i] = m.Orig.Tasks[tid].Work / total
+	}
+	return out
+}
+
+// ExpandVertexTimes maps coarse vertex times back onto the original graph.
+// Kept vertices take their coarse time directly; removed interior vertices
+// are reconstructed from the chain's source time plus the work-proportional
+// share of the coarse task's chosen duration, which is exact because every
+// constituent runs at the merged task's operating point. coarseDur gives
+// each coarse task's chosen duration (seconds).
+func (m *Mapping) ExpandVertexTimes(coarseVT, coarseDur []float64) []float64 {
+	out := make([]float64, len(m.Orig.Vertices))
+	for ov := range out {
+		out[ov] = -1
+	}
+	for cv, ov := range m.VertexOrig {
+		out[ov] = coarseVT[cv]
+	}
+	for ct, group := range m.Groups {
+		if len(group) < 2 {
+			continue
+		}
+		fracs := m.Fractions(dag.TaskID(ct))
+		t := coarseVT[m.Coarse.Tasks[ct].Src]
+		for i := 0; i < len(group)-1; i++ {
+			t += fracs[i] * coarseDur[ct]
+			out[m.Interior[ct][i]] = t
+		}
+	}
+	return out
+}
+
+// removable reports whether original vertex v is a purely local ordering
+// point its chain may pass through: exactly one incoming and one outgoing
+// task, both compute on the vertex's own rank, and the vertex is neither a
+// graph terminal nor an iteration boundary the decomposed solver cuts at.
+func removable(g *dag.Graph, v dag.VertexID) bool {
+	vert := &g.Vertices[v]
+	if vert.Kind == dag.VInit || vert.Kind == dag.VFinalize || vert.IterBoundary {
+		return false
+	}
+	in, out := g.TasksInto(v), g.TasksFrom(v)
+	if len(in) != 1 || len(out) != 1 {
+		return false
+	}
+	ti, to := g.Task(in[0]), g.Task(out[0])
+	return ti.Kind == dag.Compute && to.Kind == dag.Compute &&
+		ti.Rank == vert.Rank && to.Rank == vert.Rank
+}
+
+// Coarsen merges chains of same-rank compute tasks whose cumulative work is
+// at most epsWorkS seconds, returning the coarse graph and the mapping back
+// to g. epsWorkS <= 0 disables coarsening (the returned graph is g itself).
+// Constituents with positive work must share an identical response shape
+// (so the merged frontier is exact); zero-work degenerate tasks merge into
+// any chain. The coarse graph preserves relative vertex and task ID order,
+// so initial-schedule tiebreaks stay aligned with the original graph.
+func Coarsen(g *dag.Graph, epsWorkS float64) (*dag.Graph, *Mapping, error) {
+	if epsWorkS <= 0 {
+		return g, identityMapping(g), nil
+	}
+
+	nT := len(g.Tasks)
+	consumed := make([]bool, nT) // true for non-first constituents of a run
+	first := make([]bool, nT)    // true for the first task of a multi-task run
+	runOf := make(map[dag.TaskID][]dag.TaskID)
+	interiorOf := make(map[dag.TaskID][]dag.VertexID)
+	removedVert := make([]bool, len(g.Vertices))
+
+	for id := 0; id < nT; id++ {
+		t := g.Task(dag.TaskID(id))
+		if t.Kind != dag.Compute || consumed[id] {
+			continue
+		}
+		run := []dag.TaskID{t.ID}
+		var interior []dag.VertexID
+		runWork := t.Work
+		runShape := t.Shape
+		hasShape := t.Work > 0
+		cur := t
+		for {
+			v := cur.Dst
+			if !removable(g, v) {
+				break
+			}
+			next := g.Task(g.TasksFrom(v)[0])
+			if consumed[next.ID] || first[next.ID] {
+				break
+			}
+			if runWork+next.Work > epsWorkS {
+				break
+			}
+			if next.Work > 0 {
+				if hasShape && next.Shape != runShape {
+					break
+				}
+				if !hasShape {
+					runShape = next.Shape
+					hasShape = true
+				}
+			}
+			consumed[next.ID] = true
+			removedVert[v] = true
+			run = append(run, next.ID)
+			interior = append(interior, v)
+			runWork += next.Work
+			cur = next
+		}
+		if len(run) > 1 {
+			first[id] = true
+			runOf[t.ID] = run
+			interiorOf[t.ID] = interior
+		}
+	}
+
+	m := &Mapping{
+		Orig:         g,
+		EpsWorkS:     epsWorkS,
+		CoarseVertex: make([]dag.VertexID, len(g.Vertices)),
+		TaskCoarse:   make([]dag.TaskID, nT),
+	}
+
+	cg := &dag.Graph{NumRanks: g.NumRanks}
+	for ov := range g.Vertices {
+		if removedVert[ov] {
+			m.CoarseVertex[ov] = -1
+			m.MergedVertices++
+			continue
+		}
+		cv := dag.VertexID(len(cg.Vertices))
+		m.CoarseVertex[ov] = cv
+		m.VertexOrig = append(m.VertexOrig, dag.VertexID(ov))
+		nv := g.Vertices[ov]
+		nv.ID = cv
+		cg.Vertices = append(cg.Vertices, nv)
+	}
+
+	for id := 0; id < nT; id++ {
+		if consumed[id] {
+			continue
+		}
+		t := g.Task(dag.TaskID(id))
+		ct := dag.TaskID(len(cg.Tasks))
+		nt := *t
+		nt.ID = ct
+		group := []dag.TaskID{t.ID}
+		var interior []dag.VertexID
+		if run, ok := runOf[t.ID]; ok {
+			group = run
+			interior = interiorOf[t.ID]
+			last := g.Task(run[len(run)-1])
+			nt.Dst = last.Dst
+			nt.Work = 0
+			nt.Shape, nt.Class = mergedShapeClass(g, run)
+			for _, tid := range run {
+				nt.Work += g.Tasks[tid].Work
+			}
+		}
+		nt.Src = m.CoarseVertex[nt.Src]
+		nt.Dst = m.CoarseVertex[nt.Dst]
+		if nt.Src < 0 || nt.Dst < 0 {
+			return nil, nil, fmt.Errorf("coarsen: task %d endpoint removed (internal error)", id)
+		}
+		for _, tid := range group {
+			m.TaskCoarse[tid] = ct
+		}
+		m.Groups = append(m.Groups, group)
+		m.Interior = append(m.Interior, interior)
+		cg.Tasks = append(cg.Tasks, nt)
+	}
+	m.MergedTasks = nT - len(cg.Tasks)
+
+	if m.MergedTasks == 0 {
+		// Nothing merged: hand back the original graph so digest-keyed
+		// caches (solver IR, service schedules) see the identical instance.
+		return g, identityMapping(g), nil
+	}
+	if err := cg.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("coarsen: coarse graph invalid: %w", err)
+	}
+	m.Coarse = cg
+	return cg, m, nil
+}
+
+// mergedShapeClass picks the merged task's response shape and class: those
+// of the first positive-work constituent (all positive-work constituents
+// share a shape by the merge rule), falling back to the chain head for
+// all-degenerate chains.
+func mergedShapeClass(g *dag.Graph, run []dag.TaskID) (machine.Shape, string) {
+	for _, tid := range run {
+		if g.Tasks[tid].Work > 0 {
+			return g.Tasks[tid].Shape, g.Tasks[tid].Class
+		}
+	}
+	return g.Tasks[run[0]].Shape, g.Tasks[run[0]].Class
+}
+
+func identityMapping(g *dag.Graph) *Mapping {
+	m := &Mapping{
+		Orig:         g,
+		Coarse:       g,
+		VertexOrig:   make([]dag.VertexID, len(g.Vertices)),
+		CoarseVertex: make([]dag.VertexID, len(g.Vertices)),
+		Groups:       make([][]dag.TaskID, len(g.Tasks)),
+		Interior:     make([][]dag.VertexID, len(g.Tasks)),
+		TaskCoarse:   make([]dag.TaskID, len(g.Tasks)),
+	}
+	for i := range g.Vertices {
+		m.VertexOrig[i] = dag.VertexID(i)
+		m.CoarseVertex[i] = dag.VertexID(i)
+	}
+	for i := range g.Tasks {
+		m.Groups[i] = []dag.TaskID{dag.TaskID(i)}
+		m.TaskCoarse[i] = dag.TaskID(i)
+	}
+	return m
+}

@@ -1,0 +1,248 @@
+package coarsen
+
+import (
+	"math"
+	"testing"
+
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+	"powercap/internal/sim"
+	"powercap/internal/workloads"
+)
+
+// chainGraph builds a single-rank graph whose compute tasks are separated
+// by Wait vertices (purely local ordering points), the shape coarsening
+// merges through.
+func chainGraph(t *testing.T, works []float64, shapes []machine.Shape) *dag.Graph {
+	t.Helper()
+	b := dag.NewBuilder(1)
+	for i, w := range works {
+		b.Compute(0, w, shapes[i], "chain")
+		if i < len(works)-1 {
+			b.Wait(0)
+		}
+	}
+	g := b.Finalize()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("chain graph invalid: %v", err)
+	}
+	return g
+}
+
+func uniformShapes(n int, s machine.Shape) []machine.Shape {
+	out := make([]machine.Shape, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}
+
+func computeCount(g *dag.Graph) int { return len(g.ComputeTasks()) }
+
+func TestCoarsenEpsilonBoundaries(t *testing.T) {
+	base := machine.DefaultShape()
+	alt := base
+	alt.MemFrac += 0.2
+
+	cases := []struct {
+		name         string
+		works        []float64
+		shapes       []machine.Shape
+		eps          float64
+		wantComputes int
+	}{
+		{
+			name:  "merges chain below eps",
+			works: []float64{1e-3, 1e-3, 1e-3}, shapes: uniformShapes(3, base),
+			eps: 3.5e-3, wantComputes: 1,
+		},
+		{
+			name:  "eps boundary is inclusive",
+			works: []float64{1e-3, 1e-3, 1e-3}, shapes: uniformShapes(3, base),
+			eps: 3e-3, wantComputes: 1,
+		},
+		{
+			name:  "eps just below total merges a prefix only",
+			works: []float64{1e-3, 1e-3, 1e-3}, shapes: uniformShapes(3, base),
+			eps: 2.5e-3, wantComputes: 2,
+		},
+		{
+			name:  "eps below any pair disables merging",
+			works: []float64{1e-3, 1e-3, 1e-3}, shapes: uniformShapes(3, base),
+			eps: 1.5e-3, wantComputes: 3,
+		},
+		{
+			name:  "eps zero is identity",
+			works: []float64{1e-3, 1e-3}, shapes: uniformShapes(2, base),
+			eps: 0, wantComputes: 2,
+		},
+		{
+			name:  "zero-duration tasks merge freely",
+			works: []float64{0, 0, 0, 0}, shapes: uniformShapes(4, base),
+			eps: 1e-9, wantComputes: 1,
+		},
+		{
+			name:  "zero-work joins a tunable chain",
+			works: []float64{1e-3, 0, 1e-3}, shapes: uniformShapes(3, base),
+			eps: 2e-3, wantComputes: 1,
+		},
+		{
+			name:  "shape mismatch never merges",
+			works: []float64{1e-3, 1e-3}, shapes: []machine.Shape{base, alt},
+			eps: 1, wantComputes: 2,
+		},
+		{
+			name:  "zero-work bridges only identical shapes",
+			works: []float64{1e-3, 0, 1e-3}, shapes: []machine.Shape{base, base, alt},
+			eps: 1, wantComputes: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := chainGraph(t, tc.works, tc.shapes)
+			cg, m, err := Coarsen(g, tc.eps)
+			if err != nil {
+				t.Fatalf("Coarsen: %v", err)
+			}
+			if got := computeCount(cg); got != tc.wantComputes {
+				t.Fatalf("got %d compute tasks, want %d", got, tc.wantComputes)
+			}
+			// The mapping must partition the original task set exactly.
+			seen := make(map[dag.TaskID]bool)
+			for _, group := range m.Groups {
+				for _, tid := range group {
+					if seen[tid] {
+						t.Fatalf("task %d appears in two groups", tid)
+					}
+					seen[tid] = true
+				}
+			}
+			if len(seen) != len(g.Tasks) {
+				t.Fatalf("groups cover %d of %d original tasks", len(seen), len(g.Tasks))
+			}
+			if wantWork, gotWork := totalWork(g), totalWork(cg); math.Abs(wantWork-gotWork) > 1e-15 {
+				t.Fatalf("total work changed: %v -> %v", wantWork, gotWork)
+			}
+		})
+	}
+}
+
+func totalWork(g *dag.Graph) float64 {
+	s := 0.0
+	for _, t := range g.Tasks {
+		if t.Kind == dag.Compute {
+			s += t.Work
+		}
+	}
+	return s
+}
+
+// TestCoarsenNeverCrossesMessageEdges: chains spanning a message edge (or
+// its Send/Recv endpoints) must never merge, whatever epsilon allows.
+func TestCoarsenNeverCrossesMessageEdges(t *testing.T) {
+	shape := machine.DefaultShape()
+	b := dag.NewBuilder(2)
+	b.Compute(0, 1e-4, shape, "pre")
+	b.Isend(0, 1, 1024)
+	b.Compute(0, 1e-4, shape, "mid")
+	b.Wait(0)
+	b.Compute(0, 1e-4, shape, "post")
+	b.Compute(1, 1e-4, shape, "pre")
+	b.Recv(1, 0)
+	b.Compute(1, 1e-4, shape, "post")
+	g := b.Finalize()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid: %v", err)
+	}
+
+	cg, m, err := Coarsen(g, 1.0) // epsilon far above every chain
+	if err != nil {
+		t.Fatalf("Coarsen: %v", err)
+	}
+	var msgs int
+	for _, task := range cg.Tasks {
+		if task.Kind == dag.Message {
+			msgs++
+		}
+	}
+	if msgs != 1 {
+		t.Fatalf("message edges changed: got %d, want 1", msgs)
+	}
+	// Rank 0's "mid" and "post" merge through the Wait vertex, but nothing
+	// merges across the Isend or Recv vertices.
+	for ct, group := range m.Groups {
+		if len(group) < 2 {
+			continue
+		}
+		for _, tid := range group[:len(group)-1] {
+			dst := g.Tasks[tid].Dst
+			if k := g.Vertices[dst].Kind; k != dag.VWait {
+				t.Fatalf("coarse task %d merged across a %v vertex", ct, k)
+			}
+		}
+	}
+	if got := computeCount(cg); got >= computeCount(g) {
+		t.Fatalf("expected the Wait chain to merge (got %d >= %d compute tasks)", got, computeCount(g))
+	}
+}
+
+// maxConfigPoints fills simulator points with every compute task at the
+// machine's maximum configuration — the problem IR's initial schedule.
+func maxConfigPoints(model *machine.Model, g *dag.Graph) []sim.TaskPoint {
+	pts := sim.Points(g)
+	maxCfg := model.MaxConfig()
+	for i, task := range g.Tasks {
+		if task.Kind != dag.Compute {
+			continue
+		}
+		pts[i] = sim.TaskPoint{
+			Duration: model.Duration(task.Work, task.Shape, maxCfg),
+			PowerW:   model.Power(task.Shape, maxCfg, 1),
+		}
+	}
+	return pts
+}
+
+// TestCoarsenRoundTripMakespan: expand(coarsen(g)) must reproduce the
+// simulator makespan of the original graph exactly (durations are linear in
+// work within a shape class), and ExpandVertexTimes must land every removed
+// interior vertex at its original firing time.
+func TestCoarsenRoundTripMakespan(t *testing.T) {
+	model := machine.Default()
+	for _, wl := range []string{"SP", "LULESH"} {
+		w, err := workloads.ByName(wl, workloads.Params{Ranks: 4, Iterations: 3, Seed: 1, WorkScale: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := w.Graph
+		cg, m, err := Coarsen(g, 5e-3)
+		if err != nil {
+			t.Fatalf("%s: Coarsen: %v", wl, err)
+		}
+		orig, err := sim.Evaluate(g, maxConfigPoints(model, g), sim.SlackHoldsTaskPower, 0)
+		if err != nil {
+			t.Fatalf("%s: sim original: %v", wl, err)
+		}
+		coarse, err := sim.Evaluate(cg, maxConfigPoints(model, cg), sim.SlackHoldsTaskPower, 0)
+		if err != nil {
+			t.Fatalf("%s: sim coarse: %v", wl, err)
+		}
+		if d := math.Abs(orig.Makespan - coarse.Makespan); d > 1e-12*math.Max(1, orig.Makespan) {
+			t.Fatalf("%s: makespan changed by %g (%v -> %v, merged %d tasks)",
+				wl, d, orig.Makespan, coarse.Makespan, m.MergedTasks)
+		}
+		if m.Identity() {
+			continue
+		}
+		coarseDur := make([]float64, len(cg.Tasks))
+		for i := range cg.Tasks {
+			coarseDur[i] = coarse.End[i] - coarse.Start[i]
+		}
+		vt := m.ExpandVertexTimes(coarse.VertexTime, coarseDur)
+		for ov := range g.Vertices {
+			if math.Abs(vt[ov]-orig.VertexTime[ov]) > 1e-9*math.Max(1, orig.Makespan) {
+				t.Fatalf("%s: vertex %d time %v, want %v", wl, ov, vt[ov], orig.VertexTime[ov])
+			}
+		}
+	}
+}

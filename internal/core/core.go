@@ -149,11 +149,12 @@ type Solver struct {
 	// full-tableau implementation.
 	Backend lp.Backend
 
-	// mu guards fs and irCache: SweepParallel and the scheduling service
-	// share one Solver across goroutines.
-	mu      sync.Mutex
-	fs      *problem.FrontierSet
-	irCache map[[32]byte]*problem.IR
+	// mu guards fs, irCache, and planCache: SweepParallel and the
+	// scheduling service share one Solver across goroutines.
+	mu        sync.Mutex
+	fs        *problem.FrontierSet
+	irCache   map[[32]byte]*problem.IR
+	planCache map[planKey]*problem.Plan
 }
 
 // NewSolver returns a Solver over the given model. effScale may be nil.

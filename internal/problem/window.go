@@ -1,0 +1,210 @@
+package problem
+
+import (
+	"sort"
+
+	"powercap/internal/dag"
+)
+
+// Windowed problem IR. A Plan slices the fixed event order into contiguous
+// core windows — a partition — each extended by an overlap of lookahead
+// events. The cores are the units of commitment: the windowed solver
+// (internal/core.SolveWindowed) commits the operating points of exactly the
+// tasks whose source event lies in a window's core, while the lookahead
+// region is re-optimized by the next window to soften boundary myopia.
+//
+// Two structural guarantees make a per-window LP self-contained with only
+// right-hand-side coupling to its predecessors:
+//
+//  1. Cuts never split a simultaneous-event group (Eq. 13 pins those vertex
+//     times equal, so a cut through a group would place an equality row
+//     across two programs). Cut positions are restricted to strict
+//     initial-time increases.
+//
+//  2. On monotone graphs — every task's source event positioned no later
+//     than its destination event, which the builder guarantees by
+//     construction — every task active at an event is owned by that
+//     event's window or an earlier one. Boundary coupling is therefore
+//     always "earlier window feeds constants forward", never a cycle.
+//     Windowize detects non-monotone orders (possible only in hand-written
+//     traces) and degrades to a single window, which is trivially exact.
+//
+// A Plan is immutable after Windowize and safe to share; the core solver
+// caches plans by (graph digest, windows, overlap) the same way it caches
+// IRs by digest. Per-window programs reuse the shared IR columns (Pareto
+// frontiers, durations), so a plan adds O(events + tasks) memory, not a
+// copy of the problem.
+type Plan struct {
+	IR *IR
+	// Windows are the core partition in left-to-right order. Always at
+	// least one; exactly one means the windowed solve degenerates to the
+	// monolithic formulation.
+	Windows []Window
+	// Overlap is the lookahead depth (events) the plan was built with.
+	Overlap int
+	// Pos maps each vertex to its position in IR.EventOrder.
+	Pos []int
+	// OwnerByPos maps each event position to the index of the window whose
+	// core contains it.
+	OwnerByPos []int
+	// Monotone reports guarantee (2) above. A non-monotone order forces a
+	// single window.
+	Monotone bool
+
+	// Position-indexed task adjacency: tasks whose source (resp.
+	// destination) vertex sits at event position p occupy
+	// TasksBySrc[SrcStart[p]:SrcStart[p+1]] (resp. TasksByDst/DstStart).
+	// These give each window its variable and constraint sets in
+	// O(window size) instead of O(graph).
+	TasksBySrc []dag.TaskID
+	SrcStart   []int
+	TasksByDst []dag.TaskID
+	DstStart   []int
+}
+
+// Window is one contiguous slice of the event order: core positions
+// [CoreStart, CoreEnd) — the commitment region — plus lookahead up to
+// ExtEnd. Vertex-time variables exist for [CoreStart, ExtEnd);
+// configuration variables for tasks whose source position lies in that
+// range.
+type Window struct {
+	Index     int
+	CoreStart int
+	CoreEnd   int
+	ExtEnd    int
+}
+
+// Events returns the number of core events of w.
+func (w Window) Events() int { return w.CoreEnd - w.CoreStart }
+
+// Owned reports whether event position p is committed by w.
+func (w Window) Owned(p int) bool { return p >= w.CoreStart && p < w.CoreEnd }
+
+// InRange reports whether event position p has a vertex-time variable in
+// w's program (core or lookahead).
+func (w Window) InRange(p int) bool { return p >= w.CoreStart && p < w.ExtEnd }
+
+// Windowize slices the IR's event order into at most `windows` cores, each
+// extended by overlapEvents of lookahead. Cut positions are restricted to
+// strict initial-time increases, so fewer windows than requested may come
+// back when simultaneous groups are large; windows <= 1 (or a non-monotone
+// event order) yields the single-window plan.
+func (ir *IR) Windowize(windows, overlapEvents int) *Plan {
+	nV := len(ir.EventOrder)
+	if overlapEvents < 0 {
+		overlapEvents = 0
+	}
+	p := &Plan{
+		IR:       ir,
+		Overlap:  overlapEvents,
+		Pos:      make([]int, nV),
+		Monotone: true,
+	}
+	for i, v := range ir.EventOrder {
+		p.Pos[v] = i
+	}
+	for _, t := range ir.G.Tasks {
+		if p.Pos[t.Src] > p.Pos[t.Dst] {
+			p.Monotone = false
+			break
+		}
+	}
+	if windows < 1 {
+		windows = 1
+	}
+	if windows > nV {
+		windows = nV
+	}
+	if !p.Monotone {
+		windows = 1
+	}
+
+	// Allowed cut positions: strict initial-time increases only.
+	var cuts []int
+	if windows > 1 {
+		for i := 1; i < nV; i++ {
+			if !ir.Simultaneous(ir.EventOrder[i-1], ir.EventOrder[i]) {
+				cuts = append(cuts, i)
+			}
+		}
+	}
+
+	// Place each boundary at the first allowed cut at or after its ideal
+	// position; boundaries that collapse onto an earlier one are dropped.
+	bounds := []int{0}
+	for w := 1; w < windows; w++ {
+		target := w * nV / windows
+		if target <= bounds[len(bounds)-1] {
+			continue
+		}
+		i := sort.SearchInts(cuts, target)
+		if i == len(cuts) {
+			break
+		}
+		c := cuts[i]
+		if c <= bounds[len(bounds)-1] {
+			continue
+		}
+		bounds = append(bounds, c)
+	}
+	bounds = append(bounds, nV)
+
+	p.OwnerByPos = make([]int, nV)
+	for i := 0; i+1 < len(bounds); i++ {
+		w := Window{
+			Index:     i,
+			CoreStart: bounds[i],
+			CoreEnd:   bounds[i+1],
+			ExtEnd:    bounds[i+1] + overlapEvents,
+		}
+		if w.ExtEnd > nV {
+			w.ExtEnd = nV
+		}
+		p.Windows = append(p.Windows, w)
+		for pos := w.CoreStart; pos < w.CoreEnd; pos++ {
+			p.OwnerByPos[pos] = i
+		}
+	}
+
+	p.TasksBySrc, p.SrcStart = indexTasksBy(ir.G, p.Pos, nV, func(t *dag.Task) dag.VertexID { return t.Src })
+	p.TasksByDst, p.DstStart = indexTasksBy(ir.G, p.Pos, nV, func(t *dag.Task) dag.VertexID { return t.Dst })
+	return p
+}
+
+// indexTasksBy counting-sorts task IDs by the event position of one of
+// their endpoints.
+func indexTasksBy(g *dag.Graph, pos []int, nV int, end func(*dag.Task) dag.VertexID) ([]dag.TaskID, []int) {
+	start := make([]int, nV+1)
+	for i := range g.Tasks {
+		start[pos[end(&g.Tasks[i])]+1]++
+	}
+	for p := 1; p <= nV; p++ {
+		start[p] += start[p-1]
+	}
+	out := make([]dag.TaskID, len(g.Tasks))
+	cursor := append([]int(nil), start[:nV]...)
+	for i := range g.Tasks {
+		p := pos[end(&g.Tasks[i])]
+		out[cursor[p]] = g.Tasks[i].ID
+		cursor[p]++
+	}
+	return out, start
+}
+
+// TasksWithSrcIn returns the tasks whose source event position lies in
+// [a, b), ordered by position then task ID.
+func (p *Plan) TasksWithSrcIn(a, b int) []dag.TaskID {
+	return p.TasksBySrc[p.SrcStart[a]:p.SrcStart[b]]
+}
+
+// TasksWithDstIn returns the tasks whose destination event position lies in
+// [a, b), ordered by position then task ID.
+func (p *Plan) TasksWithDstIn(a, b int) []dag.TaskID {
+	return p.TasksByDst[p.DstStart[a]:p.DstStart[b]]
+}
+
+// Owner returns the index of the window committing task t: the window
+// whose core contains t's source event.
+func (p *Plan) Owner(t dag.TaskID) int {
+	return p.OwnerByPos[p.Pos[p.IR.G.Tasks[t].Src]]
+}

@@ -1,0 +1,139 @@
+package problem
+
+import (
+	"testing"
+
+	"powercap/internal/dag"
+	"powercap/internal/machine"
+	"powercap/internal/workloads"
+)
+
+func buildIR(t *testing.T) *IR {
+	t.Helper()
+	w, err := workloads.ByName("LULESH", workloads.Params{Ranks: 4, Iterations: 3, Seed: 1, WorkScale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := Build(machine.Default(), w.EffScale, w.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ir
+}
+
+func TestWindowizePartition(t *testing.T) {
+	ir := buildIR(t)
+	nV := len(ir.EventOrder)
+	for _, wn := range []int{1, 2, 4, 7} {
+		p := ir.Windowize(wn, 8)
+		if len(p.Windows) < 1 || len(p.Windows) > wn {
+			t.Fatalf("windows=%d: got %d windows", wn, len(p.Windows))
+		}
+		// Cores partition [0, nV).
+		pos := 0
+		for i, w := range p.Windows {
+			if w.CoreStart != pos {
+				t.Fatalf("window %d starts at %d, want %d", i, w.CoreStart, pos)
+			}
+			if w.CoreEnd <= w.CoreStart {
+				t.Fatalf("window %d empty core", i)
+			}
+			if w.ExtEnd < w.CoreEnd || w.ExtEnd > nV {
+				t.Fatalf("window %d bad ExtEnd %d", i, w.ExtEnd)
+			}
+			pos = w.CoreEnd
+		}
+		if pos != nV {
+			t.Fatalf("cores cover %d of %d events", pos, nV)
+		}
+		// Cuts never split a simultaneous group.
+		for _, w := range p.Windows[1:] {
+			a, b := ir.EventOrder[w.CoreStart-1], ir.EventOrder[w.CoreStart]
+			if ir.Simultaneous(a, b) {
+				t.Fatalf("cut at %d splits a simultaneous group", w.CoreStart)
+			}
+		}
+		// Owner mapping agrees with the cores.
+		for i, w := range p.Windows {
+			for q := w.CoreStart; q < w.CoreEnd; q++ {
+				if p.OwnerByPos[q] != i {
+					t.Fatalf("OwnerByPos[%d]=%d, want %d", q, p.OwnerByPos[q], i)
+				}
+			}
+		}
+		if !p.Monotone {
+			t.Fatal("builder graph should be monotone")
+		}
+	}
+}
+
+func TestWindowizeTaskIndexes(t *testing.T) {
+	ir := buildIR(t)
+	p := ir.Windowize(4, 16)
+	nV := len(ir.EventOrder)
+
+	// Brute-force cross-check of the position-indexed task adjacency.
+	for _, w := range p.Windows {
+		want := map[dag.TaskID]bool{}
+		for _, task := range ir.G.Tasks {
+			if q := p.Pos[task.Src]; q >= w.CoreStart && q < w.ExtEnd {
+				want[task.ID] = true
+			}
+		}
+		got := p.TasksWithSrcIn(w.CoreStart, w.ExtEnd)
+		if len(got) != len(want) {
+			t.Fatalf("window %d: reach %d tasks, want %d", w.Index, len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("window %d: task %d not in brute-force reach", w.Index, id)
+			}
+		}
+	}
+	if got, want := len(p.TasksWithDstIn(0, nV)), len(ir.G.Tasks); got != want {
+		t.Fatalf("full dst range lists %d tasks, want %d", got, want)
+	}
+
+	// Monotone order: every task is owned by the window of its source, and
+	// that window is never after the window of its destination.
+	for _, task := range ir.G.Tasks {
+		if p.Owner(task.ID) > p.OwnerByPos[p.Pos[task.Dst]] {
+			t.Fatalf("task %d owned after its destination window", task.ID)
+		}
+	}
+}
+
+// TestWindowizeNonMonotoneFallsBack: a valid DAG whose event order places a
+// task's source after its destination (possible only in hand-written
+// traces) must degrade to a single window.
+func TestWindowizeNonMonotoneFallsBack(t *testing.T) {
+	sh := machine.DefaultShape()
+	g := &dag.Graph{
+		NumRanks: 1,
+		Vertices: []dag.Vertex{
+			{ID: 0, Kind: dag.VInit, Rank: dag.AllRanks},
+			{ID: 1, Kind: dag.VWait, Rank: 0},
+			{ID: 2, Kind: dag.VWait, Rank: 0},
+			{ID: 3, Kind: dag.VFinalize, Rank: dag.AllRanks},
+		},
+		Tasks: []dag.Task{
+			{ID: 0, Kind: dag.Compute, Rank: 0, Src: 0, Dst: 2, Work: 0.5, Shape: sh, Class: "w"},
+			{ID: 1, Kind: dag.Compute, Rank: 0, Src: 2, Dst: 1, Work: 0, Shape: sh, Class: "w"},
+			{ID: 2, Kind: dag.Compute, Rank: 0, Src: 1, Dst: 3, Work: 0, Shape: sh, Class: "w"},
+		},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid: %v", err)
+	}
+	ir, err := Build(machine.Default(), nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ir.Windowize(3, 0)
+	if p.Monotone {
+		t.Fatal("expected non-monotone order")
+	}
+	if len(p.Windows) != 1 {
+		t.Fatalf("non-monotone order got %d windows, want 1", len(p.Windows))
+	}
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,22 @@ type Metrics struct {
 	// CacheErrors counts cache-backend faults (injected or real) that forced
 	// a request to bypass the schedule cache and solve directly.
 	CacheErrors atomic.Uint64
+	// WindowedSolves counts solves routed through the windowed large-trace
+	// decomposition (?windows= / ?coarsen_eps=); WindowsSolved accumulates
+	// the realized window counts across them, WindowCommitSolves the
+	// phase-B re-solves, WindowWarmStartHits the commit solves that repaired
+	// a speculative basis (their ratio is the fleet warm-start hit rate),
+	// and WindowEscalations the infeasible windows that had to widen.
+	WindowedSolves      atomic.Uint64
+	WindowsSolved       atomic.Uint64
+	WindowCommitSolves  atomic.Uint64
+	WindowWarmStartHits atomic.Uint64
+	WindowEscalations   atomic.Uint64
+	// WindowSeamViolationW tracks the worst cap excess observed at any
+	// window seam (floating-point noise unless stitching is broken);
+	// WindowStitchGapPct the worst stitched-vs-simulated makespan gap.
+	WindowSeamViolationW FloatMaxGauge
+	WindowStitchGapPct   FloatMaxGauge
 	// TracedRequests counts requests that asked for (and got) an inline
 	// trace (?trace=1); TraceSpansDropped accumulates spans those traces
 	// discarded at their bound, so truncation is visible fleet-wide.
@@ -116,6 +133,31 @@ func (m *Metrics) StageNames() []string {
 	sort.Strings(names)
 	return names
 }
+
+// FloatMaxGauge is a lock-free running-maximum gauge over non-negative
+// float64 samples. Non-negative IEEE-754 floats order identically to their
+// bit patterns, so the maximum is a plain CompareAndSwap loop on the bits.
+// The zero value reads 0.
+type FloatMaxGauge struct{ bits atomic.Uint64 }
+
+// StoreMax raises the gauge to v if v exceeds the current maximum.
+// Negative samples are clamped to 0 (the gauge tracks violations/gaps,
+// where negative means "none").
+func (g *FloatMaxGauge) StoreMax(v float64) {
+	if v <= 0 {
+		return
+	}
+	nb := math.Float64bits(v)
+	for {
+		ob := g.bits.Load()
+		if ob >= nb || g.bits.CompareAndSwap(ob, nb) {
+			return
+		}
+	}
+}
+
+// Load reports the maximum observed so far.
+func (g *FloatMaxGauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // latencyBounds are the histogram bucket upper bounds in seconds,
 // log-spaced from 5 µs to 30 s — pipeline stages run from microseconds
@@ -246,6 +288,11 @@ func (m *Metrics) Render(w io.Writer) {
 		{"pcschedd_cache_errors_total", "Cache faults that forced a request to bypass the schedule cache.", m.CacheErrors.Load()},
 		{"pcschedd_traced_requests_total", "Requests that returned an inline trace (?trace=1).", m.TracedRequests.Load()},
 		{"pcschedd_trace_spans_dropped_total", "Spans discarded because a request trace hit its span bound.", m.TraceSpansDropped.Load()},
+		{"pcschedd_windowed_solves_total", "Solves routed through the windowed large-trace decomposition.", m.WindowedSolves.Load()},
+		{"pcschedd_windows_solved_total", "Event windows solved across all windowed solves.", m.WindowsSolved.Load()},
+		{"pcschedd_window_commit_solves_total", "Windowed phase-B commit re-solves (boundary-exact windows reuse their speculative solution instead).", m.WindowCommitSolves.Load()},
+		{"pcschedd_window_warm_start_hits_total", "Commit solves that repaired a speculative basis with dual pivots.", m.WindowWarmStartHits.Load()},
+		{"pcschedd_window_escalations_total", "Infeasible commit windows widened by the escalation ladder.", m.WindowEscalations.Load()},
 	}
 	for _, c := range counters {
 		writeMeta(w, c.name, c.help, "counter")
@@ -254,6 +301,11 @@ func (m *Metrics) Render(w io.Writer) {
 
 	writeMeta(w, "pcschedd_inflight_requests", "API requests currently inside a handler.", "gauge")
 	fmt.Fprintf(w, "pcschedd_inflight_requests %d\n", m.Inflight.Load())
+
+	writeMeta(w, "pcschedd_window_seam_violation_watts_max", "Worst cap excess observed at any window seam since start.", "gauge")
+	fmt.Fprintf(w, "pcschedd_window_seam_violation_watts_max %g\n", m.WindowSeamViolationW.Load())
+	writeMeta(w, "pcschedd_window_stitch_gap_pct_max", "Worst stitched-vs-simulated makespan gap (percent) since start.", "gauge")
+	fmt.Fprintf(w, "pcschedd_window_stitch_gap_pct_max %g\n", m.WindowStitchGapPct.Load())
 
 	writeMeta(w, "pcschedd_queue_wait_seconds", "Time spent waiting for a solve worker slot.", "histogram")
 	writeHistogram(w, "pcschedd_queue_wait_seconds", &m.QueueWait)

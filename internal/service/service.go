@@ -46,6 +46,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -424,8 +425,16 @@ type SolveRequest struct {
 	// schedule ("nearest", "down", "replay", or "best") validated on the
 	// simulator; the ?realize= query parameter sets the same field. The
 	// strategy is part of the cache key.
-	Realize   string  `json:"realize,omitempty"`
-	TimeoutMS float64 `json:"timeout_ms,omitempty"`
+	Realize string `json:"realize,omitempty"`
+	// Windows > 1 (or CoarsenEps > 0) routes the solve through the windowed
+	// large-trace decomposition (overlapping event windows, speculative
+	// parallel solves, warm-started commits) instead of the monolithic LP;
+	// the ?windows= and ?coarsen_eps= query parameters set the same fields.
+	// Both are part of the cache key — a windowed schedule is a different
+	// (upper-bounding) artifact than the monolithic one.
+	Windows    int     `json:"windows,omitempty"`
+	CoarsenEps float64 `json:"coarsen_eps,omitempty"`
+	TimeoutMS  float64 `json:"timeout_ms,omitempty"`
 }
 
 // StatsJSON mirrors SolverStats for responses.
@@ -473,6 +482,44 @@ func NewRealizedJSON(r *powercap.RealizedSchedule) *RealizedJSON {
 	}
 }
 
+// WindowedJSON reports the windowed decomposition's diagnostics in
+// responses: the realized window count, coarsening effect, solver-effort
+// split (speculative vs commit solves, warm-start hit rate), and the two
+// stitching validations (seam cap excess, simulated makespan).
+type WindowedJSON struct {
+	Windows           int     `json:"windows"`
+	CoarsenEps        float64 `json:"coarsen_eps,omitempty"`
+	CoarseVertices    int     `json:"coarse_vertices"`
+	MergedTasks       int     `json:"merged_tasks"`
+	SpeculativeSolves int     `json:"speculative_solves"`
+	CommitSolves      int     `json:"commit_solves"`
+	WarmStartHits     int     `json:"warm_start_hits"`
+	WarmStartRate     float64 `json:"warm_start_rate"`
+	Escalations       int     `json:"escalations,omitempty"`
+	NumericalRescues  int     `json:"numerical_rescues,omitempty"`
+	SeamViolationW    float64 `json:"seam_violation_w"`
+	SimMakespanS      float64 `json:"sim_makespan_s"`
+}
+
+// NewWindowedJSON converts a windowed schedule's diagnostics to the
+// response schema (shared with pcsched -windows -json).
+func NewWindowedJSON(ws *powercap.WindowedSchedule) *WindowedJSON {
+	return &WindowedJSON{
+		Windows:           ws.Windows,
+		CoarsenEps:        ws.CoarsenEps,
+		CoarseVertices:    ws.CoarseVertices,
+		MergedTasks:       ws.MergedTasks,
+		SpeculativeSolves: ws.SpeculativeSolves,
+		CommitSolves:      ws.CommitSolves,
+		WarmStartHits:     ws.WarmStartHits,
+		WarmStartRate:     ws.WarmStartRate(),
+		Escalations:       ws.Escalations,
+		NumericalRescues:  ws.NumericalFallbacks(),
+		SeamViolationW:    ws.SeamViolationW,
+		SimMakespanS:      ws.SimMakespanS,
+	}
+}
+
 // SolveResponse reports one solved (or provably infeasible) schedule.
 type SolveResponse struct {
 	// RequestID is the server-generated identifier for this request, also
@@ -493,6 +540,9 @@ type SolveResponse struct {
 	// named a realization strategy (or, for degraded results, the ladder's
 	// own simulator certification).
 	Realized *RealizedJSON `json:"realized,omitempty"`
+	// Windowed reports the decomposition diagnostics when the request asked
+	// for a windowed solve (windows > 1 or coarsen_eps > 0).
+	Windowed *WindowedJSON `json:"windowed,omitempty"`
 
 	// Degraded marks a schedule produced below the fallback ladder's top
 	// rung; DegradedRung names the rung that served it and DegradedReason
@@ -522,6 +572,7 @@ type SolveResponse struct {
 type solveOutcome struct {
 	sched      *powercap.Schedule
 	realized   *powercap.RealizedSchedule
+	windowed   *powercap.WindowedSchedule
 	infeasible bool
 	degraded   bool
 	rung       string
@@ -554,6 +605,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			req.Realize, powercap.RealizeStrategies()))
 		return
 	}
+	if q := r.URL.Query().Get("windows"); q != "" {
+		n, perr := strconv.Atoi(q)
+		if perr != nil || n < 0 {
+			s.badRequest(w, fmt.Errorf("bad windows %q (want a non-negative integer)", q))
+			return
+		}
+		req.Windows = n
+	}
+	if q := r.URL.Query().Get("coarsen_eps"); q != "" {
+		v, perr := strconv.ParseFloat(q, 64)
+		if perr != nil || v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			s.badRequest(w, fmt.Errorf("bad coarsen_eps %q (want a non-negative number of seconds)", q))
+			return
+		}
+		req.CoarsenEps = v
+	}
 	degradedPolicy := r.URL.Query().Get("degraded")
 	switch degradedPolicy {
 	case "", "allow", "forbid":
@@ -562,7 +629,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sys := s.systemFor(eff)
-	key := sys.ScheduleKey(g, jobCap, req.Whole, req.Realize)
+	key := sys.ScheduleKey(g, jobCap, req.Whole, req.Realize, req.Windows, req.CoarsenEps)
 
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
@@ -625,6 +692,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if out.realized != nil {
 			resp.Realized = NewRealizedJSON(out.realized)
 		}
+		if out.windowed != nil {
+			resp.Windowed = NewWindowedJSON(out.windowed)
+		}
 	}
 	resp.Trace = s.inlineTrace(r)
 	writeJSON(w, http.StatusOK, resp)
@@ -678,6 +748,9 @@ func (s *Server) solveWorker(ctx context.Context, sys *powercap.System, g *power
 	}
 
 	t0 := time.Now()
+	if req.Windows > 1 || req.CoarsenEps > 0 {
+		return s.solveWindowed(ctx, sys, g, jobCap, req, t0)
+	}
 	res, serr := sys.UpperBoundResilientCtx(ctx, g, jobCap, req.Whole)
 	s.metrics.SolveLatency.Observe(time.Since(t0))
 	if serr != nil {
@@ -717,6 +790,50 @@ func (s *Server) solveWorker(ctx context.Context, sys *powercap.System, g *power
 			s.metrics.FallbackStatic.Add(1)
 		}
 	}
+	return out, nil
+}
+
+// solveWindowed runs the windowed large-trace decomposition for a request
+// with windows > 1 or coarsen_eps > 0. The windowed path carries its own
+// escalation ladder (infeasible windows widen toward the monolithic
+// formulation), so it bypasses the resilience ladder; its per-window spans
+// (window.build, window.solve, window.stitch) feed the stage-latency
+// histograms like any other pipeline stage.
+func (s *Server) solveWindowed(ctx context.Context, sys *powercap.System, g *powercap.Graph, jobCap float64, req *SolveRequest, t0 time.Time) (*solveOutcome, error) {
+	ws, serr := sys.SolveWindowedCtx(ctx, g, jobCap, powercap.WindowedOptions{
+		Windows:       req.Windows,
+		OverlapEvents: -1,
+		CoarsenEps:    req.CoarsenEps,
+	})
+	s.metrics.SolveLatency.Observe(time.Since(t0))
+	if serr != nil {
+		if errors.Is(serr, powercap.ErrInfeasible) {
+			s.metrics.Solves.Add(1)
+			s.metrics.Infeasible.Add(1)
+			return &solveOutcome{infeasible: true}, nil
+		}
+		return nil, serr
+	}
+	out := &solveOutcome{sched: ws.Schedule, windowed: ws}
+	if req.Realize != "" {
+		var rerr error
+		out.realized, rerr = sys.RealizeScheduleCtx(ctx, g, ws.Schedule, req.Realize)
+		if rerr != nil {
+			return nil, rerr
+		}
+	}
+	s.metrics.Solves.Add(1)
+	s.metrics.WindowedSolves.Add(1)
+	s.metrics.WindowsSolved.Add(uint64(ws.Windows))
+	s.metrics.WindowWarmStartHits.Add(uint64(ws.WarmStartHits))
+	s.metrics.WindowCommitSolves.Add(uint64(ws.CommitSolves))
+	s.metrics.WindowEscalations.Add(uint64(ws.Escalations))
+	s.metrics.WindowSeamViolationW.StoreMax(ws.SeamViolationW)
+	if ws.SimMakespanS > 0 {
+		s.metrics.WindowStitchGapPct.StoreMax((ws.MakespanS/ws.SimMakespanS - 1) * 100)
+	}
+	s.metrics.WarmStarts.Add(uint64(ws.Stats.WarmStarts))
+	s.metrics.Pivots.Add(uint64(ws.Stats.SimplexIter))
 	return out, nil
 }
 
@@ -887,7 +1004,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	// Compare's result additionally depends on the exploration-iteration
 	// count, so extend the schedule key rather than reusing it bare.
 	key := fmt.Sprintf("compare|%s|expl=%d",
-		sys.ScheduleKey(wl.Graph, req.CapPerSocketW*float64(wl.Graph.NumRanks), false, ""),
+		sys.ScheduleKey(wl.Graph, req.CapPerSocketW*float64(wl.Graph.NumRanks), false, "", 0, 0),
 		sys.ExploreIters)
 
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)

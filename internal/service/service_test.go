@@ -526,3 +526,77 @@ func TestHistogram(t *testing.T) {
 // The Prometheus exposition conformance test for the full /metrics output
 // lives in metrics_test.go (TestMetricsConformance), along with the
 // Histogram boundary tests.
+
+// TestSolveWindowed: windows > 1 (body field or ?windows=) routes the
+// solve through the windowed decomposition, returns the diagnostics block,
+// keys the cache separately from the monolithic solve, and shows up on
+// /metrics as windowed counters.
+func TestSolveWindowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	code, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Workload: fastWL, CapPerSocketW: 55, Windows: 3})
+	if code != http.StatusOK {
+		t.Fatalf("windowed solve: %d (%s)", code, body)
+	}
+	var windowed SolveResponse
+	json.Unmarshal(body, &windowed)
+	if windowed.Windowed == nil {
+		t.Fatal("windowed solve: response has no windowed block")
+	}
+	wb := windowed.Windowed
+	if wb.Windows < 1 || wb.SpeculativeSolves < 1 {
+		t.Errorf("implausible windowed diagnostics: %+v", wb)
+	}
+	if wb.SeamViolationW > 1e-6 {
+		t.Errorf("seam cap violation %v W", wb.SeamViolationW)
+	}
+	if windowed.MakespanS <= 0 {
+		t.Errorf("windowed makespan %v", windowed.MakespanS)
+	}
+
+	code, body = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Workload: fastWL, CapPerSocketW: 55})
+	if code != http.StatusOK {
+		t.Fatalf("plain solve: %d (%s)", code, body)
+	}
+	var plain SolveResponse
+	json.Unmarshal(body, &plain)
+	if plain.Windowed != nil {
+		t.Error("plain solve unexpectedly carries a windowed block")
+	}
+	if plain.Key == windowed.Key {
+		t.Error("windowed and monolithic solves share a cache key")
+	}
+	// The windowed makespan upper-bounds the monolithic one (DESIGN.md §12).
+	if windowed.MakespanS < plain.MakespanS*(1-1e-9) {
+		t.Errorf("windowed makespan %v beats monolithic %v", windowed.MakespanS, plain.MakespanS)
+	}
+
+	// Query parameter form, equal to the body form (same key → cache hit).
+	code, body = postJSON(t, ts.URL+"/v1/solve?windows=3", SolveRequest{Workload: fastWL, CapPerSocketW: 55})
+	if code != http.StatusOK {
+		t.Fatalf("?windows=3 solve: %d (%s)", code, body)
+	}
+	var viaQuery SolveResponse
+	json.Unmarshal(body, &viaQuery)
+	if viaQuery.Key != windowed.Key {
+		t.Errorf("?windows=3 key %s != body-form key %s", viaQuery.Key, windowed.Key)
+	}
+	if !viaQuery.Cached {
+		t.Error("identical windowed request missed the cache")
+	}
+
+	m := metricsMap(t, ts.URL)
+	if m["pcschedd_windowed_solves_total"] != 1 {
+		t.Errorf("windowed_solves_total = %v, want 1", m["pcschedd_windowed_solves_total"])
+	}
+	if m["pcschedd_windows_solved_total"] < float64(wb.Windows) {
+		t.Errorf("windows_solved_total = %v, want >= %d", m["pcschedd_windows_solved_total"], wb.Windows)
+	}
+
+	if code, body := postJSON(t, ts.URL+"/v1/solve?windows=lots", SolveRequest{Workload: fastWL, CapPerSocketW: 55}); code != http.StatusBadRequest {
+		t.Errorf("bad windows value: %d (%s), want 400", code, body)
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/solve?coarsen_eps=-1", SolveRequest{Workload: fastWL, CapPerSocketW: 55}); code != http.StatusBadRequest {
+		t.Errorf("negative coarsen_eps: %d (%s), want 400", code, body)
+	}
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 
 	"powercap/internal/dag"
@@ -56,6 +57,48 @@ func FuzzRead(f *testing.F) {
 		}
 		if dag.Digest(g) != dag.Digest(g2) {
 			t.Fatal("round trip changed the canonical digest")
+		}
+	})
+}
+
+// FuzzStream drives the streaming decoder directly: NewStream either
+// rejects the header, or the record iteration runs to completion without
+// panicking; and whenever the streaming path accepts an input, the
+// monolithic File decode must accept it too and produce the identical
+// graph (the stream is strictly pickier — it additionally requires the
+// canonical field order — never looser).
+func FuzzStream(f *testing.F) {
+	f.Add(seedTrace())
+	f.Add([]byte(`{"version":1,"num_ranks":1,"vertices":[],"tasks":[]}`))
+	f.Add([]byte(`{"version":99,"num_ranks":1,"vertices":[],"tasks":[]}`))
+	f.Add([]byte(`{"num_ranks":1,"vertices":[]}`))
+	f.Add([]byte(`{"version":1,"num_ranks":2,"eff_scale":[1.0,0.95],"vertices":[],"tasks":[]}`))
+	f.Add([]byte(`{"version":1,"num_ranks":1,"tasks":[],"vertices":[]}`))
+	f.Add([]byte(`{"version":1,"num_ranks":1,"vertices":[{"id":0,"kind":"init","rank":-1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, eff, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("stream accepted an invalid graph: %v", verr)
+		}
+		var file File
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if derr := dec.Decode(&file); derr != nil {
+			t.Fatalf("stream accepted input the File decode rejects: %v", derr)
+		}
+		g2, eff2, derr := Decode(&file)
+		if derr != nil {
+			t.Fatalf("stream accepted input Decode rejects: %v", derr)
+		}
+		if dag.Digest(g) != dag.Digest(g2) {
+			t.Fatal("stream and monolithic decode disagree on the graph")
+		}
+		if len(eff) != len(eff2) {
+			t.Fatalf("eff scale mismatch: %d vs %d entries", len(eff), len(eff2))
 		}
 	})
 }

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Header is the trace metadata that precedes the vertex and task arrays in
+// a trace file. A Stream validates it before touching either array, so a
+// malformed header fails in O(header) time and bytes — the monolithic
+// decoder used to buffer a whole multi-hundred-MB file before noticing a
+// bad version field.
+type Header struct {
+	Version  int
+	Name     string
+	NumRanks int
+	EffScale []float64
+}
+
+// Stream incrementally decodes a trace file: the header eagerly at
+// construction, then one vertex or task record at a time, never holding the
+// full event arrays in memory. The canonical field order (header fields,
+// then "vertices", then "tasks") is required; it is what Encode/Write emit.
+type Stream struct {
+	dec *json.Decoder
+	hdr Header
+
+	inVertices bool
+	inTasks    bool
+	vertsDone  bool
+	tasksDone  bool
+}
+
+// NewStream reads and validates the trace header from r, stopping at the
+// start of the vertices array. Malformed or incomplete headers (bad
+// version, invalid rank count, eff_scale/rank mismatch, unknown fields)
+// fail here, before any array element is decoded.
+func NewStream(r io.Reader) (*Stream, error) {
+	s := &Stream{dec: json.NewDecoder(r)}
+	s.dec.DisallowUnknownFields()
+	if err := s.expectDelim('{'); err != nil {
+		return nil, err
+	}
+	for {
+		tok, err := s.dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("trace: header: %w", err)
+		}
+		if d, ok := tok.(json.Delim); ok && d == '}' {
+			// No arrays at all: an empty (and necessarily invalid) graph,
+			// reported by the caller's structural validation.
+			s.vertsDone, s.tasksDone = true, true
+			if err := s.validateHeader(); err != nil {
+				return nil, err
+			}
+			return s, nil
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return nil, fmt.Errorf("trace: header: unexpected token %v", tok)
+		}
+		switch key {
+		case "version":
+			if err := s.dec.Decode(&s.hdr.Version); err != nil {
+				return nil, fmt.Errorf("trace: header version: %w", err)
+			}
+			if s.hdr.Version != FormatVersion {
+				return nil, fmt.Errorf("trace: unsupported version %d (want %d)", s.hdr.Version, FormatVersion)
+			}
+		case "name":
+			if err := s.dec.Decode(&s.hdr.Name); err != nil {
+				return nil, fmt.Errorf("trace: header name: %w", err)
+			}
+		case "num_ranks":
+			if err := s.dec.Decode(&s.hdr.NumRanks); err != nil {
+				return nil, fmt.Errorf("trace: header num_ranks: %w", err)
+			}
+			if s.hdr.NumRanks < 1 {
+				return nil, fmt.Errorf("trace: invalid rank count %d", s.hdr.NumRanks)
+			}
+		case "eff_scale":
+			if err := s.dec.Decode(&s.hdr.EffScale); err != nil {
+				return nil, fmt.Errorf("trace: header eff_scale: %w", err)
+			}
+		case "vertices":
+			if err := s.validateHeader(); err != nil {
+				return nil, err
+			}
+			if err := s.expectDelim('['); err != nil {
+				return nil, err
+			}
+			s.inVertices = true
+			return s, nil
+		case "tasks":
+			return nil, fmt.Errorf("trace: tasks array before vertices")
+		default:
+			return nil, fmt.Errorf("trace: unknown header field %q", key)
+		}
+	}
+}
+
+// validateHeader checks completeness once the header region ends; the
+// per-field checks above have already rejected bad values as they appeared.
+func (s *Stream) validateHeader() error {
+	if s.hdr.Version != FormatVersion {
+		return fmt.Errorf("trace: unsupported version %d (want %d)", s.hdr.Version, FormatVersion)
+	}
+	if s.hdr.NumRanks < 1 {
+		return fmt.Errorf("trace: invalid rank count %d", s.hdr.NumRanks)
+	}
+	if len(s.hdr.EffScale) != 0 && len(s.hdr.EffScale) != s.hdr.NumRanks {
+		return fmt.Errorf("trace: eff_scale has %d entries for %d ranks", len(s.hdr.EffScale), s.hdr.NumRanks)
+	}
+	return nil
+}
+
+// Header returns the validated trace header.
+func (s *Stream) Header() Header { return s.hdr }
+
+// NextVertex returns the next vertex record, or ok=false once the vertex
+// array is exhausted (at which point the stream is positioned at the task
+// array, if present).
+func (s *Stream) NextVertex() (VertexRec, bool, error) {
+	var rec VertexRec
+	if !s.inVertices {
+		if !s.vertsDone {
+			return rec, false, fmt.Errorf("trace: vertex stream not open")
+		}
+		return rec, false, nil
+	}
+	if s.dec.More() {
+		if err := s.dec.Decode(&rec); err != nil {
+			return rec, false, fmt.Errorf("trace: vertex record: %w", err)
+		}
+		return rec, true, nil
+	}
+	if err := s.expectDelim(']'); err != nil {
+		return rec, false, err
+	}
+	s.inVertices, s.vertsDone = false, true
+	if err := s.openTasks(); err != nil {
+		return rec, false, err
+	}
+	return rec, false, nil
+}
+
+// openTasks advances past the end of the vertices array: either into the
+// tasks array or to the end of the trace object.
+func (s *Stream) openTasks() error {
+	tok, err := s.dec.Token()
+	if err != nil {
+		return fmt.Errorf("trace: after vertices: %w", err)
+	}
+	if d, ok := tok.(json.Delim); ok && d == '}' {
+		s.tasksDone = true
+		return nil
+	}
+	key, ok := tok.(string)
+	if !ok || key != "tasks" {
+		return fmt.Errorf("trace: expected tasks array after vertices, got %v", tok)
+	}
+	if err := s.expectDelim('['); err != nil {
+		return err
+	}
+	s.inTasks = true
+	return nil
+}
+
+// NextTask returns the next task record, or ok=false once the task array is
+// exhausted. The vertex array must be drained first.
+func (s *Stream) NextTask() (TaskRec, bool, error) {
+	var rec TaskRec
+	if !s.inTasks {
+		if !s.tasksDone {
+			return rec, false, fmt.Errorf("trace: task stream not open (drain vertices first)")
+		}
+		return rec, false, nil
+	}
+	if s.dec.More() {
+		if err := s.dec.Decode(&rec); err != nil {
+			return rec, false, fmt.Errorf("trace: task record: %w", err)
+		}
+		return rec, true, nil
+	}
+	if err := s.expectDelim(']'); err != nil {
+		return rec, false, err
+	}
+	s.inTasks, s.tasksDone = false, true
+	if err := s.expectDelim('}'); err != nil {
+		return rec, false, err
+	}
+	return rec, false, nil
+}
+
+func (s *Stream) expectDelim(want json.Delim) error {
+	tok, err := s.dec.Token()
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != want {
+		return fmt.Errorf("trace: expected %q, got %v", want, tok)
+	}
+	return nil
+}

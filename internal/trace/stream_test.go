@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"powercap/internal/dag"
+)
+
+// countingReader tracks how many bytes a decoder actually pulled.
+type countingReader struct {
+	r *strings.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+// TestStreamFailsFastOnMalformedHeader: a bad version field must be
+// rejected after reading O(header) bytes, not after buffering the (here
+// deliberately enormous) vertex array.
+func TestStreamFailsFastOnMalformedHeader(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`{"version":99,"num_ranks":2,"vertices":[`)
+	rec := `{"id":0,"kind":"wait","rank":0,"iteration":-1}`
+	for i := 0; i < 200000; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(rec)
+	}
+	sb.WriteString(`],"tasks":[]}`)
+	in := sb.String()
+
+	cr := &countingReader{r: strings.NewReader(in)}
+	_, err := NewStream(cr)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("expected version error, got %v", err)
+	}
+	if cr.n > len(in)/10 {
+		t.Fatalf("header rejection consumed %d of %d bytes — not failing fast", cr.n, len(in))
+	}
+
+	// The monolithic Read wrapper inherits the same fail-fast behavior.
+	cr = &countingReader{r: strings.NewReader(in)}
+	if _, _, err := Read(cr); err == nil {
+		t.Fatal("Read accepted a bad version")
+	}
+	if cr.n > len(in)/10 {
+		t.Fatalf("Read consumed %d of %d bytes before rejecting the header", cr.n, len(in))
+	}
+}
+
+func TestStreamHeaderValidation(t *testing.T) {
+	cases := map[string]string{
+		"bad version":      `{"version":2,"num_ranks":1,"vertices":[],"tasks":[]}`,
+		"zero ranks":       `{"version":1,"num_ranks":0,"vertices":[],"tasks":[]}`,
+		"missing version":  `{"num_ranks":1,"vertices":[],"tasks":[]}`,
+		"missing ranks":    `{"version":1,"vertices":[],"tasks":[]}`,
+		"eff mismatch":     `{"version":1,"num_ranks":2,"eff_scale":[1.0],"vertices":[],"tasks":[]}`,
+		"unknown field":    `{"version":1,"num_ranks":1,"bogus":true,"vertices":[],"tasks":[]}`,
+		"tasks first":      `{"version":1,"num_ranks":1,"tasks":[],"vertices":[]}`,
+		"not an object":    `[1,2,3]`,
+		"empty input":      ``,
+		"truncated header": `{"version":1,`,
+		"empty object":     `{}`,
+	}
+	for name, in := range cases {
+		if _, err := NewStream(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected header error", name)
+		}
+	}
+}
+
+// TestStreamMatchesMonolithicDecode: streaming a canonical trace yields
+// record-for-record what the whole-file File decode yields.
+func TestStreamMatchesMonolithicDecode(t *testing.T) {
+	data := seedTrace()
+
+	var f File
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := NewStream(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := st.Header()
+	if h.Version != f.Version || h.NumRanks != f.NumRanks || h.Name != f.Name {
+		t.Fatalf("header mismatch: %+v vs file %d/%d/%q", h, f.Version, f.NumRanks, f.Name)
+	}
+	var verts []VertexRec
+	for {
+		vr, ok, err := st.NextVertex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		verts = append(verts, vr)
+	}
+	var tasks []TaskRec
+	for {
+		tr, ok, err := st.NextTask()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		tasks = append(tasks, tr)
+	}
+	if len(verts) != len(f.Vertices) || len(tasks) != len(f.Tasks) {
+		t.Fatalf("streamed %d/%d records, want %d/%d",
+			len(verts), len(tasks), len(f.Vertices), len(f.Tasks))
+	}
+	for i := range verts {
+		if verts[i] != f.Vertices[i] {
+			t.Fatalf("vertex %d differs: %+v vs %+v", i, verts[i], f.Vertices[i])
+		}
+	}
+
+	// And the Read wrapper reconstructs the identical graph.
+	g, eff, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, eff2, err := Decode(&f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.Digest(g) != dag.Digest(g2) {
+		t.Fatal("streamed graph digest differs from monolithic decode")
+	}
+	if len(eff) != len(eff2) {
+		t.Fatalf("eff scale length mismatch: %d vs %d", len(eff), len(eff2))
+	}
+}
+
+func TestStreamRejectsTaskBeforeVerticesDrained(t *testing.T) {
+	st, err := NewStream(bytes.NewReader(seedTrace()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.NextTask(); err == nil {
+		t.Fatal("NextTask before draining vertices should error")
+	}
+}

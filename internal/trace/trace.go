@@ -153,48 +153,16 @@ func DecodeCtx(ctx context.Context, f *File) (*dag.Graph, []float64, error) {
 	}
 	g := &dag.Graph{NumRanks: f.NumRanks}
 	for i, vr := range f.Vertices {
-		if vr.ID != i {
-			return nil, nil, fmt.Errorf("trace: vertex %d out of order (id %d)", i, vr.ID)
-		}
-		kind, err := vertexKindOf(vr.Kind)
+		v, err := decodeVertexRec(vr, i)
 		if err != nil {
 			return nil, nil, err
 		}
-		g.Vertices = append(g.Vertices, dag.Vertex{
-			ID: dag.VertexID(vr.ID), Kind: kind, Rank: vr.Rank,
-			Iteration: vr.Iteration, IterBoundary: vr.IterBoundary, Label: vr.Label,
-		})
+		g.Vertices = append(g.Vertices, v)
 	}
 	for i, tr := range f.Tasks {
-		if tr.ID != i {
-			return nil, nil, fmt.Errorf("trace: task %d out of order (id %d)", i, tr.ID)
-		}
-		t := dag.Task{
-			ID: dag.TaskID(tr.ID), Rank: tr.Rank,
-			Src: dag.VertexID(tr.Src), Dst: dag.VertexID(tr.Dst),
-			Iteration: tr.Iteration,
-		}
-		switch tr.Kind {
-		case "compute":
-			t.Kind = dag.Compute
-			t.Work = tr.Work
-			t.Class = tr.Class
-			if tr.Shape == nil {
-				return nil, nil, fmt.Errorf("trace: compute task %d missing shape", tr.ID)
-			}
-			t.Shape = machine.Shape{
-				SerialFrac:     tr.Shape.SerialFrac,
-				MemFrac:        tr.Shape.MemFrac,
-				MemSatThreads:  tr.Shape.MemSatThreads,
-				ContentionCoef: tr.Shape.ContentionCoef,
-				Intensity:      tr.Shape.Intensity,
-			}
-		case "message":
-			t.Kind = dag.Message
-			t.Bytes = tr.Bytes
-			t.FixedDur = tr.FixedDur
-		default:
-			return nil, nil, fmt.Errorf("trace: task %d has unknown kind %q", tr.ID, tr.Kind)
+		t, err := decodeTaskRec(tr, i)
+		if err != nil {
+			return nil, nil, err
 		}
 		g.Tasks = append(g.Tasks, t)
 	}
@@ -204,6 +172,57 @@ func DecodeCtx(ctx context.Context, f *File) (*dag.Graph, []float64, error) {
 	return g, f.EffScale, nil
 }
 
+// decodeVertexRec converts one vertex record, enforcing dense sequential
+// IDs (record i must carry id i).
+func decodeVertexRec(vr VertexRec, i int) (dag.Vertex, error) {
+	if vr.ID != i {
+		return dag.Vertex{}, fmt.Errorf("trace: vertex %d out of order (id %d)", i, vr.ID)
+	}
+	kind, err := vertexKindOf(vr.Kind)
+	if err != nil {
+		return dag.Vertex{}, err
+	}
+	return dag.Vertex{
+		ID: dag.VertexID(vr.ID), Kind: kind, Rank: vr.Rank,
+		Iteration: vr.Iteration, IterBoundary: vr.IterBoundary, Label: vr.Label,
+	}, nil
+}
+
+// decodeTaskRec converts one task record, enforcing dense sequential IDs.
+func decodeTaskRec(tr TaskRec, i int) (dag.Task, error) {
+	if tr.ID != i {
+		return dag.Task{}, fmt.Errorf("trace: task %d out of order (id %d)", i, tr.ID)
+	}
+	t := dag.Task{
+		ID: dag.TaskID(tr.ID), Rank: tr.Rank,
+		Src: dag.VertexID(tr.Src), Dst: dag.VertexID(tr.Dst),
+		Iteration: tr.Iteration,
+	}
+	switch tr.Kind {
+	case "compute":
+		t.Kind = dag.Compute
+		t.Work = tr.Work
+		t.Class = tr.Class
+		if tr.Shape == nil {
+			return dag.Task{}, fmt.Errorf("trace: compute task %d missing shape", tr.ID)
+		}
+		t.Shape = machine.Shape{
+			SerialFrac:     tr.Shape.SerialFrac,
+			MemFrac:        tr.Shape.MemFrac,
+			MemSatThreads:  tr.Shape.MemSatThreads,
+			ContentionCoef: tr.Shape.ContentionCoef,
+			Intensity:      tr.Shape.Intensity,
+		}
+	case "message":
+		t.Kind = dag.Message
+		t.Bytes = tr.Bytes
+		t.FixedDur = tr.FixedDur
+	default:
+		return dag.Task{}, fmt.Errorf("trace: task %d has unknown kind %q", tr.ID, tr.Kind)
+	}
+	return t, nil
+}
+
 // Write serializes the graph as indented JSON.
 func Write(w io.Writer, name string, g *dag.Graph, effScale []float64) error {
 	enc := json.NewEncoder(w)
@@ -211,21 +230,56 @@ func Write(w io.Writer, name string, g *dag.Graph, effScale []float64) error {
 	return enc.Encode(Encode(name, g, effScale))
 }
 
-// Read parses a JSON trace and reconstructs the graph.
+// Read parses a JSON trace and reconstructs the graph. It is a thin
+// wrapper over the streaming decoder: the header is validated before
+// either array is touched, and records are decoded one at a time instead
+// of buffering the whole file.
 func Read(r io.Reader) (*dag.Graph, []float64, error) {
 	return ReadCtx(context.Background(), r)
 }
 
-// ReadCtx is Read recorded as a trace.parse obs span, with the structural
-// decode (and its dag.validate) nested under it.
+// ReadCtx is Read recorded as a trace.parse obs span, with the graph
+// validation (dag.validate) nested under it.
 func ReadCtx(ctx context.Context, r io.Reader) (*dag.Graph, []float64, error) {
 	ctx, span := obs.Start(ctx, "trace.parse")
 	defer span.End()
-	var f File
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&f); err != nil {
-		return nil, nil, fmt.Errorf("trace: %w", err)
+	st, err := NewStream(r)
+	if err != nil {
+		return nil, nil, err
 	}
-	return DecodeCtx(ctx, &f)
+	g := &dag.Graph{NumRanks: st.Header().NumRanks}
+	for {
+		vr, ok, err := st.NextVertex()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		v, err := decodeVertexRec(vr, len(g.Vertices))
+		if err != nil {
+			return nil, nil, err
+		}
+		g.Vertices = append(g.Vertices, v)
+	}
+	for {
+		tr, ok, err := st.NextTask()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		t, err := decodeTaskRec(tr, len(g.Tasks))
+		if err != nil {
+			return nil, nil, err
+		}
+		g.Tasks = append(g.Tasks, t)
+	}
+	span.SetAttr("vertices", len(g.Vertices))
+	span.SetAttr("tasks", len(g.Tasks))
+	if err := g.ValidateCtx(ctx); err != nil {
+		return nil, nil, fmt.Errorf("trace: decoded graph invalid: %w", err)
+	}
+	return g, st.Header().EffScale, nil
 }

@@ -444,3 +444,113 @@ func BT(p Params) *Workload {
 	}
 	return &Workload{Name: "BT", Graph: b.Finalize(), EffScale: eff, Params: p}
 }
+
+// SynthParams sizes a synthetic large-trace instance (Synthetic below).
+// Zero values take defaults from normalize.
+type SynthParams struct {
+	// Ranks is the MPI process count (default 8).
+	Ranks int
+	// Events is the target vertex (MPI event) count; generation stops at
+	// the first round boundary that reaches it (default 10000).
+	Events int
+	// Seed makes the trace fully deterministic: the same (Ranks, Events,
+	// Seed, WorkScale, ZipfS, Fragments) always digest identically.
+	Seed int64
+	// WorkScale multiplies all task work (default 1).
+	WorkScale float64
+	// ZipfS is the exponent (> 1) of the Zipf-distributed phase-task work:
+	// most phases are tiny, a heavy tail dominates the makespan — the
+	// size profile that makes 100k-event traces worth coarsening
+	// (default 1.5; smaller = heavier tail).
+	ZipfS float64
+	// Fragments is the number of sub-epsilon compute slivers, separated by
+	// local MPI_Wait ordering points, emitted per rank per round — the
+	// chains internal/coarsen merges (default 6).
+	Fragments int
+}
+
+func (p SynthParams) normalize() SynthParams {
+	if p.Ranks <= 0 {
+		p.Ranks = 8
+	}
+	if p.Events <= 0 {
+		p.Events = 10000
+	}
+	if p.WorkScale <= 0 {
+		p.WorkScale = 1
+	}
+	if p.ZipfS <= 1 {
+		p.ZipfS = 1.5
+	}
+	if p.Fragments <= 0 {
+		p.Fragments = 6
+	}
+	return p
+}
+
+// syntheticShape: a generic moderately memory-bound kernel between the
+// CoMD and NAS profiles.
+func syntheticShape() machine.Shape {
+	return machine.Shape{
+		SerialFrac:    0.03,
+		MemFrac:       0.15,
+		MemSatThreads: 6,
+		Intensity:     0.8,
+	}
+}
+
+// Synthetic generates an arbitrarily large trace with the event mix an
+// instrumented production MPI code produces: per rank and round, a chain
+// of sub-millisecond compute fragments separated by MPI_Wait progress
+// points (the coarsening fodder), then one Zipf-tailed phase task; rounds
+// exchange a ring halo and periodically synchronize on a collective. It is
+// the scale harness behind `pctrace gen` and the windowed-solver exhibits:
+// Events counts vertices, so -events 100000 yields a ~100k-event trace no
+// monolithic LP can hold.
+func Synthetic(p SynthParams) *Workload {
+	p = p.normalize()
+	rng := rand.New(rand.NewSource(p.Seed))
+	eff := effScales(rng, p.Ranks, 0.015)
+	zipf := rand.NewZipf(rng, p.ZipfS, 1, 1<<12)
+	sh := syntheticShape()
+
+	b := dag.NewBuilder(p.Ranks)
+	verts := 2 // Init + Finalize
+	for r := 0; r < p.Ranks; r++ {
+		b.Compute(r, 0.01*p.WorkScale, sh, "setup")
+	}
+	// Per round, each rank adds Fragments Waits plus an Isend and a Recv.
+	perRound := p.Ranks * (p.Fragments + 2)
+	if p.Ranks == 1 {
+		perRound = p.Fragments
+	}
+	for round := 0; verts+perRound <= p.Events; round++ {
+		for r := 0; r < p.Ranks; r++ {
+			for f := 0; f < p.Fragments; f++ {
+				work := p.WorkScale * (2e-4 + 3e-4*rng.Float64())
+				b.Compute(r, work, sh, "fragment")
+				b.Wait(r)
+				verts++
+			}
+			w := p.WorkScale * 1e-3 * float64(1+zipf.Uint64())
+			b.Compute(r, w, sh, "phase")
+		}
+		if p.Ranks > 1 {
+			for r := 0; r < p.Ranks; r++ {
+				b.Isend(r, (r+1)%p.Ranks, 64<<10)
+				verts++
+			}
+			for r := 0; r < p.Ranks; r++ {
+				b.Recv(r, (r-1+p.Ranks)%p.Ranks)
+				verts++
+			}
+		}
+		if round%8 == 7 && verts+1 <= p.Events {
+			b.Collective("sync")
+			verts++
+		}
+	}
+	return &Workload{Name: "Synthetic", Graph: b.Finalize(), EffScale: eff, Params: Params{
+		Ranks: p.Ranks, Iterations: 1, Seed: p.Seed, WorkScale: p.WorkScale,
+	}}
+}

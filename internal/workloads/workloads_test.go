@@ -3,6 +3,7 @@ package workloads
 import (
 	"testing"
 
+	"powercap/internal/coarsen"
 	"powercap/internal/dag"
 )
 
@@ -154,5 +155,48 @@ func TestDefaultParams(t *testing.T) {
 	w := CoMD(Params{})
 	if w.Params.Ranks != 32 || w.Params.Iterations != 10 {
 		t.Fatalf("defaults = %+v, want 32 ranks / 10 iterations", w.Params)
+	}
+}
+
+// TestSyntheticDeterministicAndSized: the generator is seeded-deterministic
+// (same params → identical digest; different seed → different trace) and
+// lands within one round of the requested event count.
+func TestSyntheticDeterministicAndSized(t *testing.T) {
+	p := SynthParams{Ranks: 4, Events: 2000, Seed: 9}
+	a := Synthetic(p)
+	bb := Synthetic(p)
+	if dag.Digest(a.Graph) != dag.Digest(bb.Graph) {
+		t.Fatal("same params produced different traces")
+	}
+	if dag.Digest(a.Graph) == dag.Digest(Synthetic(SynthParams{Ranks: 4, Events: 2000, Seed: 10}).Graph) {
+		t.Fatal("different seeds produced identical traces")
+	}
+	if err := a.Graph.Validate(); err != nil {
+		t.Fatalf("synthetic graph invalid: %v", err)
+	}
+	n := len(a.Graph.Vertices)
+	perRound := 4 * (p.normalize().Fragments + 2)
+	if n > p.Events || n < p.Events-perRound-1 {
+		t.Fatalf("got %d vertices for -events %d (round size %d)", n, p.Events, perRound)
+	}
+}
+
+// TestSyntheticFragmentChainsMerge: the fragment/Wait chains are the
+// coarsening substrate — a work epsilon above a few fragment sizes must
+// merge a substantial share of the tasks.
+func TestSyntheticFragmentChainsMerge(t *testing.T) {
+	w := Synthetic(SynthParams{Ranks: 4, Events: 2000, Seed: 1})
+	cg, m, err := coarsen.Coarsen(w.Graph, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MergedTasks == 0 {
+		t.Fatal("no tasks merged")
+	}
+	if frac := float64(m.MergedTasks) / float64(len(w.Graph.Tasks)); frac < 0.3 {
+		t.Fatalf("only %.0f%% of tasks merged; fragment chains should dominate", frac*100)
+	}
+	if len(cg.Vertices) >= len(w.Graph.Vertices) {
+		t.Fatal("no vertices removed")
 	}
 }

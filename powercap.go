@@ -79,6 +79,16 @@ type (
 	Workload = workloads.Workload
 	// WorkloadParams sizes a workload.
 	WorkloadParams = workloads.Params
+	// WindowedOptions tunes the windowed large-trace decomposition behind
+	// SolveWindowed: window count, event overlap, coarsening epsilon, and
+	// speculative-solve parallelism.
+	WindowedOptions = core.WindowedOptions
+	// WindowedSchedule is a stitched windowed solve — a Schedule plus the
+	// decomposition's bookkeeping (window/coarsening sizes, warm-start and
+	// escalation counts, seam and simulator validation).
+	WindowedSchedule = core.WindowedSchedule
+	// SynthParams sizes a synthetic Zipf-tailed large trace (Synthetic).
+	SynthParams = workloads.SynthParams
 )
 
 // Sentinel errors re-exported for errors.Is checks.
@@ -123,11 +133,14 @@ func GraphDigest(g *Graph) string {
 // on this System: the graph digest plus everything else the resulting
 // Schedule depends on — the machine model calibration, the per-socket
 // efficiency scales (they re-shape every Pareto frontier), the job-level
-// cap, whether the solve decomposes at iteration boundaries, and which
+// cap, whether the solve decomposes at iteration boundaries, which
 // realization strategy (if any, "" for none) converts the LP solution into
-// a realizable schedule. Equal keys imply byte-for-byte interchangeable
-// results.
-func (s *System) ScheduleKey(g *Graph, jobCapW float64, whole bool, realize string) string {
+// a realizable schedule, and the windowed-decomposition parameters
+// (windows ≤ 1 and coarsenEps 0 mean the monolithic path; a windowed solve
+// with different window counts or coarsening epsilons is a different
+// schedule, so it gets a different key). Equal keys imply byte-for-byte
+// interchangeable results.
+func (s *System) ScheduleKey(g *Graph, jobCapW float64, whole bool, realize string, windows int, coarsenEps float64) string {
 	h := sha256.New()
 	d := dag.Digest(g)
 	h.Write(d[:])
@@ -144,6 +157,11 @@ func (s *System) ScheduleKey(g *Graph, jobCapW float64, whole bool, realize stri
 	}
 	binary.Write(h, binary.LittleEndian, uint64(len(realize)))
 	io.WriteString(h, realize)
+	if windows <= 1 {
+		windows = 0 // 0 and 1 are both the monolithic formulation
+	}
+	binary.Write(h, binary.LittleEndian, uint64(windows))
+	binary.Write(h, binary.LittleEndian, math.Float64bits(coarsenEps))
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -173,6 +191,11 @@ func WorkloadByName(name string, p WorkloadParams) (*Workload, error) {
 
 // WorkloadNames lists the available benchmark proxies.
 func WorkloadNames() []string { return workloads.Names() }
+
+// SyntheticWorkload generates a seeded synthetic trace with Zipf-tailed
+// phase work and mergeable fragment chains — the scaling substrate for
+// SolveWindowed (the benchmark proxies top out at a few thousand events).
+func SyntheticWorkload(p SynthParams) *Workload { return workloads.Synthetic(p) }
 
 // System bundles a socket model with the per-socket efficiency variation
 // of a concrete machine, and exposes the paper's solvers and policies.
@@ -253,6 +276,26 @@ func (s *System) UpperBoundWhole(g *Graph, jobCapW float64) (*Schedule, error) {
 // UpperBoundWholeCtx is UpperBoundWhole with per-request cancellation.
 func (s *System) UpperBoundWholeCtx(ctx context.Context, g *Graph, jobCapW float64) (*Schedule, error) {
 	return s.solver().SolveCtx(ctx, g, jobCapW)
+}
+
+// SolveWindowed solves the fixed-vertex-order LP by windowed decomposition:
+// the event order is split into overlapping windows, each window's LP is
+// solved speculatively in parallel and then committed left-to-right with
+// dual-simplex warm starts, and the per-window solutions are stitched into
+// one schedule via canonical replay and validated on the simulator. With
+// opts.CoarsenEps > 0 the graph is first coarsened by ε-bounded chain
+// merging and the solution expanded back to the original tasks. This is the
+// scalable path for 100k+-event traces the monolithic LP cannot hold in
+// memory; with Windows ≤ 1 and CoarsenEps 0 it reproduces UpperBoundWhole's
+// objective to solver tolerance (see DESIGN.md §12).
+func (s *System) SolveWindowed(g *Graph, jobCapW float64, opts WindowedOptions) (*WindowedSchedule, error) {
+	return s.solver().SolveWindowed(g, jobCapW, opts)
+}
+
+// SolveWindowedCtx is SolveWindowed with per-request cancellation, threaded
+// through every speculative and commit solve.
+func (s *System) SolveWindowedCtx(ctx context.Context, g *Graph, jobCapW float64, opts WindowedOptions) (*WindowedSchedule, error) {
+	return s.solver().SolveWindowedCtx(ctx, g, jobCapW, opts)
 }
 
 // UpperBoundDiscrete solves the fixed-vertex-order formulation with true
