@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve-smoke realization-smoke chaos-smoke fuzz-smoke obs-smoke scale-smoke check
+.PHONY: all build vet test race bench serve-smoke realization-smoke chaos-smoke fuzz-smoke obs-smoke scale-smoke market-smoke check
 
 all: check
 
@@ -64,6 +64,14 @@ scale-smoke:
 	$(GO) test -race -count=1 -run 'TestWindowed|TestSynthetic' ./internal/core/ ./internal/workloads/
 	$(GO) test -run TestScaleExhibitSmoke -count=1 -v ./cmd/experiments/
 
+# Cluster power market smoke: race-detected allocator tests (policy
+# properties, convergence, floors, degradation), then one real /v1/cluster
+# allocation against a spawned pcschedd — convergence, budget feasibility,
+# per-job cache seeding, cluster metrics, clean shutdown.
+market-smoke:
+	$(GO) test -race -count=1 ./internal/market/
+	$(GO) test -run TestMarketSmoke -count=1 -v ./cmd/pcschedd/
+
 # Bounded fuzz sessions over the trace parser and the canonical DAG digest
 # (the content-addressing the schedule cache rests on). Seeds are checked in
 # via f.Add; 5s each keeps the gate fast while still exploring.
@@ -71,4 +79,4 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzRead -fuzztime 5s ./internal/trace/
 	$(GO) test -run xxx -fuzz FuzzDigest -fuzztime 5s ./internal/dag/
 
-check: vet build race serve-smoke realization-smoke chaos-smoke obs-smoke scale-smoke fuzz-smoke
+check: vet build race serve-smoke realization-smoke chaos-smoke obs-smoke scale-smoke market-smoke fuzz-smoke

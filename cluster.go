@@ -1,0 +1,109 @@
+package powercap
+
+// Cluster power market facade. The paper's motivating setting — "total
+// machine power will be divided across multiple simultaneous jobs" — is
+// served by internal/market: each job's whole-graph LP becomes a
+// re-solvable power–time curve (core.CapSession), and AllocateCluster
+// splits one site-wide budget across the jobs under a pluggable policy.
+// See DESIGN.md §13.
+
+import (
+	"context"
+	"fmt"
+
+	"powercap/internal/core"
+	"powercap/internal/market"
+)
+
+// Cluster allocation types re-exported from internal/market.
+type (
+	// ClusterPolicy names a budget-splitting strategy: PolicyUniform,
+	// PolicyProportional, PolicyMarket, or PolicyAuction.
+	ClusterPolicy = market.Policy
+	// ClusterAllocation is a solved cluster split: per-job caps and
+	// schedules, the summed makespan the market minimizes, and the
+	// iteration/convergence trace.
+	ClusterAllocation = market.Allocation
+	// ClusterJobAllocation is one job's slice of the budget.
+	ClusterJobAllocation = market.JobAllocation
+	// ClusterTransfer is one recorded market transfer.
+	ClusterTransfer = market.Transfer
+	// ClusterOptions tunes AllocateCluster (policy, convergence tolerance,
+	// iteration cap, floor-bisection resolution, minimum transfer).
+	ClusterOptions = market.Options
+	// BudgetError reports a site budget below the sum of per-job
+	// feasibility floors, naming each binding job (errors.As target).
+	BudgetError = market.BudgetError
+)
+
+// The budget-splitting policies.
+const (
+	// PolicyUniform splits the budget equally (clamped to floors) — the
+	// site-wide analogue of Static capping, and the baseline to beat.
+	PolicyUniform = market.Uniform
+	// PolicyProportional splits in proportion to each job's saturation
+	// demand.
+	PolicyProportional = market.Proportional
+	// PolicyMarket equalizes the marginal value of power across jobs by
+	// iterative watt transfers; never worse than PolicyUniform.
+	PolicyMarket = market.Market
+	// PolicyAuction greedily grants watt quanta to the steepest bidder.
+	PolicyAuction = market.Auction
+)
+
+// ClusterPolicies lists the accepted policy names.
+func ClusterPolicies() []ClusterPolicy { return market.Policies() }
+
+// ParseClusterPolicy validates a policy name ("" defaults to the market).
+func ParseClusterPolicy(name string) (ClusterPolicy, error) { return market.ParsePolicy(name) }
+
+// CapSession is a re-solvable whole-graph LP for cap-only changes: built
+// once, re-aimed at arbitrary caps with dual-simplex warm starts. It is the
+// probe the cluster market uses on each job's power–time curve; it
+// implements market.Session and is NOT safe for concurrent use.
+type CapSession = core.CapSession
+
+// NewCapSession builds a warm re-solve session for g on this System's
+// shared solver, so the session reuses the digest-keyed problem-IR and
+// frontier caches (a graph the System has already solved costs no rebuild).
+func (s *System) NewCapSession(ctx context.Context, g *Graph) (*CapSession, error) {
+	return s.solver().NewCapSession(ctx, g)
+}
+
+// ClusterJob is one participant in a cluster allocation: a named graph plus
+// the per-socket efficiency variation of the machine partition it runs on.
+// Jobs occupy disjoint sockets, so each carries its own efficiency scales
+// (nil = 1.0 everywhere); the socket model is shared and set per call.
+type ClusterJob struct {
+	Name     string
+	Graph    *Graph
+	EffScale []float64
+}
+
+// AllocateCluster divides one site-wide power budget across jobs. Each
+// job's whole-graph LP is built once; the allocator then probes its
+// power–time curve at adaptively chosen caps with dual-simplex warm starts
+// (floor and demand bisection, then the policy's split — for PolicyMarket,
+// iterative flat→steep watt transfers until marginal values equalize
+// within tolerance or floors bind). model nil means DefaultModel. A budget
+// below the sum of per-job feasibility floors fails with a *BudgetError
+// naming the binding jobs; a job whose solver breaks down mid-allocation is
+// frozen at its last-good cap and marked Degraded instead of failing the
+// cluster. Jobs in the result are in input order.
+func AllocateCluster(ctx context.Context, jobs []ClusterJob, budgetW float64, model *Model, opts ClusterOptions) (*ClusterAllocation, error) {
+	if model == nil {
+		model = DefaultModel()
+	}
+	mjobs := make([]market.Job, len(jobs))
+	for i, j := range jobs {
+		if j.Graph == nil {
+			return nil, fmt.Errorf("powercap: cluster job %q has no graph", j.Name)
+		}
+		cs, err := core.NewSolver(model, j.EffScale).NewCapSession(ctx, j.Graph)
+		if err != nil {
+			return nil, fmt.Errorf("powercap: cluster job %q: %w", j.Name, err)
+		}
+		mjobs[i] = market.Job{Name: j.Name, Session: cs}
+	}
+	return market.Allocate(ctx, mjobs, budgetW, opts)
+}

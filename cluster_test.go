@@ -1,0 +1,68 @@
+package powercap_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"powercap"
+)
+
+// AllocateCluster end-to-end through the facade: a heterogeneous two-job
+// cluster allocates every watt usefully, preserves input order, and the
+// market split is never worse than uniform.
+func TestAllocateCluster(t *testing.T) {
+	p := powercap.WorkloadParams{Ranks: 4, Iterations: 3, Seed: 2, WorkScale: 0.3}
+	sp := powercap.NewWorkload("SP", p)
+	bt := powercap.NewWorkload("BT", p)
+	jobs := []powercap.ClusterJob{
+		{Name: "sp-0", Graph: sp.Graph, EffScale: sp.EffScale},
+		{Name: "bt-0", Graph: bt.Graph, EffScale: bt.EffScale},
+	}
+	const budget = 180
+
+	uni, err := powercap.AllocateCluster(context.Background(), jobs, budget, nil, powercap.ClusterOptions{Policy: powercap.PolicyUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkt, err := powercap.AllocateCluster(context.Background(), jobs, budget, nil, powercap.ClusterOptions{Policy: powercap.PolicyMarket})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []*powercap.ClusterAllocation{uni, mkt} {
+		if len(a.Jobs) != 2 || a.Jobs[0].Name != "sp-0" || a.Jobs[1].Name != "bt-0" {
+			t.Fatalf("%s: job order not preserved: %+v", a.Policy, a.Jobs)
+		}
+		var sum float64
+		for _, j := range a.Jobs {
+			if j.Schedule == nil || j.MakespanS <= 0 {
+				t.Fatalf("%s: job %s missing schedule", a.Policy, j.Name)
+			}
+			sum += j.CapW
+		}
+		if sum > budget+1e-6 {
+			t.Errorf("%s: allocated %.3f W over budget", a.Policy, sum)
+		}
+	}
+	if mkt.TotalMakespanS > uni.TotalMakespanS*(1+1e-9) {
+		t.Errorf("market total %.6f worse than uniform %.6f", mkt.TotalMakespanS, uni.TotalMakespanS)
+	}
+}
+
+// A starved budget surfaces the typed *BudgetError through the facade.
+func TestAllocateClusterBudgetError(t *testing.T) {
+	w := powercap.NewWorkload("CG", powercap.WorkloadParams{Ranks: 4, Iterations: 2, Seed: 1, WorkScale: 0.3})
+	jobs := []powercap.ClusterJob{{Name: "cg", Graph: w.Graph, EffScale: w.EffScale}}
+	_, err := powercap.AllocateCluster(context.Background(), jobs, 5, nil, powercap.ClusterOptions{})
+	var be *powercap.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *BudgetError", err)
+	}
+	if len(be.Floors) != 1 || be.Floors[0].Name != "cg" {
+		t.Errorf("BudgetError floors %+v should name cg", be.Floors)
+	}
+	if be.FloorSumW <= be.BudgetW || math.IsNaN(be.FloorSumW) {
+		t.Errorf("FloorSumW %g should exceed budget %g", be.FloorSumW, be.BudgetW)
+	}
+}

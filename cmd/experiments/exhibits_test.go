@@ -90,3 +90,22 @@ func TestScaleExhibitSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMarketExhibitSmoke runs the cluster-market exhibit on one small
+// heterogeneous mix. The verdict (CONFIRMED/FALSIFIED) is informational at
+// this size — the smoke test only guards the harness; the allocation
+// properties themselves are covered by internal/market's tests.
+func TestMarketExhibitSmoke(t *testing.T) {
+	cfg := tinyConfig()
+	sz := marketSizes{
+		ranks:      2,
+		iters:      2,
+		scale:      0.2,
+		mixes:      []string{"het-bt-sp"},
+		budgetFrac: 0.4,
+		tolSecPerW: 1e-3,
+	}
+	if err := runMarketSized(cfg, sz); err != nil {
+		t.Fatal(err)
+	}
+}

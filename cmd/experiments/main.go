@@ -8,7 +8,7 @@
 //
 // Exhibits: fig1 table1 fig2 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 // fig15 table3 validate configsel overheads solver service realization
-// resilience observability scale summary all.
+// resilience observability scale market summary all.
 //
 // Absolute numbers depend on the simulated machine model; the shapes (who
 // wins, by how much, where the crossovers fall) are the reproduction
@@ -69,9 +69,10 @@ func main() {
 		"resilience":    runResilience,
 		"observability": runObservability,
 		"scale":         runScale,
+		"market":        runMarket,
 	}
 	order := []string{"fig1", "table1", "fig2", "fig3", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "service", "realization", "resilience", "observability", "scale", "summary"}
+		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "service", "realization", "resilience", "observability", "scale", "market", "summary"}
 
 	var todo []string
 	for _, a := range args {

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -64,9 +65,14 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		windows  = fs.Int("windows", 0, "solve by windowed decomposition with this many event windows (> 1; the large-trace path, see DESIGN.md §12)")
 		coarsen  = fs.Float64("coarsen-eps", 0, "merge same-rank compute chains below this many seconds of work before solving (windowed path; 0 disables)")
 		events   = fs.Int("events", 0, "use a synthetic Zipf trace with this many events instead of -workload (the large-trace generator)")
+		cluster  = fs.String("cluster", "", "allocate one site-wide budget across the jobs in FILE (the /v1/cluster request schema) instead of solving a single workload; -json emits the /v1/cluster response schema")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cluster != "" {
+		return runCluster(*cluster, *jsonOut, stdout)
 	}
 
 	if *traceOut != "" {
@@ -200,6 +206,78 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			fmt.Fprintln(stdout)
 			fmt.Fprint(stdout, rep.Result.Gantt(w.Graph, 100))
 		}
+	}
+	return nil
+}
+
+// runCluster reads a cluster request (the POST /v1/cluster schema) from
+// file and divides its site-wide budget across the jobs locally — the
+// daemon-less path to the cluster power market. With -json the result is
+// emitted in the /v1/cluster response schema (minus the daemon-only
+// request_id/cache fields), so consumers can switch between CLI and
+// service freely; otherwise a per-job table plus the allocation trace
+// summary is printed.
+func runCluster(path string, jsonOut bool, stdout io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var req service.ClusterRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	ctx := context.Background()
+	jobs, wnames, budget, opts, err := service.ResolveCluster(ctx, &req)
+	if err != nil {
+		return err
+	}
+
+	alloc, err := powercap.AllocateCluster(ctx, jobs, budget, nil, opts)
+	var budgetErr *powercap.BudgetError
+	if err != nil && !errors.As(err, &budgetErr) {
+		return err
+	}
+	resp := service.NewClusterResponse(jobs, wnames, budget, opts, alloc, budgetErr, nil)
+
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(resp)
+	}
+
+	fmt.Fprintf(stdout, "cluster: %d jobs, %.1f W site budget, %s policy\n\n",
+		len(jobs), budget, resp.Policy)
+	if resp.Infeasible {
+		fmt.Fprintf(stdout, "INFEASIBLE: floors sum to %.1f W, %.1f W over budget\n\n",
+			resp.FloorSumW, resp.FloorSumW-budget)
+		fmt.Fprintf(stdout, "%-16s%12s\n", "job", "floor(W)")
+		for _, f := range resp.Floors {
+			fmt.Fprintf(stdout, "%-16s%12.1f\n", f.Name, f.FloorW)
+		}
+		return nil
+	}
+	fmt.Fprintf(stdout, "%-16s%-10s%9s%10s%11s%10s%14s%5s\n",
+		"job", "workload", "cap(W)", "floor(W)", "demand(W)", "time(s)", "marg(s/W)", "")
+	for _, j := range resp.Jobs {
+		mark := ""
+		if j.Degraded {
+			mark = " [degraded: " + j.DegradedReason + "]"
+		}
+		fmt.Fprintf(stdout, "%-16s%-10s%9.1f%10.1f%11.1f%10.3f%14.5f%s\n",
+			j.Name, j.Workload, j.CapW, j.FloorW, j.DemandW, j.MakespanS, j.MarginalSecPerW, mark)
+	}
+	accepted := 0
+	for _, tr := range resp.Transfers {
+		if tr.Accepted {
+			accepted++
+		}
+	}
+	fmt.Fprintf(stdout, "\ntotal %.3f s, slowest job %.3f s\n", resp.TotalMakespanS, resp.MaxMakespanS)
+	fmt.Fprintf(stdout, "%d iterations (%d/%d transfers accepted), %.1f W moved, marginal spread %.5f s/W, converged=%v\n",
+		resp.Iterations, accepted, len(resp.Transfers), resp.MovedW, resp.FinalSpreadSecPerW, resp.Converged)
+	if resp.Stats != nil {
+		fmt.Fprintf(stdout, "%d LP solves (%d warm starts, %d simplex + %d dual pivots)\n",
+			resp.Solves, resp.Stats.WarmStarts, resp.Stats.SimplexPivots, resp.Stats.DualPivots)
 	}
 	return nil
 }

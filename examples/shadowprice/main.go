@@ -2,6 +2,8 @@
 // marginal information a power-aware job scheduler needs when deciding
 // which job should receive the next watt (the paper's motivating setting:
 // "total machine power will be divided across multiple simultaneous jobs").
+// The sweep itself is powercap.MarginalCurve; the cluster-level allocator
+// that acts on these prices is powercap.AllocateCluster.
 //
 // Run with:
 //
@@ -9,7 +11,7 @@
 package main
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"log"
 
@@ -22,21 +24,32 @@ func main() {
 	bt := powercap.NewWorkload("BT", powercap.WorkloadParams{Ranks: 4, Iterations: 5, Seed: 2, WorkScale: 0.4})
 	lu := powercap.NewWorkload("LULESH", powercap.WorkloadParams{Ranks: 4, Iterations: 5, Seed: 2, WorkScale: 0.4})
 
+	perSocket := []float64{30, 35, 40, 50, 60, 70}
+	caps := make([]float64, len(perSocket))
+	for i, w := range perSocket {
+		caps[i] = w * 4 // 4 ranks → job-level caps
+	}
+
+	curves := make(map[string][]powercap.MarginalPoint)
+	for _, w := range []*powercap.Workload{bt, lu} {
+		curve, err := powercap.SystemFor(w, nil).MarginalCurve(context.Background(), w.Graph, caps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		curves[w.Name] = curve
+	}
+
 	fmt.Println("Marginal value of power (seconds of makespan per extra watt):")
 	fmt.Printf("%-12s%16s%16s\n", "W/socket", "BT (s/W)", "LULESH (s/W)")
-	for _, perSocket := range []float64{30, 35, 40, 50, 60, 70} {
-		row := fmt.Sprintf("%-12.0f", perSocket)
-		for _, w := range []*powercap.Workload{bt, lu} {
-			sys := powercap.SystemFor(w, nil)
-			sched, err := sys.UpperBound(w.Graph, perSocket*4)
-			if err != nil {
-				if errors.Is(err, powercap.ErrInfeasible) {
-					row += fmt.Sprintf("%16s", "infeasible")
-					continue
-				}
-				log.Fatal(err)
+	for i, w := range perSocket {
+		row := fmt.Sprintf("%-12.0f", w)
+		for _, name := range []string{bt.Name, lu.Name} {
+			pt := curves[name][i]
+			if pt.Infeasible {
+				row += fmt.Sprintf("%16s", "infeasible")
+			} else {
+				row += fmt.Sprintf("%16.4f", pt.MarginalSecPerW)
 			}
-			row += fmt.Sprintf("%16.4f", sched.MarginalSecPerW)
 		}
 		fmt.Println(row)
 	}

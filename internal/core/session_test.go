@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"powercap/internal/machine"
+	"powercap/internal/workloads"
+)
+
+// A CapSession must reproduce fresh whole-graph solves exactly: same
+// objective (1e-9 relative) and same shadow price at every cap, in any
+// probing order, while actually reusing its basis.
+func TestCapSessionMatchesFreshSolves(t *testing.T) {
+	w := workloads.BT(workloads.Params{Ranks: 4, Iterations: 3, Seed: 3, WorkScale: 0.3})
+	s := NewSolver(machine.Default(), w.EffScale)
+	cs, err := s.NewCapSession(context.Background(), w.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deliberately non-monotone cap order: the market probes adaptively.
+	caps := []float64{200, 130, 170, 110, 240, 120}
+	fresh := NewSolver(machine.Default(), w.EffScale)
+	for _, capW := range caps {
+		got, err := cs.SolveAt(context.Background(), capW)
+		want, werr := fresh.Solve(w.Graph, capW)
+		if (err == nil) != (werr == nil) {
+			t.Fatalf("cap %.0f: session err=%v fresh err=%v", capW, err, werr)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("cap %.0f: %v", capW, err)
+			}
+			continue
+		}
+		if rel := math.Abs(got.MakespanS-want.MakespanS) / want.MakespanS; rel > 1e-9 {
+			t.Errorf("cap %.0f: session makespan %.12f vs fresh %.12f (rel %.2e)",
+				capW, got.MakespanS, want.MakespanS, rel)
+		}
+		if d := math.Abs(got.MarginalSecPerW - want.MarginalSecPerW); d > 1e-7 {
+			t.Errorf("cap %.0f: session marginal %.10f vs fresh %.10f", capW, got.MarginalSecPerW, want.MarginalSecPerW)
+		}
+	}
+	if cs.Stats().WarmStarts == 0 {
+		t.Errorf("session never warm started across %d solves", len(caps))
+	}
+}
+
+// Infeasible probes must surface ErrInfeasible without poisoning the
+// session: a feasible cap afterwards still solves correctly.
+func TestCapSessionInfeasibleRecovery(t *testing.T) {
+	w := workloads.SP(workloads.Params{Ranks: 4, Iterations: 3, Seed: 1, WorkScale: 0.3})
+	s := NewSolver(machine.Default(), w.EffScale)
+	cs, err := s.NewCapSession(context.Background(), w.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.SolveAt(context.Background(), 200); err != nil {
+		t.Fatalf("feasible cap: %v", err)
+	}
+	if _, err := cs.SolveAt(context.Background(), 1); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("cap 1 W: got %v, want ErrInfeasible", err)
+	}
+	got, err := cs.SolveAt(context.Background(), 200)
+	if err != nil {
+		t.Fatalf("post-infeasible solve: %v", err)
+	}
+	want, err := NewSolver(machine.Default(), w.EffScale).Solve(w.Graph, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got.MakespanS-want.MakespanS) / want.MakespanS; rel > 1e-9 {
+		t.Errorf("post-infeasible makespan %.12f vs fresh %.12f", got.MakespanS, want.MakespanS)
+	}
+}
+
+// Cancellation inside a session solve must wrap the context error.
+func TestCapSessionCancel(t *testing.T) {
+	w := workloads.BT(workloads.Params{Ranks: 8, Iterations: 4, Seed: 1, WorkScale: 1})
+	s := NewSolver(machine.Default(), w.EffScale)
+	cs, err := s.NewCapSession(context.Background(), w.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cs.SolveAt(ctx, 300); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled solve: got %v, want context.Canceled in chain", err)
+	}
+}

@@ -1,0 +1,305 @@
+package market
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"powercap/internal/core"
+	"powercap/internal/machine"
+	"powercap/internal/workloads"
+)
+
+func job(t *testing.T, name string, w *workloads.Workload) Job {
+	t.Helper()
+	s := core.NewSolver(machine.Default(), w.EffScale)
+	cs, err := s.NewCapSession(context.Background(), w.Graph)
+	if err != nil {
+		t.Fatalf("session for %s: %v", name, err)
+	}
+	return Job{Name: name, Session: cs}
+}
+
+// Small heterogeneous mix: SP is communication-heavy (flat curve saturates
+// early), BT compute-heavy (steep curve), CG in between. Sized for the
+// 1-CPU test runner.
+func hetJobs(t *testing.T) []Job {
+	t.Helper()
+	p := workloads.Params{Ranks: 4, Iterations: 3, Seed: 2, WorkScale: 0.3}
+	return []Job{
+		job(t, "sp", workloads.SP(p)),
+		job(t, "bt", workloads.BT(p)),
+		job(t, "cg", workloads.CG(p)),
+	}
+}
+
+// A budget below the sum of per-job feasibility floors must fail with the
+// typed *BudgetError naming every job's floor, largest first.
+func TestBudgetBelowFloorSum(t *testing.T) {
+	jobs := hetJobs(t)
+	_, err := Allocate(context.Background(), jobs, 30, Options{Policy: Market})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *BudgetError", err)
+	}
+	if be.BudgetW != 30 {
+		t.Errorf("BudgetW = %g, want 30", be.BudgetW)
+	}
+	if be.FloorSumW <= 30 {
+		t.Errorf("FloorSumW = %g, should exceed the 30 W budget", be.FloorSumW)
+	}
+	if len(be.Floors) != len(jobs) {
+		t.Fatalf("Floors names %d jobs, want %d", len(be.Floors), len(jobs))
+	}
+	names := map[string]bool{}
+	var sum float64
+	for i, f := range be.Floors {
+		names[f.Name] = true
+		sum += f.FloorW
+		if i > 0 && f.FloorW > be.Floors[i-1].FloorW {
+			t.Errorf("Floors not sorted largest-first: %v", be.Floors)
+		}
+	}
+	for _, j := range jobs {
+		if !names[j.Name] {
+			t.Errorf("floor list missing job %q", j.Name)
+		}
+	}
+	if math.Abs(sum-be.FloorSumW) > 1e-9 {
+		t.Errorf("FloorSumW %g != sum of listed floors %g", be.FloorSumW, sum)
+	}
+	if !strings.Contains(be.Error(), "bt") {
+		t.Errorf("error text should name binding jobs: %q", be.Error())
+	}
+}
+
+// A one-job cluster must reduce to the plain single-job solve: the whole
+// budget goes to the job and its makespan matches a fresh whole-graph solve
+// at that cap to 1e-9.
+func TestOneJobEqualsPlainSolve(t *testing.T) {
+	w := workloads.BT(workloads.Params{Ranks: 4, Iterations: 3, Seed: 5, WorkScale: 0.3})
+	const budget = 150
+	for _, pol := range Policies() {
+		a, err := Allocate(context.Background(), []Job{job(t, "only", w)}, budget, Options{Policy: pol})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if len(a.Jobs) != 1 {
+			t.Fatalf("%s: %d jobs in result", pol, len(a.Jobs))
+		}
+		got := a.Jobs[0]
+		// Auction stops granting once the job saturates; everyone else
+		// hands the single job the full budget.
+		wantCap := float64(budget)
+		if pol == Auction && got.CapW < budget {
+			wantCap = got.CapW
+			if got.MarginalSecPerW < -1e-6 {
+				t.Errorf("auction under-granted a non-saturated job: cap %.1f marginal %g", got.CapW, got.MarginalSecPerW)
+			}
+		}
+		want, werr := core.NewSolver(machine.Default(), w.EffScale).Solve(w.Graph, wantCap)
+		if werr != nil {
+			t.Fatalf("%s: fresh solve: %v", pol, werr)
+		}
+		if rel := math.Abs(got.MakespanS-want.MakespanS) / want.MakespanS; rel > 1e-9 {
+			t.Errorf("%s: one-job makespan %.12f vs plain solve %.12f (rel %.2e)",
+				pol, got.MakespanS, want.MakespanS, rel)
+		}
+		if math.Abs(a.TotalMakespanS-got.MakespanS) > 1e-12 {
+			t.Errorf("%s: total %.12f != only job %.12f", pol, a.TotalMakespanS, got.MakespanS)
+		}
+	}
+}
+
+// Convergence property: when the market reports Converged, the recomputed
+// marginal-value spread (steepest job minus flattest donor) is within the
+// tolerance, and the reported FinalSpreadSecPerW agrees.
+func TestMarketConvergenceProperty(t *testing.T) {
+	opts := Options{Policy: Market, ToleranceSecPerW: 1e-3, MaxIterations: 80}
+	a, err := Allocate(context.Background(), hetJobs(t), 260, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Converged {
+		t.Fatalf("market did not converge in %d iterations (spread %g)", a.Iterations, a.FinalSpreadSecPerW)
+	}
+	maxM := math.Inf(-1)
+	minDonor := math.Inf(1)
+	for _, j := range a.Jobs {
+		if j.Degraded {
+			t.Fatalf("job %s degraded: %s", j.Name, j.Reason)
+		}
+		m := math.Max(0, -j.MarginalSecPerW)
+		maxM = math.Max(maxM, m)
+		if j.CapW-j.FloorW > 0.05 {
+			minDonor = math.Min(minDonor, m)
+		}
+	}
+	sp := 0.0
+	if !math.IsInf(maxM, -1) && !math.IsInf(minDonor, 1) {
+		sp = math.Max(0, maxM-minDonor)
+	}
+	if sp > opts.ToleranceSecPerW+1e-12 {
+		t.Errorf("converged with recomputed spread %g > tolerance %g", sp, opts.ToleranceSecPerW)
+	}
+	if math.Abs(sp-a.FinalSpreadSecPerW) > 1e-9 {
+		t.Errorf("FinalSpreadSecPerW %g != recomputed %g", a.FinalSpreadSecPerW, sp)
+	}
+}
+
+// The market starts from the uniform split and only accepts improving
+// transfers, so on any mix — heterogeneous or not — its total makespan is
+// never worse than uniform's, and on this heterogeneous mix it must be
+// strictly better.
+func TestMarketNeverWorseThanUniform(t *testing.T) {
+	const budget = 260
+	uni, err := Allocate(context.Background(), hetJobs(t), budget, Options{Policy: Uniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkt, err := Allocate(context.Background(), hetJobs(t), budget, Options{Policy: Market})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mkt.TotalMakespanS > uni.TotalMakespanS*(1+1e-9) {
+		t.Errorf("market total %.6f worse than uniform %.6f", mkt.TotalMakespanS, uni.TotalMakespanS)
+	}
+	if mkt.TotalMakespanS >= uni.TotalMakespanS-1e-9 {
+		t.Errorf("market %.6f not strictly better than uniform %.6f on a heterogeneous mix",
+			mkt.TotalMakespanS, uni.TotalMakespanS)
+	}
+	if mkt.MovedW <= 0 {
+		t.Errorf("market moved no watts on a heterogeneous mix")
+	}
+	// Accepted transfers must strictly descend in total makespan.
+	last := math.Inf(1)
+	for _, tr := range mkt.Transfers {
+		if tr.Accepted {
+			if tr.TotalMakespanS >= last {
+				t.Errorf("iteration %d: accepted transfer did not reduce total (%.9f → %.9f)",
+					tr.Iteration, last, tr.TotalMakespanS)
+			}
+			last = tr.TotalMakespanS
+		}
+	}
+}
+
+// Every policy must respect the budget and per-job floors.
+func TestPoliciesRespectBudgetAndFloors(t *testing.T) {
+	const budget = 240
+	for _, pol := range Policies() {
+		a, err := Allocate(context.Background(), hetJobs(t), budget, Options{Policy: pol})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		var sum float64
+		for _, j := range a.Jobs {
+			if j.CapW < j.FloorW-1e-9 {
+				t.Errorf("%s: job %s cap %.3f below floor %.3f", pol, j.Name, j.CapW, j.FloorW)
+			}
+			if j.Schedule == nil {
+				t.Errorf("%s: job %s has no schedule", pol, j.Name)
+			}
+			sum += j.CapW
+		}
+		if sum > budget+1e-6 {
+			t.Errorf("%s: allocated %.3f W over the %d W budget", pol, sum, budget)
+		}
+		if a.Solves == 0 {
+			t.Errorf("%s: zero solves recorded", pol)
+		}
+	}
+}
+
+// Structural validation errors.
+func TestAllocateRejectsBadInput(t *testing.T) {
+	w := workloads.CG(workloads.Params{Ranks: 4, Iterations: 2, Seed: 1, WorkScale: 0.3})
+	good := job(t, "a", w)
+	cases := []struct {
+		name   string
+		jobs   []Job
+		budget float64
+		opts   Options
+	}{
+		{"no jobs", nil, 100, Options{}},
+		{"zero budget", []Job{good}, 0, Options{}},
+		{"nan budget", []Job{good}, math.NaN(), Options{}},
+		{"empty name", []Job{{Name: "", Session: good.Session}}, 100, Options{}},
+		{"dup names", []Job{good, {Name: "a", Session: good.Session}}, 100, Options{}},
+		{"nil session", []Job{{Name: "x"}}, 100, Options{}},
+		{"bad policy", []Job{good}, 100, Options{Policy: "vickrey"}},
+	}
+	for _, tc := range cases {
+		if _, err := Allocate(context.Background(), tc.jobs, tc.budget, tc.opts); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// Cancellation surfaces instead of degrading jobs.
+func TestAllocateCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Allocate(ctx, hetJobs(t), 260, Options{Policy: Market})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled in chain", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	if p, err := ParsePolicy(""); err != nil || p != Market {
+		t.Errorf("empty policy: got %v/%v, want market default", p, err)
+	}
+	if p, err := ParsePolicy(" Uniform "); err != nil || p != Uniform {
+		t.Errorf("case/space-insensitive parse failed: %v/%v", p, err)
+	}
+	if _, err := ParsePolicy("round-robin"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// A session that breaks down mid-market must degrade its job (frozen at the
+// last-good cap) without failing the allocation.
+type flakySession struct {
+	inner     Session
+	failAfter int
+	calls     int
+}
+
+func (f *flakySession) SolveAt(ctx context.Context, capW float64) (*core.Schedule, error) {
+	f.calls++
+	if f.calls > f.failAfter {
+		return nil, errors.New("injected breakdown")
+	}
+	return f.inner.SolveAt(ctx, capW)
+}
+func (f *flakySession) FixedFloorW() float64 { return f.inner.FixedFloorW() }
+func (f *flakySession) Stats() core.Stats    { return f.inner.Stats() }
+
+func TestMarketDegradesBrokenJob(t *testing.T) {
+	jobs := hetJobs(t)
+	// Let floor+demand discovery succeed (~17 deterministic solves on this
+	// mix), then break during trading (the full market run takes ~29).
+	jobs[1].Session = &flakySession{inner: jobs[1].Session, failAfter: 20}
+	a, err := Allocate(context.Background(), jobs, 260, Options{Policy: Market})
+	if err != nil {
+		t.Fatalf("allocation failed instead of degrading: %v", err)
+	}
+	degraded := 0
+	for _, j := range a.Jobs {
+		if j.Degraded {
+			degraded++
+			if j.Reason == "" {
+				t.Errorf("degraded job %s has no reason", j.Name)
+			}
+			if j.Schedule == nil {
+				t.Errorf("degraded job %s lost its last-good schedule", j.Name)
+			}
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no job degraded despite injected breakdown")
+	}
+}

@@ -127,6 +127,17 @@ func (c *cache) DoMaybe(ctx context.Context, key string, fn func() (val any, cac
 	return f.val, hitMiss, f.err
 }
 
+// Put inserts a finished value directly, bypassing singleflight — used for
+// by-product schedules (a cluster allocation's per-job solves) whose keys
+// differ from the request that produced them. An in-flight solve for the
+// same key is unaffected: it will overwrite this entry when it lands, with
+// an identical value (equal keys imply interchangeable results).
+func (c *cache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(key, val)
+}
+
 // Get is a non-coalescing lookup (used by tests and the bench harness).
 func (c *cache) Get(key string) (any, bool) {
 	c.mu.Lock()

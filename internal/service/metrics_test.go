@@ -85,13 +85,23 @@ func TestMetricsConformance(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 2})
 	// Exercise enough of the service that every dynamic family renders:
 	// a traced solve (stage histograms + traced counter), a repeat (cache
-	// hit), and a bad request.
+	// hit), a bad request, and a cluster allocation (cluster counters, the
+	// iteration count histogram, and the moved-watts float counter).
 	if code, body := postJSON(t, ts.URL+"/v1/solve?trace=1",
 		SolveRequest{Workload: fastWL, CapPerSocketW: 50}); code != http.StatusOK {
 		t.Fatalf("solve: %d (%s)", code, body)
 	}
 	postJSON(t, ts.URL+"/v1/solve", SolveRequest{Workload: fastWL, CapPerSocketW: 50})
 	postJSON(t, ts.URL+"/v1/solve", SolveRequest{Workload: fastWL})
+	if code, body := postJSON(t, ts.URL+"/v1/cluster", ClusterRequest{
+		Jobs: []ClusterJobSpec{
+			{Name: "a", Workload: fastWL},
+			{Name: "b", Workload: &WorkloadSpec{Name: "SP", Ranks: 2, Iters: 3, Seed: 2, Scale: 0.15}},
+		},
+		BudgetW: 130,
+	}); code != http.StatusOK {
+		t.Fatalf("cluster: %d (%s)", code, body)
+	}
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -182,6 +192,9 @@ func TestMetricsConformance(t *testing.T) {
 		"pcschedd_traced_requests_total", "pcschedd_inflight_requests",
 		"pcschedd_request_latency_seconds", "pcschedd_stage_latency_seconds",
 		"pcschedd_goroutines", "pcschedd_cache_entries", "pcschedd_build_info",
+		"pcschedd_cluster_allocations_total", "pcschedd_cluster_jobs_allocated_total",
+		"pcschedd_cluster_converged_total", "pcschedd_cluster_iterations",
+		"pcschedd_cluster_moved_watts_total",
 	} {
 		if !seen[fam] {
 			t.Errorf("expected family %s missing from /metrics", fam)

@@ -158,6 +158,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/solve", s.api(s.handleSolve))
 	s.mux.HandleFunc("POST /v1/sweep", s.api(s.handleSweep))
 	s.mux.HandleFunc("POST /v1/compare", s.api(s.handleCompare))
+	s.mux.HandleFunc("POST /v1/cluster", s.api(s.handleCluster))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Runtime profiles on the service mux (the daemon does not use

@@ -1,0 +1,72 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Named job mixes for the cluster power market (DESIGN.md §13). Each mix is
+// a small fleet of jobs meant to share one site-wide power budget; the
+// heterogeneous ones pair workloads with deliberately different power–time
+// curves (BT's static imbalance vs SP's flat profile, CG's memory-bound
+// saturation vs FT's compute appetite) so shadow prices actually diverge
+// and the market has trades to make. The homogeneous mix is the control:
+// identical curves mean uniform is already optimal and the market should
+// tie it, not beat it.
+
+// MixJob is one job of a named cluster mix.
+type MixJob struct {
+	Name     string
+	Workload *Workload
+}
+
+// MixNames lists the named cluster mixes in presentation order: the
+// homogeneous control first, then increasingly heterogeneous fleets.
+func MixNames() []string {
+	return []string{"hom-sp", "het-bt-sp", "het-4mix", "het-zipf"}
+}
+
+// Mix builds the named job mix at the given base parameters. Jobs within a
+// mix draw consecutive seeds from p.Seed so no two jobs share imbalance
+// noise, and every job inherits p's ranks/iterations/work scale.
+func Mix(name string, p Params) ([]MixJob, error) {
+	p = p.normalize()
+	at := func(off int64) Params { q := p; q.Seed = p.Seed + off; return q }
+	switch strings.ToLower(name) {
+	case "hom-sp":
+		return []MixJob{
+			{Name: "sp-0", Workload: SP(at(0))},
+			{Name: "sp-1", Workload: SP(at(1))},
+			{Name: "sp-2", Workload: SP(at(2))},
+		}, nil
+	case "het-bt-sp":
+		return []MixJob{
+			{Name: "bt-0", Workload: BT(at(0))},
+			{Name: "sp-0", Workload: SP(at(1))},
+		}, nil
+	case "het-4mix":
+		return []MixJob{
+			{Name: "sp-0", Workload: SP(at(0))},
+			{Name: "bt-0", Workload: BT(at(1))},
+			{Name: "cg-0", Workload: CG(at(2))},
+			{Name: "ft-0", Workload: FT(at(3))},
+		}, nil
+	case "het-zipf":
+		// The synthetic job's event budget tracks the benchmark jobs'
+		// trace size (a handful of vertices per rank per iteration) so one
+		// job doesn't dwarf the mix.
+		return []MixJob{
+			{Name: "bt-0", Workload: BT(at(0))},
+			{Name: "sp-0", Workload: SP(at(1))},
+			{Name: "zipf-0", Workload: Synthetic(SynthParams{
+				Ranks:     p.Ranks,
+				Events:    p.Ranks * (p.Iterations + 2) * 8,
+				Seed:      p.Seed + 2,
+				WorkScale: p.WorkScale,
+				Fragments: 2,
+			})},
+		}, nil
+	default:
+		return nil, fmt.Errorf("workloads: unknown mix %q (have %v)", name, MixNames())
+	}
+}

@@ -2,6 +2,7 @@ package powercap
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -135,6 +136,46 @@ func (s *System) SweepParallel(g *Graph, jobCapsW []float64, workers int) ([]Swe
 		return nil, firstErr
 	}
 	return pts, nil
+}
+
+// MarginalPoint is one cap on a job's power–time curve: the LP bound and
+// the shadow price of power (d makespan / d cap, ≤ 0) at that cap, or the
+// infeasibility marker below the feasibility floor.
+type MarginalPoint struct {
+	CapW            float64
+	MakespanS       float64
+	MarginalSecPerW float64
+	Infeasible      bool
+}
+
+// MarginalCurve traces a job's power–time curve: the whole-graph LP is
+// built once and re-solved at every cap in jobCapsW with dual-simplex warm
+// starts, and each feasible point reports the makespan bound together with
+// the power constraint's shadow price. The duals are the marginal
+// information a cluster-level allocator needs (see AllocateCluster): a
+// steep point buys more time per watt than a flat one, and by LP convexity
+// |MarginalSecPerW| is non-increasing as the cap grows, decaying to 0 once
+// the job saturates. Infeasible caps set Infeasible rather than failing the
+// curve; the returned error is reserved for problems with the graph itself.
+func (s *System) MarginalCurve(ctx context.Context, g *Graph, jobCapsW []float64) ([]MarginalPoint, error) {
+	pts, err := s.solver().SolveSweepCtx(ctx, g, jobCapsW)
+	if err != nil {
+		return nil, err
+	}
+	curve := make([]MarginalPoint, len(pts))
+	for i, pt := range pts {
+		curve[i] = MarginalPoint{CapW: jobCapsW[i]}
+		switch {
+		case pt.Err == nil:
+			curve[i].MakespanS = pt.Schedule.MakespanS
+			curve[i].MarginalSecPerW = pt.Schedule.MarginalSecPerW
+		case errors.Is(pt.Err, ErrInfeasible):
+			curve[i].Infeasible = true
+		default:
+			return nil, fmt.Errorf("powercap: marginal curve at %.1f W: %w", jobCapsW[i], pt.Err)
+		}
+	}
+	return curve, nil
 }
 
 // SweepJob names one workload's sweep in a multi-workload fan-out.

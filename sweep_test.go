@@ -1,6 +1,7 @@
 package powercap_test
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -235,4 +236,50 @@ func TestParseSweepSpec(t *testing.T) {
 			}
 		}
 	})
+}
+
+// MarginalCurve pins the shadow price's two structural properties: it is
+// never positive (an extra watt cannot hurt the LP bound), and by convexity
+// its magnitude decays monotonically as the cap loosens, reaching ≈ 0 once
+// the job saturates.
+func TestMarginalCurveSignAndDecay(t *testing.T) {
+	w := powercap.NewWorkload("BT", powercap.WorkloadParams{Ranks: 4, Iterations: 3, Seed: 2, WorkScale: 0.3})
+	// Descending caps, from a saturating 500 W/socket head down into the
+	// infeasible regime.
+	caps := append([]float64{500 * float64(w.Graph.NumRanks)}, sweepCaps(w)...)
+	curve, err := powercap.SystemFor(w, nil).MarginalCurve(context.Background(), w.Graph, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != len(caps) {
+		t.Fatalf("curve has %d points for %d caps", len(curve), len(caps))
+	}
+	feasible, infeasible := 0, 0
+	prevMag := 0.0 // caps descend, so |marginal| must never shrink
+	for i, pt := range curve {
+		if pt.CapW != caps[i] {
+			t.Fatalf("point %d: CapW %.1f, want %.1f", i, pt.CapW, caps[i])
+		}
+		if pt.Infeasible {
+			infeasible++
+			continue
+		}
+		feasible++
+		if pt.MarginalSecPerW > 1e-12 {
+			t.Errorf("cap %.0f W: positive shadow price %g (extra watts cannot hurt)", pt.CapW, pt.MarginalSecPerW)
+		}
+		if mag := -pt.MarginalSecPerW; mag < prevMag-1e-9 {
+			t.Errorf("cap %.0f W: |marginal| %.6g shrank from %.6g as the cap tightened — decay toward zero must be monotone in the cap",
+				pt.CapW, mag, prevMag)
+		} else {
+			prevMag = mag
+		}
+	}
+	if feasible == 0 || infeasible == 0 {
+		t.Fatalf("sweep should cross the feasibility floor: %d feasible, %d infeasible", feasible, infeasible)
+	}
+	// At the saturating head cap, power stops mattering: ≈ zero price.
+	if m := -curve[0].MarginalSecPerW; m > 1e-6 {
+		t.Errorf("saturating cap %.0f W still prices power at %g s/W", curve[0].CapW, m)
+	}
 }
