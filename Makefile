@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve-smoke realization-smoke chaos-smoke fuzz-smoke obs-smoke scale-smoke market-smoke check
+.PHONY: all build vet test race bench serve-smoke realization-smoke chaos-smoke fuzz-smoke obs-smoke scale-smoke market-smoke kernel-smoke check
 
 all: check
 
@@ -72,11 +72,21 @@ market-smoke:
 	$(GO) test -race -count=1 ./internal/market/
 	$(GO) test -run TestMarketSmoke -count=1 -v ./cmd/pcschedd/
 
-# Bounded fuzz sessions over the trace parser and the canonical DAG digest
-# (the content-addressing the schedule cache rests on). Seeds are checked in
-# via f.Add; 5s each keeps the gate fast while still exploring.
+# LP kernel smoke: race-detected runs of the lp packages (basis engines,
+# presolve round-trip, pricing, degenerate-cycling guards — the tests cover
+# both the LU and eta engines), then one warm CapSession probe sequence on
+# the LU engine through internal/core.
+kernel-smoke:
+	$(GO) test -race -count=1 ./internal/lp/...
+	$(GO) test -race -count=1 -run 'TestCapSessionWarmProbeEngines|TestEngineEquivalenceGoldenObjectives' ./internal/core/
+
+# Bounded fuzz sessions over the trace parser, the canonical DAG digest
+# (the content-addressing the schedule cache rests on), and the Markowitz
+# sparse LU factorization (factor → FTRAN/BTRAN vs dense LU). Seeds are
+# checked in via f.Add; 5s each keeps the gate fast while still exploring.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzRead -fuzztime 5s ./internal/trace/
 	$(GO) test -run xxx -fuzz FuzzDigest -fuzztime 5s ./internal/dag/
+	$(GO) test -run xxx -fuzz FuzzLU -fuzztime 5s ./internal/lp/basis/
 
-check: vet build race serve-smoke realization-smoke chaos-smoke obs-smoke scale-smoke market-smoke fuzz-smoke
+check: vet build race serve-smoke realization-smoke chaos-smoke obs-smoke scale-smoke market-smoke kernel-smoke fuzz-smoke

@@ -91,6 +91,27 @@ func TestScaleExhibitSmoke(t *testing.T) {
 	}
 }
 
+// TestKernelExhibitSmoke runs the LP-kernel exhibit at a tiny size: the
+// engine×pricing grid on an 4-rank sweep, one extra scale row, a two-point
+// frontier ladder, and a small windowed zero-rescue run.
+func TestKernelExhibitSmoke(t *testing.T) {
+	cfg := tinyConfig()
+	sz := kernelSizes{
+		gridRanks:    4,
+		scaleRanks:   []int{8},
+		sweepIters:   4,
+		ladderRanks:  2,
+		ladder:       []int{200, 300},
+		ladderPerW:   50,
+		pointBudgetS: 60,
+		windowEvents: 800,
+		coarsenEps:   2e-3,
+	}
+	if err := runKernelSized(cfg, sz); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestMarketExhibitSmoke runs the cluster-market exhibit on one small
 // heterogeneous mix. The verdict (CONFIRMED/FALSIFIED) is informational at
 // this size — the smoke test only guards the harness; the allocation

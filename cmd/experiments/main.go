@@ -7,8 +7,8 @@
 //	experiments -ranks 32 all
 //
 // Exhibits: fig1 table1 fig2 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-// fig15 table3 validate configsel overheads solver service realization
-// resilience observability scale market summary all.
+// fig15 table3 validate configsel overheads solver kernel service
+// realization resilience observability scale market summary all.
 //
 // Absolute numbers depend on the simulated machine model; the shapes (who
 // wins, by how much, where the crossovers fall) are the reproduction
@@ -70,9 +70,10 @@ func main() {
 		"observability": runObservability,
 		"scale":         runScale,
 		"market":        runMarket,
+		"kernel":        runKernel,
 	}
 	order := []string{"fig1", "table1", "fig2", "fig3", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "service", "realization", "resilience", "observability", "scale", "market", "summary"}
+		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "kernel", "service", "realization", "resilience", "observability", "scale", "market", "summary"}
 
 	var todo []string
 	for _, a := range args {

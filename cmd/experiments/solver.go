@@ -22,6 +22,8 @@ import (
 // solverRun is one strategy's aggregate over the sweep.
 type solverRun struct {
 	Name       string  `json:"name"`
+	Engine     string  `json:"engine,omitempty"`
+	Pricing    string  `json:"pricing,omitempty"`
 	WallS      float64 `json:"wall_s"`
 	Solves     int     `json:"solves"`
 	Pivots     int     `json:"pivots"`
@@ -59,9 +61,10 @@ func runSolver(cfg config) error {
 		caps = append(caps, per*float64(cfg.ranks))
 	}
 
-	measure := func(name string, backend lp.Backend, warm bool) (solverRun, error) {
+	measure := func(name string, backend lp.Backend, eng lp.Engine, pri lp.Pricing, warm bool) (solverRun, error) {
 		s := core.NewSolver(machine.Default(), w.EffScale)
 		s.Backend = backend
+		s.Engine, s.Pricing = eng, pri
 		var st core.Stats
 		start := time.Now()
 		if warm {
@@ -84,41 +87,57 @@ func runSolver(cfg config) error {
 				st.Add(sched.Stats)
 			}
 		}
-		return solverRun{
+		run := solverRun{
 			Name:       name,
 			WallS:      time.Since(start).Seconds(),
 			Solves:     st.Solves,
 			Pivots:     st.SimplexIter,
 			DualPivots: st.DualIter,
 			WarmStarts: st.WarmStarts,
-		}, nil
+		}
+		if backend == lp.BackendSparse {
+			run.Engine, run.Pricing = eng.String(), pri.String()
+		}
+		return run, nil
 	}
 
+	// The sparse rows run both the shipped kernel (LU + steepest edge) and
+	// the legacy one (eta file + Dantzig) so the engine/pricing columns show
+	// what the kernel refactor buys at this scale; the "kernel" exhibit
+	// measures the full grid at 64-256 ranks.
 	var runs []solverRun
 	for _, spec := range []struct {
 		name    string
 		backend lp.Backend
+		engine  lp.Engine
+		pricing lp.Pricing
 		warm    bool
 	}{
-		{"dense-cold", lp.BackendDense, false},
-		{"sparse-cold", lp.BackendSparse, false},
-		{"sparse-warm", lp.BackendSparse, true},
+		{"dense-cold", lp.BackendDense, lp.EngineAuto, lp.PricingAuto, false},
+		{"sparse-cold", lp.BackendSparse, lp.EngineLU, lp.PricingSteepest, false},
+		{"sparse-cold-legacy", lp.BackendSparse, lp.EngineEta, lp.PricingDantzig, false},
+		{"sparse-warm", lp.BackendSparse, lp.EngineLU, lp.PricingSteepest, true},
+		{"sparse-warm-legacy", lp.BackendSparse, lp.EngineEta, lp.PricingDantzig, true},
 	} {
 		fmt.Fprintf(os.Stderr, "  sweeping %s...\n", spec.name)
-		r, err := measure(spec.name, spec.backend, spec.warm)
+		r, err := measure(spec.name, spec.backend, spec.engine, spec.pricing, spec.warm)
 		if err != nil {
 			return err
 		}
 		runs = append(runs, r)
 	}
 
-	fmt.Printf("%-14s%10s%8s%10s%8s%8s\n", "strategy", "wall(s)", "solves", "pivots", "dual", "warm")
+	fmt.Printf("%-20s%8s%10s%10s%8s%10s%8s%8s\n", "strategy", "engine", "pricing", "wall(s)", "solves", "pivots", "dual", "warm")
 	for _, r := range runs {
-		fmt.Printf("%-14s%10.2f%8d%10d%8d%8d\n", r.Name, r.WallS, r.Solves, r.Pivots, r.DualPivots, r.WarmStarts)
+		eng, pri := r.Engine, r.Pricing
+		if eng == "" {
+			eng, pri = "-", "-"
+		}
+		fmt.Printf("%-20s%8s%10s%10.2f%8d%10d%8d%8d\n", r.Name, eng, pri, r.WallS, r.Solves, r.Pivots, r.DualPivots, r.WarmStarts)
 	}
 	speedup := 0.0
-	if runs[2].WallS > 0 {
-		speedup = runs[0].WallS / runs[2].WallS
+	if runs[3].WallS > 0 {
+		speedup = runs[0].WallS / runs[3].WallS
 	}
 	fmt.Printf("\nwarm sparse sweep is %.1fx faster than the dense cold baseline\n", speedup)
 

@@ -192,7 +192,7 @@ func (s *Solver) buildFromIR(ir *problem.IR) *builtLP {
 // accumulated into st. The returned solution is always Optimal; infeasible
 // caps surface as ErrInfeasible, and a canceled ctx as an error wrapping
 // ctx.Err() (so errors.Is against context.Canceled/DeadlineExceeded works).
-func (s *Solver) solveBuilt(ctx context.Context, b *builtLP, capW float64, warmBasis []int, backend lp.Backend, st *Stats) (*lp.Solution, error) {
+func (s *Solver) solveBuilt(ctx context.Context, b *builtLP, capW float64, warmBasis []int, backend lp.Backend, eng lp.Engine, st *Stats) (*lp.Solution, error) {
 	if b.fixedFloorW > capW {
 		return nil, fmt.Errorf("%w: fixed idle power exceeds cap %.1f W at event %d", ErrInfeasible, capW, b.fixedFloorVertex)
 	}
@@ -202,7 +202,12 @@ func (s *Solver) solveBuilt(ctx context.Context, b *builtLP, capW float64, warmB
 		}
 	}
 
-	opts := []lp.Option{lp.WithBackend(backend), lp.WithSpanContext(ctx)}
+	opts := []lp.Option{
+		lp.WithBackend(backend),
+		lp.WithEngine(eng),
+		lp.WithPricing(s.Pricing),
+		lp.WithSpanContext(ctx),
+	}
 	if len(warmBasis) > 0 {
 		opts = append(opts, lp.WithWarmBasis(warmBasis))
 	}
@@ -292,12 +297,12 @@ func (s *Solver) extractInto(b *builtLP, sol *lp.Solution, out *Schedule, taskMa
 
 // solveInto builds and solves the LP for graph g under capW, writing task
 // choices through taskMap into out.Choices and vertex times into vt.
-func (s *Solver) solveInto(ctx context.Context, g *dag.Graph, capW float64, backend lp.Backend, out *Schedule, taskMap []dag.TaskID, vt []float64) error {
+func (s *Solver) solveInto(ctx context.Context, g *dag.Graph, capW float64, backend lp.Backend, eng lp.Engine, out *Schedule, taskMap []dag.TaskID, vt []float64) error {
 	b, err := s.buildLP(ctx, g)
 	if err != nil {
 		return err
 	}
-	sol, err := s.solveBuilt(ctx, b, capW, nil, backend, &out.Stats)
+	sol, err := s.solveBuilt(ctx, b, capW, nil, backend, eng, &out.Stats)
 	if err != nil {
 		return err
 	}

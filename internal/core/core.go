@@ -148,6 +148,13 @@ type Solver struct {
 	// SolveSweep exploits; set lp.BackendDense to force the reference
 	// full-tableau implementation.
 	Backend lp.Backend
+	// Engine selects the sparse backend's basis-inverse engine
+	// (lp.EngineAuto → the sparse LU; lp.EngineEta for the reference
+	// product-form eta file). Ignored by the dense backend.
+	Engine lp.Engine
+	// Pricing selects the sparse backend's entering rule (lp.PricingAuto →
+	// steepest edge; lp.PricingDantzig for the reference full scan).
+	Pricing lp.Pricing
 
 	// mu guards fs, irCache, and planCache: SweepParallel and the
 	// scheduling service share one Solver across goroutines.
@@ -271,7 +278,15 @@ func (s *Solver) SolveIterationsCtx(ctx context.Context, g *dag.Graph, capW floa
 // dense reference backend after a sparse numerical breakdown without
 // mutating the shared Solver.
 func (s *Solver) SolveCtxWith(ctx context.Context, g *dag.Graph, capW float64, decompose bool, backend lp.Backend) (*Schedule, error) {
-	return s.solveWith(ctx, g, capW, decompose, backend)
+	return s.solveWith(ctx, g, capW, decompose, backend, s.Engine)
+}
+
+// SolveCtxWithEngine additionally pins the sparse backend's basis engine for
+// this one request. The resilience ladder uses it to retry a sparse
+// numerical breakdown on the reference eta engine before abandoning the
+// sparse backend altogether.
+func (s *Solver) SolveCtxWithEngine(ctx context.Context, g *dag.Graph, capW float64, decompose bool, backend lp.Backend, eng lp.Engine) (*Schedule, error) {
+	return s.solveWith(ctx, g, capW, decompose, backend, eng)
 }
 
 // solve is the single entry point behind the four exported wrappers: one
@@ -279,10 +294,10 @@ func (s *Solver) SolveCtxWith(ctx context.Context, g *dag.Graph, capW float64, d
 // iteration boundaries. A decomposing solve of a graph without Pcontrol
 // boundaries degrades to the whole-graph solve.
 func (s *Solver) solve(ctx context.Context, g *dag.Graph, capW float64, decompose bool) (*Schedule, error) {
-	return s.solveWith(ctx, g, capW, decompose, s.Backend)
+	return s.solveWith(ctx, g, capW, decompose, s.Backend, s.Engine)
 }
 
-func (s *Solver) solveWith(ctx context.Context, g *dag.Graph, capW float64, decompose bool, backend lp.Backend) (*Schedule, error) {
+func (s *Solver) solveWith(ctx context.Context, g *dag.Graph, capW float64, decompose bool, backend lp.Backend, eng lp.Engine) (*Schedule, error) {
 	ctx, span := obs.Start(ctx, "core.solve")
 	defer span.End()
 	span.SetAttr("cap_w", capW)
@@ -307,7 +322,7 @@ func (s *Solver) solveWith(ctx context.Context, g *dag.Graph, capW float64, deco
 				ictx, isp := obs.Start(ctx, "core.iteration")
 				isp.SetAttr("slice", si)
 				vt := make([]float64, len(sl.Graph.Vertices))
-				err := s.solveInto(ictx, sl.Graph, capW, backend, sched, sl.TaskMap, vt)
+				err := s.solveInto(ictx, sl.Graph, capW, backend, eng, sched, sl.TaskMap, vt)
 				isp.End()
 				if err != nil {
 					return nil, fmt.Errorf("iteration slice: %w", err)
@@ -324,7 +339,7 @@ func (s *Solver) solveWith(ctx context.Context, g *dag.Graph, capW float64, deco
 		Choices:     make([]TaskChoice, len(g.Tasks)),
 		VertexTimeS: make([]float64, len(g.Vertices)),
 	}
-	if err := s.solveInto(ctx, g, capW, backend, sched, identityTaskMap(len(g.Tasks)), sched.VertexTimeS); err != nil {
+	if err := s.solveInto(ctx, g, capW, backend, eng, sched, identityTaskMap(len(g.Tasks)), sched.VertexTimeS); err != nil {
 		return nil, err
 	}
 	sched.MakespanS = finalizeTime(g, sched.VertexTimeS)

@@ -320,7 +320,12 @@ func (s *Solver) solveWindowResilient(ctx context.Context, b *windowLP, basis []
 
 // solveWindowLPOn is solveWindowLP pinned to an explicit backend.
 func (s *Solver) solveWindowLPOn(ctx context.Context, backend lp.Backend, b *windowLP, basis []int, st *Stats) (*lp.Solution, error) {
-	opts := []lp.Option{lp.WithBackend(backend), lp.WithSpanContext(ctx)}
+	opts := []lp.Option{
+		lp.WithBackend(backend),
+		lp.WithEngine(s.Engine),
+		lp.WithPricing(s.Pricing),
+		lp.WithSpanContext(ctx),
+	}
 	if len(basis) > 0 {
 		opts = append(opts, lp.WithWarmBasis(basis))
 	}

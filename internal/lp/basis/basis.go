@@ -1,0 +1,149 @@
+// Package basis implements pluggable basis-inverse engines for the revised
+// simplex (DESIGN.md §14). The pivot loops in internal/lp never touch a
+// factorization directly: they see the Engine interface — factorize a basis,
+// FTRAN/BTRAN against it, absorb one pivot per Update — so the product-form
+// eta file the solver grew up with and the sparse LU engine that replaced it
+// as the default are interchangeable, selectable per solve, and pinned
+// against each other by the engine-equivalence tests.
+//
+// Two engines are provided:
+//
+//   - Eta: the original product-form-of-the-inverse (PFI) engine. The basis
+//     inverse is a sequence of eta matrices; reinversion rebuilds the file
+//     column by column with partial row pivoting.
+//   - LU: a sparse LU factorization in the style of Gilbert–Peierls /
+//     Markowitz codes — columns processed in a static Markowitz (fewest
+//     nonzeros first) order, each solved against the partial L with
+//     value-skipping sparse triangular solves, rows chosen by threshold
+//     partial pivoting with a row-count (Markowitz) tie-break. Pivot updates
+//     are absorbed as eta matrices on top of the fixed LU factors
+//     ("eta-on-LU", the product-form cousin of Forrest–Tomlin), so a warm
+//     basis survives refactorization-free across a run of pivots.
+//
+// Both engines store eta nonzeros in one flat append-only arena, so a pivot
+// costs zero allocations once the arena has warmed up.
+package basis
+
+// Columns is the engine's read-only view of the constraint matrix: column j
+// as parallel (row, value) slices. internal/lp's sparse standard form
+// implements it.
+type Columns interface {
+	// NumRows reports the number of constraint rows m.
+	NumRows() int
+	// Col returns column j's nonzero rows and values. The engine must not
+	// mutate the returned slices.
+	Col(j int) (rows []int, vals []float64)
+}
+
+// Engine maintains a factorization of the m×m basis matrix B whose slot-i
+// column is the constraint column basic in row slot i.
+type Engine interface {
+	// Name identifies the engine in stats and error reasons.
+	Name() string
+
+	// Factorize rebuilds the factorization for the basis whose columns are
+	// cols (one constraint-column index per row slot, in slot order). It
+	// returns the slot assignment actually used — the Eta engine reassigns
+	// columns to slots by partial pivoting, the LU engine keeps the given
+	// order — or ok=false when the column set is numerically singular.
+	// A successful Factorize discards all pending updates.
+	Factorize(a Columns, cols []int) (slots []int, ok bool)
+
+	// Ftran solves B·x = v in place: v enters in row space and leaves in
+	// slot space (x[i] is the value of the slot-i basic column).
+	Ftran(v []float64)
+
+	// Btran solves Bᵀ·y = v in place: v enters in slot space and leaves in
+	// row space.
+	Btran(v []float64)
+
+	// Update absorbs the pivot "alpha's column becomes basic in slot r",
+	// where alpha is this engine's own Ftran of the entering column.
+	Update(r int, alpha []float64)
+
+	// Updates reports how many pivots have been absorbed since the last
+	// Factorize.
+	Updates() int
+
+	// Due reports that enough updates accumulated that the caller should
+	// refactorize (to bound fill-in and floating-point drift).
+	Due() bool
+}
+
+// refactorEvery bounds eta growth between reinversions for both engines.
+// The LU engine could tolerate a longer leash (its base factors do not
+// drift), but a shared budget keeps the engines' pivot-for-pivot behavior
+// comparable in the equivalence harness.
+const refactorEvery = 64
+
+// epsFactor is the minimum acceptable pivot magnitude during factorization;
+// below it the basis is declared singular.
+const epsFactor = 1e-8
+
+// etaFile is a product-form update file: each eta records one pivot (row r,
+// pivot value, off-pivot nonzeros). Nonzeros live in flat shared arenas so
+// appending an eta allocates only when the arena itself must grow.
+type etaFile struct {
+	r     []int32
+	pivot []float64
+	ptr   []int32 // len(r)+1 offsets into rows/vals
+	rows  []int32
+	vals  []float64
+}
+
+func (e *etaFile) reset() {
+	e.r = e.r[:0]
+	e.pivot = e.pivot[:0]
+	e.rows = e.rows[:0]
+	e.vals = e.vals[:0]
+	if len(e.ptr) == 0 {
+		e.ptr = append(e.ptr, 0)
+	}
+	e.ptr = e.ptr[:1]
+}
+
+func (e *etaFile) len() int { return len(e.r) }
+
+// append records the pivot (row r, column values alpha) as a new eta.
+func (e *etaFile) append(r int, alpha []float64) {
+	e.r = append(e.r, int32(r))
+	e.pivot = append(e.pivot, alpha[r])
+	for i, v := range alpha {
+		if i != r && v != 0 {
+			e.rows = append(e.rows, int32(i))
+			e.vals = append(e.vals, v)
+		}
+	}
+	e.ptr = append(e.ptr, int32(len(e.rows)))
+}
+
+// ftran applies the eta inverses in append order: v ← Eₖ⁻¹…E₁⁻¹ v.
+func (e *etaFile) ftran(v []float64) {
+	for k := range e.r {
+		r := e.r[k]
+		t := v[r]
+		if t == 0 {
+			continue
+		}
+		t /= e.pivot[k]
+		lo, hi := e.ptr[k], e.ptr[k+1]
+		for i := lo; i < hi; i++ {
+			v[e.rows[i]] -= e.vals[i] * t
+		}
+		v[r] = t
+	}
+}
+
+// btran applies the transposed eta inverses in reverse order:
+// v ← E₁⁻ᵀ…Eₖ⁻ᵀ v.
+func (e *etaFile) btran(v []float64) {
+	for k := len(e.r) - 1; k >= 0; k-- {
+		r := e.r[k]
+		t := v[r]
+		lo, hi := e.ptr[k], e.ptr[k+1]
+		for i := lo; i < hi; i++ {
+			t -= e.vals[i] * v[e.rows[i]]
+		}
+		v[r] = t / e.pivot[k]
+	}
+}

@@ -1,0 +1,105 @@
+package basis
+
+import "math"
+
+// Eta is the product-form-of-the-inverse engine: the basis inverse is the
+// eta file itself. Reinversion rebuilds the file from scratch, FTRANing each
+// basis column through the etas appended so far and claiming the largest
+// remaining row as its pivot (partial row pivoting) — a product-form cousin
+// of the Bartels–Golub update. This is the engine the solver originally
+// shipped with; it is retained verbatim behind the Engine interface as the
+// reference implementation and the resilience ladder's LU fallback.
+type Eta struct {
+	file    ef
+	updates int
+
+	alpha   []float64
+	rowUsed []bool
+	slots   []int
+}
+
+// ef aliases etaFile so Eta and LU can embed distinct files while sharing
+// the implementation.
+type ef = etaFile
+
+// NewEta returns an Eta engine for m constraint rows.
+func NewEta(m int) *Eta {
+	e := &Eta{}
+	e.Reset(m)
+	return e
+}
+
+// Reset prepares the engine for a problem with m rows, retaining allocated
+// capacity (engines are pooled across solves).
+func (e *Eta) Reset(m int) {
+	e.file.reset()
+	e.updates = 0
+	if cap(e.alpha) < m {
+		e.alpha = make([]float64, m)
+		e.rowUsed = make([]bool, m)
+		e.slots = make([]int, m)
+	}
+	e.alpha = e.alpha[:m]
+	e.rowUsed = e.rowUsed[:m]
+	e.slots = e.slots[:m]
+}
+
+// Name implements Engine.
+func (e *Eta) Name() string { return "eta" }
+
+// Factorize implements Engine: incremental PFI reinversion with partial row
+// pivoting. Columns are assigned to whichever row still holds their largest
+// FTRANed magnitude, so the returned slot assignment generally permutes the
+// input.
+func (e *Eta) Factorize(a Columns, cols []int) ([]int, bool) {
+	m := a.NumRows()
+	e.file.reset()
+	e.updates = 0
+	for i := 0; i < m; i++ {
+		e.rowUsed[i] = false
+	}
+	for _, j := range cols {
+		for i := range e.alpha {
+			e.alpha[i] = 0
+		}
+		rows, vals := a.Col(j)
+		for k, r := range rows {
+			e.alpha[r] = vals[k]
+		}
+		e.file.ftran(e.alpha)
+		best, bestAbs := -1, epsFactor
+		for i := 0; i < m; i++ {
+			if e.rowUsed[i] {
+				continue
+			}
+			if v := math.Abs(e.alpha[i]); v > bestAbs {
+				best, bestAbs = i, v
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		e.file.append(best, e.alpha)
+		e.rowUsed[best] = true
+		e.slots[best] = j
+	}
+	return e.slots, true
+}
+
+// Ftran implements Engine.
+func (e *Eta) Ftran(v []float64) { e.file.ftran(v) }
+
+// Btran implements Engine.
+func (e *Eta) Btran(v []float64) { e.file.btran(v) }
+
+// Update implements Engine.
+func (e *Eta) Update(r int, alpha []float64) {
+	e.file.append(r, alpha)
+	e.updates++
+}
+
+// Updates implements Engine.
+func (e *Eta) Updates() int { return e.updates }
+
+// Due implements Engine.
+func (e *Eta) Due() bool { return e.updates >= refactorEvery }

@@ -55,6 +55,49 @@ func TestDegenerateCyclingBlandActivation(t *testing.T) {
 	}
 }
 
+// TestDegenerateSteepestEdgeNoCycling pins the anti-cycling story for the
+// steepest-edge pricer across both basis engines: when Bland's rule engages
+// it refreshes reduced costs exactly every iteration (first-negative over
+// exact d[]), so the finite-termination guarantee survives the incremental
+// pricing layer. Beale's instance must terminate at the optimum under every
+// engine×pricing combination, with and without a forced Bland flip.
+func TestDegenerateSteepestEdgeNoCycling(t *testing.T) {
+	for _, eng := range []Engine{EngineEta, EngineLU} {
+		for _, pr := range []Pricing{PricingDantzig, PricingSteepest} {
+			t.Run(eng.String()+"/"+pr.String(), func(t *testing.T) {
+				for _, forceBland := range []bool{false, true} {
+					opts := []Option{
+						WithBackend(BackendSparse),
+						WithEngine(eng),
+						WithPricing(pr),
+						WithMaxIters(500),
+					}
+					if forceBland {
+						opts = append(opts, WithStallWindow(1))
+					}
+					sol, err := Solve(bealeProblem(), opts...)
+					if err != nil {
+						t.Fatalf("forceBland=%v: %v", forceBland, err)
+					}
+					if sol.Status != Optimal {
+						t.Fatalf("forceBland=%v: status %v, want optimal (cycled?)", forceBland, sol.Status)
+					}
+					if math.Abs(sol.Objective-(-0.05)) > 1e-9 {
+						t.Fatalf("forceBland=%v: objective %v, want -0.05", forceBland, sol.Objective)
+					}
+					if forceBland && !sol.Stats.BlandActivated {
+						t.Fatalf("Bland's rule never activated despite StallWindow=1")
+					}
+					if sol.Stats.Engine != eng.String() || sol.Stats.Pricing != pr.String() {
+						t.Fatalf("stats report engine=%q pricing=%q, want %q/%q",
+							sol.Stats.Engine, sol.Stats.Pricing, eng, pr)
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestDegenerateDefaultStallWindow makes sure the default configuration
 // also solves the cycling instance (the stall heuristic engages on its
 // own if needed — either way termination and the optimum are required).

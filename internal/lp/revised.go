@@ -3,17 +3,18 @@ package lp
 import (
 	"context"
 	"math"
+	"sync"
 
 	"powercap/internal/faultinject"
+	"powercap/internal/lp/basis"
 	"powercap/internal/obs"
 )
 
-// Revised simplex over sparse columns with a product-form basis inverse
-// (PFI). The basis inverse is maintained as a sequence of eta matrices:
-// each pivot appends one eta; FTRAN applies them forward, BTRAN transposed
-// in reverse. The eta file is rebuilt from scratch (reinversion with
-// partial row pivoting) every refactorEvery updates to bound fill-in and
-// floating-point drift — a product-form cousin of the Bartels–Golub update.
+// Revised simplex over sparse columns. The basis inverse lives behind the
+// basis.Engine interface (internal/lp/basis): the original product-form eta
+// file and the sparse Markowitz LU factorization are interchangeable, and
+// either is rebuilt (reinversion) once enough pivot updates accumulate to
+// bound fill-in and floating-point drift.
 //
 // The backend runs three pivot loops over the same machinery:
 //
@@ -28,35 +29,21 @@ import (
 // Any warm-start trouble (singular basis, lost dual feasibility, iteration
 // budget) falls back to a cold solve, so warm starts never cost correctness.
 
-const (
-	// refactorEvery bounds the eta file growth between reinversions.
-	refactorEvery = 64
-	// epsDualFeas is the reduced-cost tolerance below which a warm basis
-	// no longer counts as dual feasible and the warm start is abandoned.
-	epsDualFeas = 1e-7
-	// epsFactor is the minimum acceptable pivot magnitude during
-	// reinversion; below it the basis is declared singular.
-	epsFactor = 1e-8
-)
-
-// eta is one PFI update: the basis changed by pivoting column values
-// (pivot at row r, off-pivot nonzeros in nzRows/nzVals).
-type eta struct {
-	r      int
-	pivot  float64
-	nzRows []int32
-	nzVals []float64
-}
+// epsDualFeas is the reduced-cost tolerance below which a warm basis
+// no longer counts as dual feasible and the warm start is abandoned.
+const epsDualFeas = 1e-7
 
 // revised is the working state of one revised-simplex solve.
 type revised struct {
-	f *spForm
+	f   *spForm
+	eng basis.Engine
+	pr  *pricer // nil under Dantzig pricing (the legacy exact scans)
+
+	factorEpoch int // bumped on every successful factorize
 
 	basis   []int  // per row: basic column
 	isBasic []bool // per column
 	blocked []bool // per column: excluded from entering
-	etas    []eta
-	updates int // etas appended since the last factorization
 
 	xB   []float64 // basic variable values per row
 	cost []float64 // current-phase costs
@@ -80,29 +67,110 @@ type revised struct {
 	sctx context.Context
 }
 
+// rvPool recycles revised-state arenas across solves. A power-cap sweep
+// solves hundreds of similarly-sized LPs back to back; pooling keeps the
+// pivot-loop scratch (dense work vectors, engine factor storage, pricer
+// state) warm instead of reallocating ~10 slices per solve. Every slice is
+// resized capacity-retaining in reset, so a pooled arena serves any shape.
+var rvPool = sync.Pool{New: func() any { return new(revised) }}
+
 func newRevised(f *spForm, o *Options) *revised {
-	rv := &revised{
-		f:           f,
-		basis:       make([]int, f.m),
-		isBasic:     make([]bool, f.n),
-		blocked:     make([]bool, f.n),
-		xB:          make([]float64, f.m),
-		cost:        make([]float64, f.n),
-		alpha:       make([]float64, f.m),
-		y:           make([]float64, f.m),
-		rho:         make([]float64, f.m),
-		maxIters:    f.maxIters,
-		stallWindow: o.StallWindow,
+	rv := rvPool.Get().(*revised)
+	rv.reset(f, o)
+	return rv
+}
+
+// release returns the arena to the pool. The caller must be done with every
+// slice reachable from rv (Solutions copy what they keep, so extract's
+// results survive the release).
+func (rv *revised) release() {
+	rv.f = nil
+	rv.cancel = nil
+	rv.sctx = nil
+	rvPool.Put(rv)
+}
+
+// reset rebinds a (possibly pooled) arena to a fresh solve, growing the
+// scratch only when the problem outgrew the previous tenant's capacity.
+func (rv *revised) reset(f *spForm, o *Options) {
+	rv.f = f
+	rv.basis = growInts(rv.basis, f.m)
+	rv.isBasic = growBools(rv.isBasic, f.n)
+	rv.blocked = growBools(rv.blocked, f.n)
+	rv.xB = growFloats(rv.xB, f.m)
+	rv.cost = growFloats(rv.cost, f.n)
+	rv.alpha = growFloats(rv.alpha, f.m)
+	rv.y = growFloats(rv.y, f.m)
+	rv.rho = growFloats(rv.rho, f.m)
+	for j := range rv.isBasic {
+		rv.isBasic[j] = false
 	}
+	for j := range rv.blocked {
+		rv.blocked[j] = false
+	}
+	rv.factorEpoch = 0
+	rv.nanRetries = 0
+	rv.numReason = ""
+	rv.stats = SolveStats{}
+
+	switch o.Engine.resolve() {
+	case EngineEta:
+		if e, ok := rv.eng.(*basis.Eta); ok {
+			e.Reset(f.m)
+		} else {
+			rv.eng = basis.NewEta(f.m)
+		}
+	default:
+		if e, ok := rv.eng.(*basis.LU); ok {
+			e.Reset(f.m)
+		} else {
+			rv.eng = basis.NewLU(f.m)
+		}
+	}
+	rv.stats.Engine = rv.eng.Name()
+	if o.Pricing.resolve() == PricingSteepest {
+		if rv.pr == nil {
+			rv.pr = newPricer(f)
+		} else {
+			rv.pr.reset(f)
+		}
+	} else {
+		rv.pr = nil
+	}
+	rv.stats.Pricing = o.Pricing.String()
+
+	rv.maxIters = f.maxIters
 	if o.MaxIters > 0 {
 		rv.maxIters = o.MaxIters
 	}
+	rv.stallWindow = o.StallWindow
 	if rv.stallWindow <= 0 {
 		rv.stallWindow = stallWindow
 	}
 	rv.cancel = o.cancelFunc()
 	rv.sctx = o.spanContext()
-	return rv
+}
+
+// growInts resizes s to n, reusing capacity (contents unspecified).
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // phase wraps one pivot-loop phase in an obs span named name, nesting any
@@ -122,88 +190,31 @@ func (rv *revised) phase(name string, iters *int, run func() Status) Status {
 }
 
 // ftran solves B·x = v in place (v dense, length m).
-func (rv *revised) ftran(v []float64) {
-	for k := range rv.etas {
-		e := &rv.etas[k]
-		t := v[e.r]
-		if t == 0 {
-			continue
-		}
-		t /= e.pivot
-		for i, r := range e.nzRows {
-			v[r] -= e.nzVals[i] * t
-		}
-		v[e.r] = t
-	}
-}
+func (rv *revised) ftran(v []float64) { rv.eng.Ftran(v) }
 
 // btran solves Bᵀ·y = v in place (v dense, length m).
-func (rv *revised) btran(v []float64) {
-	for k := len(rv.etas) - 1; k >= 0; k-- {
-		e := &rv.etas[k]
-		t := v[e.r]
-		for i, r := range e.nzRows {
-			t -= e.nzVals[i] * v[r]
-		}
-		v[e.r] = t / e.pivot
-	}
-}
+func (rv *revised) btran(v []float64) { rv.eng.Btran(v) }
 
-// appendEta records the pivot (row r, column values alpha) as a new eta.
-func (rv *revised) appendEta(r int, alpha []float64) {
-	e := eta{r: r, pivot: alpha[r]}
-	for i, v := range alpha {
-		if i != r && v != 0 {
-			e.nzRows = append(e.nzRows, int32(i))
-			e.nzVals = append(e.nzVals, v)
-		}
-	}
-	rv.etas = append(rv.etas, e)
-	rv.updates++
-}
-
-// factorize rebuilds the eta file for the given basis columns, reassigning
-// rows by partial pivoting. Returns false when the column set is singular.
-// On success rv.basis holds the (re-rowed) basis and rv.xB the basic values.
+// factorize rebuilds the basis factorization for the given basis columns
+// (the engine may reassign columns to rows). Returns false when the column
+// set is singular. On success rv.basis holds the engine's slot assignment
+// and rv.xB the basic values.
 func (rv *revised) factorize(cols []int) bool {
 	_, sp := obs.Start(rv.sctx, "lp.refactorize")
 	defer sp.End()
-	f := rv.f
-	rv.etas = rv.etas[:0]
-	rv.updates = 0
 	rv.stats.Refactorizations++
-	rowUsed := make([]bool, f.m)
-	newBasis := make([]int, f.m)
-	for _, j := range cols {
-		for i := range rv.alpha {
-			rv.alpha[i] = 0
-		}
-		f.scatterCol(j, rv.alpha)
-		rv.ftran(rv.alpha)
-		best, bestAbs := -1, epsFactor
-		for i := 0; i < f.m; i++ {
-			if rowUsed[i] {
-				continue
-			}
-			if a := math.Abs(rv.alpha[i]); a > bestAbs {
-				best, bestAbs = i, a
-			}
-		}
-		if best < 0 {
-			return false
-		}
-		rv.appendEta(best, rv.alpha)
-		rowUsed[best] = true
-		newBasis[best] = j
+	slots, ok := rv.eng.Factorize(rv.f, cols)
+	if !ok {
+		return false
 	}
-	rv.updates = 0 // reinversion etas don't count toward the refactor budget
-	copy(rv.basis, newBasis)
+	copy(rv.basis, slots)
 	for j := range rv.isBasic {
 		rv.isBasic[j] = false
 	}
 	for _, j := range rv.basis {
 		rv.isBasic[j] = true
 	}
+	rv.factorEpoch++ // pricer refreshes (and resets its γ framework) lazily
 	rv.computeXB()
 	return true
 }
@@ -214,15 +225,20 @@ func (rv *revised) computeXB() {
 	rv.ftran(rv.xB)
 }
 
-// refactorIfDue reinverts once the eta file outgrows its budget. A false
-// return means the basis went singular — a numerical breakdown, recorded in
-// numReason for the statusNumerical paths.
+// refactorIfDue reinverts once the engine's update file outgrows its budget.
+// A false return means the basis went singular — a numerical breakdown,
+// recorded in numReason for the statusNumerical paths.
 func (rv *revised) refactorIfDue() bool {
-	if rv.updates < refactorEvery {
+	if !rv.eng.Due() {
 		return true
 	}
-	cols := append([]int(nil), rv.basis...)
-	if !rv.factorize(cols) {
+	return rv.reinvert()
+}
+
+// reinvert rebuilds the basis inverse from the current basis columns,
+// recording the singular-basis reason on failure.
+func (rv *revised) reinvert() bool {
+	if !rv.factorize(append([]int(nil), rv.basis...)) {
 		rv.numReason = "singular basis at refactorization"
 		return false
 	}
@@ -334,6 +350,9 @@ func (rv *revised) primal(iters *int) Status {
 	// terminating is likely cycling or creeping; pin Bland's rule on for the
 	// remainder, which guarantees finite termination.
 	watchdog := rv.maxIters / 2
+	if rv.pr != nil {
+		rv.pr.invalidate() // phase costs changed (or eviction pivoted behind us)
+	}
 
 	for ; *iters < rv.maxIters; *iters++ {
 		if *iters%cancelCheckEvery == 0 {
@@ -348,8 +367,13 @@ func (rv *revised) primal(iters *int) Status {
 			bland = true
 			rv.stats.BlandActivated = true
 		}
-		rv.computeY()
-		enter := rv.priceEntering(bland)
+		var enter int
+		if rv.pr != nil {
+			enter = rv.pr.priceEntering(rv, bland)
+		} else {
+			rv.computeY()
+			enter = rv.priceEntering(bland)
+		}
 		if enter < 0 {
 			return Optimal
 		}
@@ -360,27 +384,71 @@ func (rv *revised) primal(iters *int) Status {
 		f.scatterCol(enter, rv.alpha)
 		rv.ftran(rv.alpha)
 
-		// Minimum-ratio test; ties break toward the smallest basic column
-		// index (the same lexicographic nudge as the dense backend).
+		// Minimum-ratio test. The Dantzig path breaks ties toward the
+		// smallest basic column index (the same lexicographic nudge as the
+		// dense backend). The steepest-edge path instead takes the LARGEST
+		// pivot element among near-tied ratios (a Harris-style second pass):
+		// SE's aggressive entering choices otherwise walk through strings of
+		// barely-admissible ~epsPivot pivots whose accumulated ill-conditioning
+		// the LU refactorization then rejects as singular.
 		leave := -1
 		bestRatio := math.Inf(1)
-		for i := 0; i < f.m; i++ {
-			a := rv.alpha[i]
-			if a <= epsPivot {
-				continue
+		if rv.pr != nil {
+			for i := 0; i < f.m; i++ {
+				a := rv.alpha[i]
+				if a <= epsPivot {
+					continue
+				}
+				if ratio := rv.xB[i] / a; ratio < bestRatio {
+					bestRatio = ratio
+				}
 			}
-			ratio := rv.xB[i] / a
-			if ratio < bestRatio-epsPivot ||
-				(ratio < bestRatio+epsPivot && (leave < 0 || rv.basis[i] < rv.basis[leave])) {
-				bestRatio = ratio
-				leave = i
+			bestA := 0.0
+			for i := 0; i < f.m; i++ {
+				a := rv.alpha[i]
+				if a <= epsPivot {
+					continue
+				}
+				if rv.xB[i]/a <= bestRatio+epsPivot && a > bestA {
+					bestA = a
+					leave = i
+				}
+			}
+		} else {
+			for i := 0; i < f.m; i++ {
+				a := rv.alpha[i]
+				if a <= epsPivot {
+					continue
+				}
+				ratio := rv.xB[i] / a
+				if ratio < bestRatio-epsPivot ||
+					(ratio < bestRatio+epsPivot && (leave < 0 || rv.basis[i] < rv.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
 			}
 		}
 		if leave < 0 {
+			if rv.pr != nil {
+				// The candidate came from incremental reduced costs; verify
+				// the ray is genuinely improving before declaring the whole
+				// problem unbounded.
+				rv.pr.refresh(rv)
+				if rv.pr.d[enter] >= -epsReduced {
+					continue
+				}
+			}
 			return Unbounded
 		}
 
+		leaveCol := rv.basis[leave]
+		if rv.pr != nil {
+			rv.pr.preparePivotRow(rv, leave)
+		}
 		rv.pivotUpdate(leave, enter)
+		if rv.pr != nil {
+			rv.pr.applyPivot(enter, leaveCol, rv.alpha[leave])
+		}
 		if !rv.refactorIfDue() {
 			return statusNumerical
 		}
@@ -417,7 +485,7 @@ func (rv *revised) pivotUpdate(leave, enter int) {
 	rv.xB[leave] = theta
 	rv.isBasic[rv.basis[leave]] = false
 	rv.isBasic[enter] = true
-	rv.appendEta(leave, rv.alpha)
+	rv.eng.Update(leave, rv.alpha)
 	rv.basis[leave] = enter
 }
 
@@ -470,6 +538,9 @@ func (rv *revised) dual(iters *int) Status {
 	stall := 0
 	lastInfeas := rv.primalInfeasibility()
 	watchdog := rv.maxIters / 2
+	if rv.pr != nil {
+		rv.pr.invalidate()
+	}
 
 	for ; *iters < rv.maxIters; *iters++ {
 		if *iters%cancelCheckEvery == 0 {
@@ -500,8 +571,19 @@ func (rv *revised) dual(iters *int) Status {
 		}
 		rv.stats.DualIters++
 
-		// Pivot row of B⁻¹A and fresh reduced costs for the ratio test.
-		rv.computeY()
+		// Pivot row of B⁻¹A and reduced costs for the ratio test. The
+		// Dantzig path recomputes duals and dots every column; the pricer
+		// path keeps d[] incrementally exact-on-refactorize and assembles
+		// only the pivot row's touched columns.
+		if rv.pr != nil {
+			if bland {
+				rv.pr.refresh(rv)
+			} else {
+				rv.pr.ensureFresh(rv)
+			}
+		} else {
+			rv.computeY()
+		}
 		for i := range rv.rho {
 			rv.rho[i] = 0
 		}
@@ -510,28 +592,69 @@ func (rv *revised) dual(iters *int) Status {
 
 		enter := -1
 		bestRatio := math.Inf(1)
-		for j := 0; j < f.n; j++ {
-			if rv.isBasic[j] || rv.blocked[j] {
-				continue
+		if rv.pr != nil {
+			// Same Harris-style pivot-size protection as the primal SE path:
+			// find the minimum ratio, then the largest |a_rj| among near-ties.
+			rv.pr.rowCombine(f, rv.rho)
+			for _, j := range rv.pr.accCols {
+				if rv.isBasic[j] || rv.blocked[j] {
+					continue
+				}
+				arj := rv.pr.accVal[j]
+				if arj >= -epsPivot {
+					continue
+				}
+				d := rv.pr.d[j]
+				if d < 0 {
+					d = 0 // dual feasibility holds up to drift; clamp
+				}
+				if ratio := d / -arj; ratio < bestRatio {
+					bestRatio = ratio
+				}
 			}
-			arj := f.colDot(j, rv.rho)
-			if arj >= -epsPivot {
-				continue
+			bestA := 0.0
+			for _, j := range rv.pr.accCols {
+				if rv.isBasic[j] || rv.blocked[j] {
+					continue
+				}
+				arj := rv.pr.accVal[j]
+				if arj >= -epsPivot {
+					continue
+				}
+				d := rv.pr.d[j]
+				if d < 0 {
+					d = 0
+				}
+				if d/-arj <= bestRatio+epsReduced && -arj > bestA {
+					bestA = -arj
+					enter = j
+				}
 			}
-			d := rv.cost[j] - f.colDot(j, rv.y)
-			if d < 0 {
-				d = 0 // dual feasibility holds up to drift; clamp
-			}
-			ratio := d / -arj
-			if ratio < bestRatio-epsReduced ||
-				(ratio < bestRatio+epsReduced && (enter < 0 || j < enter)) {
-				bestRatio = ratio
-				enter = j
+		} else {
+			for j := 0; j < f.n; j++ {
+				if rv.isBasic[j] || rv.blocked[j] {
+					continue
+				}
+				arj := f.colDot(j, rv.rho)
+				if arj >= -epsPivot {
+					continue
+				}
+				d := rv.cost[j] - f.colDot(j, rv.y)
+				if d < 0 {
+					d = 0 // dual feasibility holds up to drift; clamp
+				}
+				ratio := d / -arj
+				if ratio < bestRatio-epsReduced ||
+					(ratio < bestRatio+epsReduced && (enter < 0 || j < enter)) {
+					bestRatio = ratio
+					enter = j
+				}
 			}
 		}
 		if enter < 0 {
 			// The row demands Σ a_j x_j = xB[leave] < 0 with every usable
-			// coefficient ≥ 0: primal infeasible.
+			// coefficient ≥ 0: primal infeasible. (The decision depends only
+			// on the pivot row's signs, never on the maintained d[].)
 			return Infeasible
 		}
 
@@ -541,10 +664,24 @@ func (rv *revised) dual(iters *int) Status {
 		f.scatterCol(enter, rv.alpha)
 		rv.ftran(rv.alpha)
 		if math.Abs(rv.alpha[leave]) <= epsPivot {
-			rv.numReason = "ftran/btran pivot mismatch"
+			// The pivot row (BTRAN) and pivot column (FTRAN) disagree. On
+			// an update-laden factorization that is almost always
+			// accumulated update drift, which a reinversion genuinely
+			// repairs — rebuild and retry the iteration. Disagreement on a
+			// fresh factorization is a real breakdown.
+			if rv.eng.Updates() > 0 && rv.reinvert() {
+				continue
+			}
+			if rv.numReason == "" {
+				rv.numReason = "ftran/btran pivot mismatch"
+			}
 			return statusNumerical
 		}
+		leaveCol := rv.basis[leave]
 		rv.pivotUpdate(leave, enter)
+		if rv.pr != nil {
+			rv.pr.applyPivot(enter, leaveCol, rv.alpha[leave])
+		}
 		if !rv.refactorIfDue() {
 			return statusNumerical
 		}
@@ -610,17 +747,20 @@ func (rv *revised) extract(p *Problem, iters int) *Solution {
 	return sol
 }
 
-// solveSparse is the sparse revised-simplex backend behind Solve.
+// solveSparse is the sparse revised-simplex backend behind Solve. One pooled
+// arena serves the whole call: a failed warm attempt resets the same scratch
+// for the cold fallback instead of allocating a second working set.
 func solveSparse(p *Problem, o *Options) (*Solution, error) {
 	f := newSpForm(p)
+	rv := newRevised(f, o)
+	defer rv.release()
 	if len(o.WarmBasis) > 0 {
-		rv := newRevised(f, o)
 		if sol, ok := rv.solveWarm(p, o.WarmBasis); ok {
 			return sol, nil
 		}
-		// Unusable warm basis: fall through to a cold solve on fresh state.
+		// Unusable warm basis: reset the arena and solve cold.
+		rv.reset(f, o)
 	}
-	rv := newRevised(f, o)
 	sol := rv.solveCold(p)
 	if sol.Status == statusNumerical {
 		return nil, &NumericalError{Backend: "sparse", Reason: rv.numReason, Pivots: sol.Iters}

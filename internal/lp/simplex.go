@@ -57,9 +57,9 @@ type tableau struct {
 	// (-1 for structural columns), for problem-space basis export.
 	colOwner []int
 
-	maxIters int
-	stallWin int    // Dantzig iterations without improvement → Bland
-	bland    bool   // anti-cycling fallback engaged at least once
+	maxIters  int
+	stallWin  int    // Dantzig iterations without improvement → Bland
+	bland     bool   // anti-cycling fallback engaged at least once
 	numReason string // set when iterate returns statusNumerical
 
 	// cancel, when non-nil, is polled every cancelCheckEvery pivots; a

@@ -49,10 +49,116 @@ func (b Backend) String() string {
 	}
 }
 
+// Engine selects the sparse backend's basis-inverse implementation (see
+// internal/lp/basis). The dense backend ignores it.
+type Engine int
+
+const (
+	// EngineAuto picks the default engine (currently the sparse LU).
+	EngineAuto Engine = iota
+	// EngineLU is the Markowitz-ordered sparse LU factorization with
+	// eta-on-LU pivot updates — the default.
+	EngineLU
+	// EngineEta is the original product-form-of-the-inverse eta file,
+	// retained as the reference engine and the resilience-ladder fallback.
+	EngineEta
+)
+
+// resolve maps EngineAuto to the concrete default.
+func (e Engine) resolve() Engine {
+	if e == EngineAuto {
+		return EngineLU
+	}
+	return e
+}
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e.resolve() {
+	case EngineLU:
+		return "lu"
+	case EngineEta:
+		return "eta"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine parses an engine name as accepted by CLI -engine flags.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "auto":
+		return EngineAuto, nil
+	case "lu":
+		return EngineLU, nil
+	case "eta":
+		return EngineEta, nil
+	default:
+		return 0, fmt.Errorf("lp: unknown engine %q (want auto, lu, or eta)", s)
+	}
+}
+
+// Pricing selects the sparse backend's entering-variable rule. The dense
+// backend ignores it.
+type Pricing int
+
+const (
+	// PricingAuto picks the default rule (currently steepest edge).
+	PricingAuto Pricing = iota
+	// PricingSteepest is projected steepest edge (devex-style reference
+	// weights, reset on refactorization) with partial pricing and
+	// incremental reduced costs — the default.
+	PricingSteepest
+	// PricingDantzig is the classic full most-negative-reduced-cost scan,
+	// recomputing duals every pivot. Retained as the reference rule; it
+	// reproduces the pre-engine pivot sequences exactly.
+	PricingDantzig
+)
+
+// resolve maps PricingAuto to the concrete default.
+func (p Pricing) resolve() Pricing {
+	if p == PricingAuto {
+		return PricingSteepest
+	}
+	return p
+}
+
+// String names the pricing rule.
+func (p Pricing) String() string {
+	switch p.resolve() {
+	case PricingSteepest:
+		return "steepest"
+	case PricingDantzig:
+		return "dantzig"
+	default:
+		return fmt.Sprintf("Pricing(%d)", int(p))
+	}
+}
+
+// ParsePricing parses a pricing-rule name as accepted by CLI -pricing flags.
+func ParsePricing(s string) (Pricing, error) {
+	switch s {
+	case "", "auto":
+		return PricingAuto, nil
+	case "steepest", "se":
+		return PricingSteepest, nil
+	case "dantzig":
+		return PricingDantzig, nil
+	default:
+		return 0, fmt.Errorf("lp: unknown pricing rule %q (want auto, steepest, or dantzig)", s)
+	}
+}
+
 // Options collects per-solve settings. Construct via Option functions.
 type Options struct {
 	// Backend selects the simplex implementation (default dense).
 	Backend Backend
+	// Engine selects the sparse backend's basis-inverse engine
+	// (default EngineAuto → LU).
+	Engine Engine
+	// Pricing selects the sparse backend's entering rule
+	// (default PricingAuto → steepest edge).
+	Pricing Pricing
 	// MaxIters overrides the pivot budget (0 = automatic, proportional to
 	// problem size; Problem.SetMaxIters applies when this is 0).
 	MaxIters int
@@ -60,6 +166,10 @@ type Options struct {
 	// tolerated before switching to Bland's anti-cycling rule
 	// (0 = default 200).
 	StallWindow int
+	// NoPresolve disables the presolve/scaling pass (internal/lp/presolve)
+	// and solves the stated problem directly. Intended for tests and
+	// A/B instrumentation; presolve is semantically invisible otherwise.
+	NoPresolve bool
 	// WarmBasis is a starting basis from a previous Solution.Basis for a
 	// problem with the same variables and a prefix of the same rows
 	// (RHS values and appended rows may differ). Backends that cannot
@@ -87,11 +197,20 @@ type Option func(*Options)
 // WithBackend selects the simplex backend.
 func WithBackend(b Backend) Option { return func(o *Options) { o.Backend = b } }
 
+// WithEngine selects the sparse backend's basis-inverse engine.
+func WithEngine(e Engine) Option { return func(o *Options) { o.Engine = e } }
+
+// WithPricing selects the sparse backend's entering-variable rule.
+func WithPricing(p Pricing) Option { return func(o *Options) { o.Pricing = p } }
+
 // WithMaxIters overrides the pivot budget for this solve.
 func WithMaxIters(n int) Option { return func(o *Options) { o.MaxIters = n } }
 
 // WithStallWindow overrides the Dantzig→Bland stall threshold.
 func WithStallWindow(n int) Option { return func(o *Options) { o.StallWindow = n } }
+
+// WithoutPresolve disables the presolve/scaling pass for this solve.
+func WithoutPresolve() Option { return func(o *Options) { o.NoPresolve = true } }
 
 // WithWarmBasis supplies a starting basis from a previous Solution.Basis.
 func WithWarmBasis(basis []int) Option { return func(o *Options) { o.WarmBasis = basis } }
@@ -141,6 +260,12 @@ type Solver interface {
 type SolveStats struct {
 	// Backend names the implementation that produced the solution.
 	Backend string
+	// Engine names the basis-inverse engine ("eta" or "lu"; sparse backend
+	// only, empty for dense).
+	Engine string `json:",omitempty"`
+	// Pricing names the entering rule ("dantzig" or "steepest"; sparse
+	// backend only, empty for dense).
+	Pricing string `json:",omitempty"`
 	// Phase1Iters and Phase2Iters count primal simplex pivots per phase;
 	// DualIters counts dual simplex pivots (warm starts only).
 	Phase1Iters int
@@ -148,6 +273,10 @@ type SolveStats struct {
 	DualIters   int
 	// Refactorizations counts basis reinversions (sparse backend).
 	Refactorizations int
+	// PresolveRows and PresolveCols count the rows/columns the presolve
+	// pass eliminated before the backend ran.
+	PresolveRows int `json:",omitempty"`
+	PresolveCols int `json:",omitempty"`
 	// WarmStarted reports whether a supplied warm basis was actually used
 	// (false when it was absent, unusable, or the backend ignored it).
 	WarmStarted bool
@@ -204,6 +333,9 @@ func Solve(p *Problem, opts ...Option) (*Solution, error) {
 	sctx, span := obs.Start(o.spanContext(), "lp.solve")
 	defer span.End()
 	span.SetAttr("backend", o.Backend.String())
+	if o.Backend == BackendSparse {
+		span.SetAttr("engine", o.Engine.String())
+	}
 	span.SetAttr("vars", p.NumVars())
 	span.SetAttr("rows", p.NumConstraints())
 	o.SpanCtx = sctx // backends parent their phase spans under lp.solve
@@ -211,13 +343,10 @@ func Solve(p *Problem, opts ...Option) (*Solution, error) {
 	start := time.Now()
 	var sol *Solution
 	var err error
-	switch o.Backend {
-	case BackendDense:
-		sol, err = solveDense(p, &o)
-	case BackendSparse:
-		sol, err = solveSparse(p, &o)
-	default:
-		return nil, fmt.Errorf("lp: unknown backend %v", o.Backend)
+	if o.NoPresolve {
+		sol, err = dispatchBackend(p, &o)
+	} else {
+		sol, err = solvePresolved(p, &o)
 	}
 	if err != nil {
 		return nil, err
@@ -227,6 +356,19 @@ func Solve(p *Problem, opts ...Option) (*Solution, error) {
 	span.SetAttr("status", sol.Status.String())
 	span.SetAttr("pivots", sol.Stats.Pivots())
 	return sol, nil
+}
+
+// dispatchBackend routes a (possibly presolve-reduced) problem to the
+// selected simplex implementation.
+func dispatchBackend(p *Problem, o *Options) (*Solution, error) {
+	switch o.Backend {
+	case BackendDense:
+		return solveDense(p, o)
+	case BackendSparse:
+		return solveSparse(p, o)
+	default:
+		return nil, fmt.Errorf("lp: unknown backend %v", o.Backend)
+	}
 }
 
 // sleepSlow implements the SlowSolve fault: a context-aware delay of the

@@ -17,6 +17,12 @@ type spForm struct {
 	rowIdx []int
 	vals   []float64
 
+	// CSR mirror of the same matrix, built on demand (ensureCSR) for the
+	// pricing layer's sparse pivot-row assembly.
+	rowPtr  []int
+	colIdx  []int32
+	rowVals []float64
+
 	b    []float64 // right-hand sides, ≥ 0
 	cost []float64 // minimize-sense phase-2 costs
 
@@ -35,6 +41,40 @@ func (f *spForm) col(j int) ([]int, []float64) {
 	lo, hi := f.colPtr[j], f.colPtr[j+1]
 	return f.rowIdx[lo:hi], f.vals[lo:hi]
 }
+
+// ensureCSR transposes the CSC storage into row-major form. Only the
+// steepest-edge pricer needs row access, so the transpose is deferred until
+// a pricer is attached.
+func (f *spForm) ensureCSR() {
+	if f.rowPtr != nil {
+		return
+	}
+	f.rowPtr = make([]int, f.m+1)
+	for _, r := range f.rowIdx {
+		f.rowPtr[r+1]++
+	}
+	for i := 0; i < f.m; i++ {
+		f.rowPtr[i+1] += f.rowPtr[i]
+	}
+	f.colIdx = make([]int32, len(f.rowIdx))
+	f.rowVals = make([]float64, len(f.vals))
+	next := append([]int(nil), f.rowPtr[:f.m]...)
+	for j := 0; j < f.n; j++ {
+		lo, hi := f.colPtr[j], f.colPtr[j+1]
+		for k := lo; k < hi; k++ {
+			r := f.rowIdx[k]
+			f.colIdx[next[r]] = int32(j)
+			f.rowVals[next[r]] = f.vals[k]
+			next[r]++
+		}
+	}
+}
+
+// NumRows implements basis.Columns.
+func (f *spForm) NumRows() int { return f.m }
+
+// Col implements basis.Columns.
+func (f *spForm) Col(j int) ([]int, []float64) { return f.col(j) }
 
 // scatterCol expands column j into the dense vector x (which must be
 // zeroed by the caller where required).

@@ -2,7 +2,8 @@
 // solve request descends through progressively simpler, more robust engines
 // until one produces a cap-respecting schedule.
 //
-//	sparse revised simplex → dense tableau → slack-aware heuristic → static
+//	sparse revised simplex (LU) → sparse on the eta engine → dense tableau →
+//	slack-aware heuristic → static
 //
 // Each rung gets a bounded slice of the request's remaining deadline, a
 // small retry budget with exponential backoff for numerical failures, and a
@@ -33,10 +34,15 @@ import (
 type Rung int
 
 const (
-	// RungSparse is the normal path: the sparse revised simplex LP.
+	// RungSparse is the normal path: the sparse revised simplex LP on the
+	// Solver's configured basis engine (the LU factorization by default).
 	RungSparse Rung = iota
+	// RungSparseEta retries the same sparse LP on the product-form eta
+	// engine, which shares the pivot loops but none of the factorization
+	// numerics — a breakdown inside the LU often does not reproduce there.
+	RungSparseEta
 	// RungDense retries the same LP on the dense tableau backend, which
-	// shares no factorization machinery with the sparse one.
+	// shares no simplex machinery with the sparse one at all.
 	RungDense
 	// RungHeuristic builds a slack-aware discrete schedule without an LP:
 	// off-critical tasks at their frontier floor, critical tasks at their
@@ -54,6 +60,8 @@ func (r Rung) String() string {
 	switch r {
 	case RungSparse:
 		return "sparse"
+	case RungSparseEta:
+		return "sparse-eta"
 	case RungDense:
 		return "dense"
 	case RungHeuristic:
@@ -66,7 +74,9 @@ func (r Rung) String() string {
 }
 
 // Rungs lists the ladder top to bottom.
-func Rungs() []Rung { return []Rung{RungSparse, RungDense, RungHeuristic, RungStatic} }
+func Rungs() []Rung {
+	return []Rung{RungSparse, RungSparseEta, RungDense, RungHeuristic, RungStatic}
+}
 
 // Config tunes the ladder. The zero value selects the defaults noted on
 // each field.
@@ -91,8 +101,8 @@ type Config struct {
 	// DeadlineFracs gives each rung's slice as a fraction of the request's
 	// *remaining* deadline when the rung starts; a fraction ≥ 1 passes the
 	// parent deadline through unchanged. Zero selects the defaults
-	// {0.5, 0.6, 0.75, 1.0}: early rungs may not starve later ones, and the
-	// last rung gets whatever is left.
+	// {0.5, 0.5, 0.6, 0.75, 1.0}: early rungs may not starve later ones, and
+	// the last rung gets whatever is left.
 	DeadlineFracs [numRungs]float64
 	// Sleep replaces time.Sleep between retries (tests); nil = time.Sleep.
 	Sleep func(time.Duration)
@@ -142,7 +152,7 @@ func New(cfg Config) *Ladder {
 	}
 	var zero [numRungs]float64
 	if cfg.DeadlineFracs == zero {
-		cfg.DeadlineFracs = [numRungs]float64{0.5, 0.6, 0.75, 1.0}
+		cfg.DeadlineFracs = [numRungs]float64{0.5, 0.5, 0.6, 0.75, 1.0}
 	}
 	l := &Ladder{cfg: cfg}
 	for r := range l.breakers {
@@ -247,6 +257,16 @@ func (l *Ladder) runRung(ctx context.Context, sv *core.Solver, g *dag.Graph, cap
 	case RungSparse:
 		sched, err := sv.SolveCtxWith(ctx, g, capW, decompose, lp.BackendSparse)
 		return sched, nil, err
+	case RungSparseEta:
+		sched, err := sv.SolveCtxWithEngine(ctx, g, capW, decompose, lp.BackendSparse, lp.EngineEta)
+		if err != nil {
+			return nil, nil, err
+		}
+		realized, err := l.validate(ctx, sv, g, sched)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sched, realized, nil
 	case RungDense:
 		sched, err := sv.SolveCtxWith(ctx, g, capW, decompose, lp.BackendDense)
 		if err != nil {

@@ -192,17 +192,17 @@ func TestLadderBreakerSkipsBrokenRung(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Rung != RungDense || !out.Degraded {
-		t.Fatalf("rung %v degraded=%v, want dense/true", out.Rung, out.Degraded)
+	if out.Rung != RungSparseEta || !out.Degraded {
+		t.Fatalf("rung %v degraded=%v, want sparse-eta/true", out.Rung, out.Degraded)
 	}
 	if !strings.Contains(out.Reason, "sparse:breaker-open") {
 		t.Fatalf("reason %q does not record the skipped rung", out.Reason)
 	}
 	if out.Realized == nil || out.Realized.CapViolationW != 0 {
-		t.Fatal("dense-rung outcome not certified cap-clean")
+		t.Fatal("sparse-eta-rung outcome not certified cap-clean")
 	}
-	if st := l.BreakerStates()["dense"]; st != "closed" {
-		t.Fatalf("dense breaker %q after success", st)
+	if st := l.BreakerStates()["sparse-eta"]; st != "closed" {
+		t.Fatalf("sparse-eta breaker %q after success", st)
 	}
 }
 
