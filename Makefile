@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve-smoke realization-smoke chaos-smoke fuzz-smoke obs-smoke scale-smoke market-smoke kernel-smoke check
+.PHONY: all build vet test race bench serve-smoke realization-smoke chaos-smoke fuzz-smoke obs-smoke scale-smoke market-smoke kernel-smoke twin-smoke check
 
 all: check
 
@@ -43,9 +43,12 @@ realization-smoke:
 # Fault-injected soak under the race detector: every fault class armed
 # against a live in-process daemon; asserts zero crashes, ≥99% valid
 # responses, never a cap-violating schedule, and full recovery (breakers
-# closed, bit-identical results) once faults clear.
+# closed, bit-identical results) once faults clear. The twin-chaos case
+# storms an adaptive daemon with lp-stall/lp-nan/worker-panic armed and
+# requires the controller back at full fidelity with breakers closed
+# within a bounded number of calm epochs.
 chaos-smoke:
-	$(GO) test -race -run TestChaosSoak -count=1 -v ./internal/service/
+	$(GO) test -race -run 'TestChaosSoak|TestTwinChaosRecovery' -count=1 -v ./internal/service/
 
 # Observability smoke: race-detected span-layer tests, then a traced solve
 # against a real pcschedd — validates the inline Chrome trace JSON (nesting
@@ -80,6 +83,16 @@ kernel-smoke:
 	$(GO) test -race -count=1 ./internal/lp/...
 	$(GO) test -race -count=1 -run 'TestCapSessionWarmProbeEngines|TestEngineEquivalenceGoldenObjectives' ./internal/core/
 
+# Adaptive overload control plane + deterministic traffic twin smoke:
+# race-detected controller/brownout/twin tests, then the end-to-end
+# TestTwinSmoke — a seeded flash crowd against a real adaptive daemon vs
+# a static one (adaptive goodput fraction must be ≥ static) and a
+# record/replay regression (two replays byte-identical, zero mismatches).
+twin-smoke:
+	$(GO) test -race -count=1 ./internal/adapt/ ./internal/twin/
+	$(GO) test -race -count=1 -run 'TestBrownout|TestRetry|TestDeadline|TestParking|TestDrainCheckpoint|TestAdaptOff' ./internal/service/
+	$(GO) test -run TestTwinSmoke -count=1 -v ./cmd/pcschedd/
+
 # Bounded fuzz sessions over the trace parser, the canonical DAG digest
 # (the content-addressing the schedule cache rests on), and the Markowitz
 # sparse LU factorization (factor → FTRAN/BTRAN vs dense LU). Seeds are
@@ -89,4 +102,4 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzDigest -fuzztime 5s ./internal/dag/
 	$(GO) test -run xxx -fuzz FuzzLU -fuzztime 5s ./internal/lp/basis/
 
-check: vet build race serve-smoke realization-smoke chaos-smoke obs-smoke scale-smoke market-smoke kernel-smoke fuzz-smoke
+check: vet build race serve-smoke realization-smoke chaos-smoke obs-smoke scale-smoke market-smoke kernel-smoke twin-smoke fuzz-smoke

@@ -8,7 +8,7 @@
 //
 // Exhibits: fig1 table1 fig2 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 // fig15 table3 validate configsel overheads solver kernel service
-// realization resilience observability scale market summary all.
+// realization resilience observability scale market twin summary all.
 //
 // Absolute numbers depend on the simulated machine model; the shapes (who
 // wins, by how much, where the crossovers fall) are the reproduction
@@ -71,9 +71,10 @@ func main() {
 		"scale":         runScale,
 		"market":        runMarket,
 		"kernel":        runKernel,
+		"twin":          runTwin,
 	}
 	order := []string{"fig1", "table1", "fig2", "fig3", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "kernel", "service", "realization", "resilience", "observability", "scale", "market", "summary"}
+		"fig11", "fig12", "fig13", "fig14", "fig15", "table3", "validate", "configsel", "overheads", "solver", "kernel", "service", "realization", "resilience", "observability", "scale", "market", "twin", "summary"}
 
 	var todo []string
 	for _, a := range args {

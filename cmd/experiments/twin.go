@@ -1,0 +1,454 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"powercap"
+	"powercap/internal/adapt"
+	"powercap/internal/service"
+	"powercap/internal/twin"
+)
+
+// The "twin" exhibit drives pcschedd with the deterministic traffic twin
+// (internal/twin) and tests the adaptive overload control plane of DESIGN.md
+// §15 against stated hypotheses. Each scenario prints its hypothesis up
+// front and a CONFIRMED/FALSIFIED verdict from the measured outcome; with
+// -benchjson the full measurements land in BENCH_twin.json.
+//
+// All daemons are in-process (httptest) so fault windows can arm the
+// process-global fault injector, and they run serially: one scenario, one
+// daemon at a time — this exhibit is sized for a single-CPU host.
+
+// twinRun is one daemon configuration's classified result.
+type twinRun struct {
+	Config string       `json:"config"`
+	Result *twin.Result `json:"result"`
+}
+
+// twinScenarioReport is one scenario of the BENCH_twin.json document.
+type twinScenarioReport struct {
+	Name       string    `json:"name"`
+	Hypothesis string    `json:"hypothesis"`
+	Verdict    string    `json:"verdict"` // "CONFIRMED" or "FALSIFIED"
+	Detail     string    `json:"detail"`
+	Runs       []twinRun `json:"runs,omitempty"`
+	Replay     []string  `json:"replay_summaries,omitempty"`
+}
+
+type twinReport struct {
+	Scenarios []twinScenarioReport `json:"scenarios"`
+	Generated string               `json:"generated"`
+}
+
+// twinCapacity is the shared daemon sizing: small enough that a flash crowd
+// genuinely overflows admission on one CPU.
+func twinCapacity() service.Config {
+	return service.Config{
+		Workers:    2,
+		QueueDepth: 4,
+		CacheSize:  64,
+		Resilience: powercap.ResilienceConfig{
+			BackoffBase:     100 * time.Microsecond,
+			BreakerCooldown: 50 * time.Millisecond,
+		},
+	}
+}
+
+// twinDaemon starts an in-process daemon; the caller must call the returned
+// cleanup even on error paths.
+func twinDaemon(cfg service.Config) (base string, svc *service.Server, cleanup func()) {
+	svc = service.New(cfg)
+	stopAdapt := svc.StartAdapt()
+	ts := httptest.NewServer(svc)
+	return ts.URL, svc, func() { ts.Close(); stopAdapt() }
+}
+
+var twinHeavy = []twin.Workload{
+	// ~24 ms per cache-miss solve: two workers saturate near 80/s.
+	{Name: "CoMD", Ranks: 8, Iters: 8, Seed: 1, Scale: 0.5},
+	{Name: "SP", Ranks: 8, Iters: 8, Seed: 2, Scale: 0.5},
+}
+
+var twinLight = []twin.Workload{
+	// ~8 ms per cache-miss solve: comfortable at diurnal rates.
+	{Name: "CoMD", Ranks: 4, Iters: 6, Seed: 1, Scale: 0.3},
+	{Name: "SP", Ranks: 4, Iters: 6, Seed: 2, Scale: 0.3},
+}
+
+func runTwin(cfg config) error {
+	header("Twin", "deterministic traffic twin vs the adaptive overload control plane: hypotheses and verdicts per scenario")
+
+	report := twinReport{Generated: time.Now().UTC().Format(time.RFC3339)}
+	confirmed := 0
+	add := func(s twinScenarioReport) {
+		report.Scenarios = append(report.Scenarios, s)
+		if s.Verdict == "CONFIRMED" {
+			confirmed++
+		}
+		fmt.Printf("  %s: %s\n\n", s.Verdict, s.Detail)
+	}
+
+	if s, err := twinDiurnal(); err != nil {
+		return err
+	} else {
+		add(s)
+	}
+	if s, err := twinFlashCrowd(); err != nil {
+		return err
+	} else {
+		add(s)
+	}
+	if s, err := twinRetryStorm(); err != nil {
+		return err
+	} else {
+		add(s)
+	}
+	if s, err := twinFaultBrownout(); err != nil {
+		return err
+	} else {
+		add(s)
+	}
+	if s, err := twinReplayRegression(); err != nil {
+		return err
+	} else {
+		add(s)
+	}
+
+	fmt.Printf("%d/%d hypotheses confirmed\n", confirmed, len(report.Scenarios))
+
+	if cfg.benchJSON != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.benchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.benchJSON)
+	}
+	if confirmed != len(report.Scenarios) {
+		return fmt.Errorf("%d of %d twin hypotheses falsified",
+			len(report.Scenarios)-confirmed, len(report.Scenarios))
+	}
+	return nil
+}
+
+// twinDiurnal: moderate load must not trip the brownout ladder.
+func twinDiurnal() (twinScenarioReport, error) {
+	s := twinScenarioReport{
+		Name: "diurnal",
+		Hypothesis: "a diurnal ramp well inside capacity never triggers brownout: " +
+			"every request is answered at full fidelity, zero sheds",
+	}
+	fmt.Printf("[diurnal] hypothesis: %s\n", s.Hypothesis)
+
+	sc := twin.Scenario{
+		Name: "diurnal",
+		Seed: 101,
+		Phases: []twin.Phase{
+			{Name: "night", DurMS: 700, RatePerS: 15},
+			{Name: "peak", DurMS: 900, RatePerS: 45},
+			{Name: "evening", DurMS: 700, RatePerS: 15},
+		},
+		Workloads: twinLight,
+		Caps:      []float64{45, 50, 55, 60, 65},
+		ZipfS:     1.0,
+	}
+
+	cfgAdapt := twinCapacity()
+	cfgAdapt.Adapt = adapt.Config{Enabled: true, Epoch: 100 * time.Millisecond}
+	base, _, cleanup := twinDaemon(cfgAdapt)
+	res := twin.Run(base, sc, twin.RunOptions{MaxInflight: 24})
+	cleanup()
+	fmt.Printf("  %s\n", res)
+
+	s.Runs = []twinRun{{Config: "adaptive", Result: res}}
+	if res.OK == res.Requests && res.Browned == 0 && res.Rej429 == 0 {
+		s.Verdict = "CONFIRMED"
+	} else {
+		s.Verdict = "FALSIFIED"
+	}
+	s.Detail = fmt.Sprintf("%d/%d full answers, %d browned, %d rejected under the diurnal ramp",
+		res.OK, res.Requests, res.Browned, res.Rej429)
+	return s, nil
+}
+
+// twinFlashCrowd: the acceptance hypothesis — adaptive goodput beats every
+// static sizing on the same flash crowd.
+func twinFlashCrowd() (twinScenarioReport, error) {
+	s := twinScenarioReport{
+		Name: "flash-crowd",
+		Hypothesis: "on a 2x-capacity flash crowd with an 800 ms deadline, the adaptive " +
+			"daemon answers a larger fraction of requests than every static sizing " +
+			"(default, deep-queue, extra-workers)",
+	}
+	fmt.Printf("[flash-crowd] hypothesis: %s\n", s.Hypothesis)
+
+	sc := twin.Scenario{
+		Name: "flash-crowd",
+		Seed: 202,
+		Phases: []twin.Phase{
+			{Name: "warm", DurMS: 300, RatePerS: 30},
+			{Name: "flash", DurMS: 1500, RatePerS: 160},
+			{Name: "cool", DurMS: 400, RatePerS: 30},
+		},
+		Workloads:   twinHeavy,
+		Caps:        capRangeTwin(40, 70, 0.5),
+		ZipfS:       0.4,
+		RealizeFrac: 0.3,
+		TimeoutMS:   800,
+		Retry:       twin.RetryPolicy{MaxRetries: 2, DelayMS: 50, HonorRetryAfter: true},
+	}
+
+	configs := []struct {
+		label string
+		mod   func(*service.Config)
+	}{
+		{"adaptive", func(c *service.Config) {
+			c.Adapt = adapt.Config{Enabled: true, Epoch: 100 * time.Millisecond}
+		}},
+		{"static-default", func(c *service.Config) {}},
+		{"static-deep-queue", func(c *service.Config) { c.QueueDepth = 32 }},
+		{"static-extra-workers", func(c *service.Config) { c.Workers = 4 }},
+	}
+	for _, cc := range configs {
+		cfg := twinCapacity()
+		cc.mod(&cfg)
+		base, _, cleanup := twinDaemon(cfg)
+		res := twin.Run(base, sc, twin.RunOptions{MaxInflight: 24})
+		cleanup()
+		fmt.Printf("  %-21s %s\n", cc.label+":", res)
+		s.Runs = append(s.Runs, twinRun{Config: cc.label, Result: res})
+	}
+
+	adaptiveRes := s.Runs[0].Result
+	bestStatic, bestLabel := -1.0, ""
+	violations := 0
+	for _, r := range s.Runs {
+		violations += r.Result.CapViolations
+		if r.Config == "adaptive" {
+			continue
+		}
+		if f := r.Result.GoodFrac(); f > bestStatic {
+			bestStatic, bestLabel = f, r.Config
+		}
+	}
+	if adaptiveRes.GoodFrac() >= bestStatic && violations == 0 {
+		s.Verdict = "CONFIRMED"
+	} else {
+		s.Verdict = "FALSIFIED"
+	}
+	s.Detail = fmt.Sprintf("adaptive answered %.1f%% vs best static %.1f%% (%s); %d cap violations anywhere",
+		100*adaptiveRes.GoodFrac(), 100*bestStatic, bestLabel, violations)
+	return s, nil
+}
+
+// twinRetryStorm: impatient clients that retry fast and ignore hints.
+func twinRetryStorm() (twinScenarioReport, error) {
+	s := twinScenarioReport{
+		Name: "retry-storm",
+		Hypothesis: "under a storm of impatient clients (4 fast retries, hints ignored), " +
+			"the retry budget plus brownout drain the storm instead of letting it stretch: " +
+			"higher goodput per second and a shorter storm than the static daemon, which " +
+			"only survives by queueing the backlog out in time",
+	}
+	fmt.Printf("[retry-storm] hypothesis: %s\n", s.Hypothesis)
+
+	sc := twin.Scenario{
+		Name: "retry-storm",
+		Seed: 303,
+		Phases: []twin.Phase{
+			{Name: "storm", DurMS: 1500, RatePerS: 120},
+			{Name: "after", DurMS: 500, RatePerS: 20},
+		},
+		Workloads: twinHeavy,
+		Caps:      capRangeTwin(40, 70, 1),
+		ZipfS:     0.4,
+		Retry:     twin.RetryPolicy{MaxRetries: 4, DelayMS: 10, HonorRetryAfter: false},
+	}
+
+	var runs []*twin.Result
+	for _, adaptive := range []bool{true, false} {
+		cfg := twinCapacity()
+		label := "static"
+		if adaptive {
+			cfg.Adapt = adapt.Config{Enabled: true, Epoch: 100 * time.Millisecond}
+			label = "adaptive"
+		}
+		base, _, cleanup := twinDaemon(cfg)
+		res := twin.Run(base, sc, twin.RunOptions{MaxInflight: 24})
+		cleanup()
+		fmt.Printf("  %-9s %s\n", label+":", res)
+		s.Runs = append(s.Runs, twinRun{Config: label, Result: res})
+		runs = append(runs, res)
+	}
+	adaptiveRes, staticRes := runs[0], runs[1]
+	if adaptiveRes.GoodputPerS >= staticRes.GoodputPerS && adaptiveRes.WallS <= staticRes.WallS {
+		s.Verdict = "CONFIRMED"
+	} else {
+		s.Verdict = "FALSIFIED"
+	}
+	s.Detail = fmt.Sprintf("adaptive %.1f good/s over %.1fs vs static %.1f good/s over %.1fs",
+		adaptiveRes.GoodputPerS, adaptiveRes.WallS, staticRes.GoodputPerS, staticRes.WallS)
+	return s, nil
+}
+
+// twinFaultBrownout: injected solver stalls must brown the service out, not
+// fail it, and the controller must climb back after the window.
+func twinFaultBrownout() (twinScenarioReport, error) {
+	s := twinScenarioReport{
+		Name: "fault-brownout",
+		Hypothesis: "a window of injected LP stalls degrades fidelity instead of availability " +
+			"(zero 5xx, zero cap violations, every request answered) and after the window " +
+			"the controller returns to full fidelity with the primary solve path's breaker " +
+			"re-closed and none left open",
+	}
+	fmt.Printf("[fault-brownout] hypothesis: %s\n", s.Hypothesis)
+
+	sc := twin.Scenario{
+		Name: "fault-brownout",
+		Seed: 404,
+		Phases: []twin.Phase{
+			{Name: "calm", DurMS: 500, RatePerS: 40},
+			{Name: "stormy", DurMS: 1200, RatePerS: 40},
+			{Name: "recovery", DurMS: 1000, RatePerS: 40},
+		},
+		Workloads: twinLight,
+		// A wide cap universe so the stall window keeps seeing cache
+		// misses: warm LRU entries must not absorb the whole fault.
+		Caps:  capRangeTwin(40, 70, 1),
+		ZipfS: 0.3,
+		Faults: []twin.FaultWindow{
+			{Class: "lp-stall", Prob: 1.0, StartMS: 500, EndMS: 1700},
+		},
+	}
+
+	cfg := twinCapacity()
+	cfg.Adapt = adapt.Config{Enabled: true, Epoch: 100 * time.Millisecond}
+	base, _, cleanup := twinDaemon(cfg)
+	defer cleanup()
+	res := twin.Run(base, sc, twin.RunOptions{MaxInflight: 24})
+	fmt.Printf("  %s\n", res)
+	s.Runs = []twinRun{{Config: "adaptive+faults", Result: res}}
+
+	// After the run, probe until the daemon reports full fidelity with the
+	// sparse (primary) breaker re-closed and no breaker open. Deeper rungs
+	// may report half-open indefinitely: once the sparse path works again
+	// they never see another request, so there is nothing to close them
+	// with — half-open means "ready to probe", which is recovered.
+	rung, breakers, probes, recovered := "", "", 0, false
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		probes++
+		body, _ := json.Marshal(map[string]any{
+			"workload":         twinLight[probes%len(twinLight)],
+			"cap_per_socket_w": 44 + float64(probes),
+		})
+		resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+		hr, err := http.Get(base + "/healthz")
+		if err != nil {
+			return s, err
+		}
+		var hz struct {
+			Breakers map[string]string `json:"breakers"`
+			Adapt    struct {
+				Rung string `json:"rung"`
+			} `json:"adapt"`
+		}
+		err = json.NewDecoder(hr.Body).Decode(&hz)
+		hr.Body.Close()
+		if err != nil {
+			return s, err
+		}
+		rung = hz.Adapt.Rung
+		ok := hz.Breakers["sparse"] == "closed"
+		for _, st := range hz.Breakers {
+			if st == "open" {
+				ok = false
+			}
+		}
+		breakers = fmt.Sprintf("sparse=%s", hz.Breakers["sparse"])
+		if rung == "full" && ok {
+			recovered = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	if res.Err5xx == 0 && res.CapViolations == 0 && res.OK == res.Requests && recovered {
+		s.Verdict = "CONFIRMED"
+	} else {
+		s.Verdict = "FALSIFIED"
+	}
+	s.Detail = fmt.Sprintf("%d/%d answered through the stall window (%d browned/degraded), %d 5xx; rung %q, breakers %s after %d probes",
+		res.OK, res.Requests, res.Browned+res.Degraded, res.Err5xx, rung, breakers, probes)
+	return s, nil
+}
+
+// twinReplayRegression: the -adapt=off bit-identity contract.
+func twinReplayRegression() (twinScenarioReport, error) {
+	s := twinScenarioReport{
+		Name: "replay-regression",
+		Hypothesis: "a tape recorded with the control plane off replays with zero mismatches " +
+			"and byte-identical summaries against two fresh daemons: the disarmed " +
+			"control plane cannot perturb responses",
+	}
+	fmt.Printf("[replay-regression] hypothesis: %s\n", s.Hypothesis)
+
+	sc := twin.Scenario{
+		Name:        "replay",
+		Seed:        505,
+		Phases:      []twin.Phase{{Name: "serial", DurMS: 200, RatePerS: 120}},
+		Workloads:   twinLight,
+		Caps:        []float64{48, 52, 56, 60},
+		ZipfS:       1.0,
+		RealizeFrac: 0.25,
+	}
+
+	base, _, cleanup := twinDaemon(twinCapacity())
+	tape, err := twin.Record(base, sc)
+	cleanup()
+	if err != nil {
+		return s, err
+	}
+
+	var summaries []string
+	mismatches := 0
+	for i := 0; i < 2; i++ {
+		base, _, cleanup := twinDaemon(twinCapacity())
+		rep, err := tape.Replay(base)
+		cleanup()
+		if err != nil {
+			return s, err
+		}
+		mismatches += rep.Mismatches
+		summaries = append(summaries, rep.Summary())
+		fmt.Printf("  replay %d: %s\n", i+1, rep.Summary())
+	}
+	s.Replay = summaries
+	if mismatches == 0 && summaries[0] == summaries[1] && len(tape.Entries) > 0 {
+		s.Verdict = "CONFIRMED"
+	} else {
+		s.Verdict = "FALSIFIED"
+	}
+	s.Detail = fmt.Sprintf("%d entries, %d mismatches, summaries identical: %v",
+		len(tape.Entries), mismatches, summaries[0] == summaries[1])
+	return s, nil
+}
+
+func capRangeTwin(lo, hi, step float64) []float64 {
+	var caps []float64
+	for c := lo; c <= hi; c += step {
+		caps = append(caps, c)
+	}
+	return caps
+}

@@ -8,11 +8,19 @@
 //
 //	pcschedd [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	         [-timeout 60s] [-max-timeout 5m] [-grace 30s] [-quiet]
+//	         [-adapt] [-epoch 1s]
 //
 // The daemon prints the bound address on startup ("-addr 127.0.0.1:0"
 // picks a free port — useful for harnesses) and shuts down gracefully on
 // SIGINT/SIGTERM: in-flight solves complete and respond, new work gets
 // 503, and the process exits once drained or the grace period lapses.
+//
+// -adapt arms the adaptive overload control plane (DESIGN.md §15): once
+// per -epoch the daemon samples its own metrics and adapts admission
+// capacity, worker count, cache size, and the brownout ladder; 429s carry
+// Retry-After hints and declared retries (X-Retry-Attempt) spend a token
+// budget. Without -adapt the daemon behaves bit-identically to one built
+// without the control plane.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"powercap/internal/adapt"
 	"powercap/internal/service"
 )
 
@@ -51,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		maxTimeout = fs.Duration("max-timeout", 0, "upper clamp on client-supplied deadlines (0 = 5m)")
 		grace      = fs.Duration("grace", 30*time.Second, "drain period for in-flight solves on shutdown")
 		quiet      = fs.Bool("quiet", false, "suppress per-request log lines")
+		adaptOn    = fs.Bool("adapt", false, "arm the adaptive overload control plane (brownout ladder, retry budget, capacity adaptation)")
+		epoch      = fs.Duration("epoch", 0, "control-plane sampling epoch (0 = 1s; needs -adapt)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,7 +81,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Log:            reqLog,
+		Adapt:          adapt.Config{Enabled: *adaptOn, Epoch: *epoch},
 	})
+	// With -adapt off this is a no-op; with it on, the control-plane loop
+	// runs until Drain checkpoints and stops it on shutdown.
+	svc.StartAdapt()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

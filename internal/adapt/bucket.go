@@ -1,0 +1,84 @@
+package adapt
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// TokenBucket is the client-facing retry budget: requests that declare
+// themselves retries (X-Retry-Attempt ≥ 1) must take a token, and the
+// bucket refills at the service's observed completion rate. Under
+// overload the completion rate collapses, the bucket runs dry, and a
+// retry storm is turned away with Retry-After hints instead of being
+// allowed to amplify the original overload.
+//
+// All methods take an explicit instant so tests (and the deterministic
+// twin) can drive it on a synthetic clock.
+type TokenBucket struct {
+	mu     sync.Mutex
+	cap    float64
+	tokens float64
+	rate   float64 // tokens per second
+	last   time.Time
+}
+
+// NewTokenBucket returns a full bucket. A non-positive capacity is
+// clamped to 1.
+func NewTokenBucket(capacity int, ratePerS float64) *TokenBucket {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if ratePerS < 0 || math.IsNaN(ratePerS) {
+		ratePerS = 0
+	}
+	return &TokenBucket{cap: float64(capacity), tokens: float64(capacity), rate: ratePerS}
+}
+
+// SetRate retargets the refill rate (tokens/second). The controller calls
+// this each epoch with the observed solve completion rate.
+func (b *TokenBucket) SetRate(ratePerS float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ratePerS < 0 || math.IsNaN(ratePerS) {
+		ratePerS = 0
+	}
+	b.rate = ratePerS
+}
+
+// refillLocked advances the bucket to now. Callers hold b.mu.
+func (b *TokenBucket) refillLocked(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		return
+	}
+	dt := now.Sub(b.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	b.last = now
+	b.tokens += dt * b.rate
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+}
+
+// TakeAt consumes one token if available, reporting whether it did.
+func (b *TokenBucket) TakeAt(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// TokensAt reports the current level (a gauge for /metrics).
+func (b *TokenBucket) TokensAt(now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	return b.tokens
+}

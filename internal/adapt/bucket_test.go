@@ -1,0 +1,64 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketDrainAndRefill(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := NewTokenBucket(3, 1) // 3 tokens, 1/s refill
+
+	for i := 0; i < 3; i++ {
+		if !b.TakeAt(t0) {
+			t.Fatalf("take %d: bucket dry too early", i)
+		}
+	}
+	if b.TakeAt(t0) {
+		t.Fatal("take beyond capacity succeeded")
+	}
+
+	// Half a second refills half a token: still dry.
+	if b.TakeAt(t0.Add(500 * time.Millisecond)) {
+		t.Fatal("half-refilled bucket granted a token")
+	}
+	// A full second from t0 crosses 1 token.
+	if !b.TakeAt(t0.Add(1100 * time.Millisecond)) {
+		t.Fatal("refilled bucket refused a token")
+	}
+
+	// Refill clamps at capacity.
+	if got := b.TokensAt(t0.Add(time.Hour)); got != 3 {
+		t.Fatalf("tokens after an hour = %v, want capacity 3", got)
+	}
+}
+
+func TestTokenBucketRateRetarget(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := NewTokenBucket(10, 0)
+	for i := 0; i < 10; i++ {
+		b.TakeAt(t0)
+	}
+	// Zero rate: never refills.
+	if got := b.TokensAt(t0.Add(time.Hour)); got != 0 {
+		t.Fatalf("zero-rate bucket refilled to %v", got)
+	}
+	// Retarget to the observed completion rate.
+	b.SetRate(4)
+	if got := b.TokensAt(t0.Add(time.Hour + 2*time.Second)); got != 8 {
+		t.Fatalf("tokens 2s after retarget = %v, want 8", got)
+	}
+}
+
+func TestTokenBucketClockNeverRewinds(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := NewTokenBucket(2, 1)
+	b.TakeAt(t0)
+	// An earlier timestamp must not mint tokens or corrupt state.
+	if got := b.TokensAt(t0.Add(-time.Hour)); got != 1 {
+		t.Fatalf("tokens after clock rewind = %v, want 1", got)
+	}
+	if got := b.TokensAt(t0.Add(time.Second)); got != 2 {
+		t.Fatalf("tokens after recovery = %v, want 2", got)
+	}
+}

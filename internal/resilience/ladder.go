@@ -131,12 +131,21 @@ type Outcome struct {
 	Retries  int
 }
 
+// NumRungs is the ladder depth, exported for callers sizing DeadlineFracs
+// overrides.
+const NumRungs = int(numRungs)
+
 // Ladder executes the fallback ladder. Safe for concurrent use; breaker
 // state is shared across requests, which is the point.
 type Ladder struct {
 	cfg      Config
 	breakers [numRungs]*Breaker
 	jitter   atomic.Uint64
+	// fracs is the live per-rung deadline-slice table. It starts as
+	// cfg.DeadlineFracs and may be swapped at runtime by the adaptive
+	// control plane (SetDeadlineFracs) without disturbing in-flight
+	// solves, which read it once per rung.
+	fracs atomic.Pointer[[numRungs]float64]
 }
 
 // New returns a Ladder over cfg (zero-value fields get defaults).
@@ -155,10 +164,31 @@ func New(cfg Config) *Ladder {
 		cfg.DeadlineFracs = [numRungs]float64{0.5, 0.5, 0.6, 0.75, 1.0}
 	}
 	l := &Ladder{cfg: cfg}
+	fr := cfg.DeadlineFracs
+	l.fracs.Store(&fr)
 	for r := range l.breakers {
 		l.breakers[r] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	return l
+}
+
+// SetDeadlineFracs swaps the live per-rung deadline-slice table. Entries
+// beyond NumRungs are ignored; missing or non-positive entries keep their
+// configured value. A nil slice restores the configured table.
+func (l *Ladder) SetDeadlineFracs(fracs []float64) {
+	next := l.cfg.DeadlineFracs
+	for i := 0; i < len(fracs) && i < NumRungs; i++ {
+		if fracs[i] > 0 {
+			next[i] = fracs[i]
+		}
+	}
+	l.fracs.Store(&next)
+}
+
+// DeadlineFracs returns a copy of the live deadline-slice table.
+func (l *Ladder) DeadlineFracs() []float64 {
+	cur := *l.fracs.Load()
+	return append([]float64(nil), cur[:]...)
 }
 
 // BreakerStates reports each rung's circuit-breaker state for /healthz.
@@ -214,6 +244,31 @@ func (l *Ladder) Solve(ctx context.Context, sv *core.Solver, g *dag.Graph, capW 
 		lastErr = err
 	}
 	return nil, fmt.Errorf("resilience: every rung failed (%s): %w", strings.Join(chain, "→"), lastErr)
+}
+
+// SolveHeuristic runs only the slack-aware heuristic rung — no LP at all.
+// It is the service's deepest brownout mode: the result is still
+// simulator-validated cap-clean, but it is always tagged Degraded so it is
+// never cached and never served to a `degraded=forbid` request. The rung's
+// circuit breaker is deliberately not consulted or charged: brownout
+// traffic must not perturb the failure accounting of the fallback path.
+func (l *Ladder) SolveHeuristic(ctx context.Context, sv *core.Solver, g *dag.Graph, capW float64) (*Outcome, error) {
+	ctx, span := obs.Start(ctx, "resilience.brownout")
+	defer span.End()
+	span.SetAttr("cap_w", capW)
+
+	sched, realized, err := l.heuristicRung(ctx, sv, g, capW, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Schedule: sched,
+		Realized: realized,
+		Rung:     RungHeuristic,
+		Degraded: true,
+		Reason:   "brownout:heuristic",
+		Attempts: 1,
+	}, nil
 }
 
 // attempt runs one rung with its retry budget. Numerical failures are
@@ -301,7 +356,7 @@ func (l *Ladder) validate(ctx context.Context, sv *core.Solver, g *dag.Graph, sc
 // rungContext carves the rung's deadline slice out of the parent's
 // remaining time. Without a parent deadline the rung inherits ctx as-is.
 func (l *Ladder) rungContext(ctx context.Context, rung Rung) (context.Context, context.CancelFunc) {
-	frac := l.cfg.DeadlineFracs[rung]
+	frac := l.fracs.Load()[rung]
 	deadline, ok := ctx.Deadline()
 	if !ok || frac >= 1 {
 		return context.WithCancel(ctx)

@@ -260,3 +260,72 @@ func TestHeuristicRungsCapSafe(t *testing.T) {
 		}
 	}
 }
+
+// TestSetDeadlineFracs: the adaptive control plane swaps the live
+// deadline-slice table atomically; nil restores the configured table, and
+// non-positive entries keep their configured values.
+func TestSetDeadlineFracs(t *testing.T) {
+	l := New(Config{Sleep: noSleep})
+	base := l.DeadlineFracs()
+	if len(base) != NumRungs || base[0] != 0.5 {
+		t.Fatalf("default fracs = %v", base)
+	}
+
+	l.SetDeadlineFracs([]float64{0.3, 0.3, 0.4, 0.6, 1.0})
+	if got := l.DeadlineFracs(); got[0] != 0.3 || got[3] != 0.6 {
+		t.Fatalf("swapped fracs = %v", got)
+	}
+
+	// Short and zero-padded overrides keep configured values.
+	l.SetDeadlineFracs([]float64{0.2, 0})
+	if got := l.DeadlineFracs(); got[0] != 0.2 || got[1] != 0.5 || got[4] != 1.0 {
+		t.Fatalf("partial override fracs = %v", got)
+	}
+
+	l.SetDeadlineFracs(nil)
+	if got := l.DeadlineFracs(); got[0] != 0.5 {
+		t.Fatalf("restored fracs = %v", got)
+	}
+
+	// The live table actually governs rungContext: a tightened top-rung
+	// slice yields an earlier deadline than the parent's.
+	l.SetDeadlineFracs([]float64{0.1, 0.1, 0.1, 0.1, 0.1})
+	parent, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	rctx, rcancel := l.rungContext(parent, RungSparse)
+	defer rcancel()
+	pd, _ := parent.Deadline()
+	rd, ok := rctx.Deadline()
+	if !ok || !rd.Before(pd) {
+		t.Fatalf("rung deadline %v not tightened below parent %v", rd, pd)
+	}
+}
+
+// TestSolveHeuristicBrownout: the brownout entry point must produce a
+// cap-clean, simulator-validated, Degraded-tagged schedule without
+// touching the LP rungs or the breaker accounting.
+func TestSolveHeuristicBrownout(t *testing.T) {
+	faultinject.Disable()
+	g := smallGraph()
+	sv := testSolver()
+	l := New(Config{Sleep: noSleep})
+
+	out, err := l.SolveHeuristic(context.Background(), sv, g, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rung != RungHeuristic || !out.Degraded {
+		t.Fatalf("brownout outcome rung=%v degraded=%v", out.Rung, out.Degraded)
+	}
+	if out.Reason != "brownout:heuristic" {
+		t.Fatalf("brownout reason = %q", out.Reason)
+	}
+	if out.Realized == nil || out.Realized.CapViolationW != 0 {
+		t.Fatalf("brownout result not simulator-certified cap-clean: %+v", out.Realized)
+	}
+	for rung, st := range l.BreakerStates() {
+		if st != "closed" {
+			t.Fatalf("brownout touched breaker %s: %s", rung, st)
+		}
+	}
+}

@@ -195,6 +195,11 @@ func TestMetricsConformance(t *testing.T) {
 		"pcschedd_cluster_allocations_total", "pcschedd_cluster_jobs_allocated_total",
 		"pcschedd_cluster_converged_total", "pcschedd_cluster_iterations",
 		"pcschedd_cluster_moved_watts_total",
+		"pcschedd_shed_total", "pcschedd_queue_occupancy",
+		"pcschedd_adapt_epochs_total", "pcschedd_adapt_transitions_total",
+		"pcschedd_brownout_solves_total", "pcschedd_brownout_rung",
+		"pcschedd_adapt_workers", "pcschedd_adapt_queue_depth",
+		"pcschedd_retry_budget_tokens",
 	} {
 		if !seen[fam] {
 			t.Errorf("expected family %s missing from /metrics", fam)

@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"powercap"
+	"powercap/internal/adapt"
 	"powercap/internal/faultinject"
 	"powercap/internal/obs"
 	"powercap/internal/trace"
@@ -81,6 +82,11 @@ type Config struct {
 	// inline document and pcschedd_trace_spans_dropped_total report the
 	// overflow.
 	TraceSpanLimit int
+	// Adapt configures the overload control plane (DESIGN.md §15). With
+	// Adapt.Enabled false (the default) the service behaves bit-identically
+	// to a build without the control plane. The Workers/QueueDepth/
+	// CacheSize baselines are taken from this Config, not from Adapt.
+	Adapt adapt.Config
 	// Log receives one structured line per request (nil = discard).
 	Log *slog.Logger
 }
@@ -114,6 +120,23 @@ type Server struct {
 	// instead of rebuilding the problem skeleton per request.
 	sysMu   sync.Mutex
 	sysPool map[string]*powercap.System
+
+	// adaptState is the control plane's published decision; nil means the
+	// controller is off and every knob sits at its configured static
+	// value (the one-atomic-load disarmed path). adaptRT owns the
+	// controller and its epoch loop. parkedQueue/parkedSem count the
+	// admission/worker tokens the controller has parked to shrink
+	// effective capacity — zero when disarmed, so acquire() semantics are
+	// untouched.
+	adaptState  atomic.Pointer[adapt.State]
+	adaptRT     *adaptRuntime
+	parkedQueue atomic.Int64
+	parkedSem   atomic.Int64
+
+	// drainLastNS/drainGapNS estimate the queue drain rate (EWMA of the
+	// interval between solve completions) for Retry-After hints on 429s.
+	drainLastNS atomic.Int64
+	drainGapNS  atomic.Int64
 }
 
 // New builds a Server from cfg.
@@ -154,6 +177,16 @@ func New(cfg Config) *Server {
 		sem:            make(chan struct{}, cfg.Workers),
 		queue:          make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 	}
+	if cfg.Adapt.Enabled {
+		// The controller adapts around the service's configured
+		// baselines, whatever the Adapt sub-config says.
+		acfg := cfg.Adapt
+		acfg.Workers = cfg.Workers
+		acfg.QueueDepth = cfg.QueueDepth
+		acfg.CacheSize = cfg.CacheSize
+		s.adaptRT = newAdaptRuntime(acfg)
+		s.adaptState.Store(s.adaptRT.ctrl.State())
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.api(s.handleSolve))
 	s.mux.HandleFunc("POST /v1/sweep", s.api(s.handleSweep))
@@ -188,6 +221,25 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 // way). /healthz and /metrics stay up for observability.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	if rt := s.adaptRT; rt != nil {
+		// Stop the epoch loop, then pin the controller at full fidelity:
+		// drain only ever snaps *up*, and no brownout transition may
+		// happen while draining. The final adaptive epoch is checkpointed
+		// to the log so an operator can see what state the controller
+		// died in.
+		rt.stopLoop()
+		ck := rt.ctrl.BeginDrain()
+		s.adaptState.Store(rt.ctrl.State())
+		s.unparkAll()
+		if s.logger != nil {
+			s.logger.Info("adapt drain checkpoint",
+				"epoch", ck.Epoch,
+				"rung", ck.RungName,
+				"transitions", ck.Transitions,
+				"est_solve_ms", ck.EstSolveS*1e3,
+				"pressure", ck.Pressure)
+		}
+	}
 	idle := make(chan struct{})
 	go func() {
 		// Write-locking waits for every in-flight reader (= request).
@@ -290,6 +342,20 @@ func (s *Server) api(h func(http.ResponseWriter, *http.Request)) http.HandlerFun
 			writeError(w, http.StatusServiceUnavailable, "service is draining")
 			return
 		}
+		// Retry budget: requests that declare themselves retries spend a
+		// token from a bucket refilled at the observed completion rate, so
+		// a retry storm cannot amplify an overload. Armed only with the
+		// control plane on (one atomic load when off); draining exempts —
+		// every remaining request is a goodbye.
+		if st := s.adaptState.Load(); st != nil && !st.Draining {
+			if a := r.Header.Get("X-Retry-Attempt"); a != "" && a != "0" {
+				if !s.adaptRT.bucket.TakeAt(time.Now()) {
+					s.metrics.ShedRetryBudget.Add(1)
+					s.writeTooBusy(w, "retry budget exhausted; honor Retry-After")
+					return
+				}
+			}
+		}
 		s.metrics.Inflight.Add(1)
 		defer s.metrics.Inflight.Add(-1)
 
@@ -385,7 +451,14 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 		}
 	}
 	s.metrics.QueueWait.Observe(time.Since(start))
-	return func() { <-s.sem; <-s.queue }, nil
+	return func() { <-s.sem; <-s.queue; s.noteCompletion() }, nil
+}
+
+// writeTooBusy answers 429 with the Retry-After hint every rejection
+// carries: how long the current queue should take to drain.
+func (s *Server) writeTooBusy(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeError(w, http.StatusTooManyRequests, msg)
 }
 
 // requestCtx derives the per-request deadline: the client's timeout_ms
@@ -553,6 +626,10 @@ type SolveResponse struct {
 	DegradedRung   string `json:"degraded_rung,omitempty"`
 	DegradedReason string `json:"degraded_reason,omitempty"`
 	SolveRetries   int    `json:"solve_retries,omitempty"`
+	// Brownout names the adaptive control plane's rung when this solve was
+	// rerouted onto a cheaper mode under overload ("" otherwise). Browned
+	// results are served but never cached.
+	Brownout string `json:"brownout,omitempty"`
 
 	// Cached is true when the response came from the LRU or an in-flight
 	// identical solve rather than a fresh backend run.
@@ -579,6 +656,10 @@ type solveOutcome struct {
 	rung       string
 	reason     string
 	retries    int
+	// brownout names the control-plane rung that rerouted this solve onto a
+	// cheaper mode ("" for a full-fidelity solve). Browned outcomes are never
+	// cacheable regardless of degraded.
+	brownout string
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -635,17 +716,49 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 
+	// Brownout (adaptive control plane, DESIGN.md §15): under sustained
+	// pressure the request may be rerouted onto a cheaper solve mode. A
+	// `?degraded=forbid` request is never browned (guardrail precedence),
+	// a full-fidelity result already in the LRU is always preferred over
+	// a browned solve, and a browned flight runs under a rung-scoped key
+	// with cacheable=false — brownout results never enter the cache and
+	// never coalesce with full-fidelity flights.
+	adaptSt := s.adaptState.Load()
+	bo := brownoutFor(adaptSt, degradedPolicy, &req)
+	breq := req
+	flightKey := key
+	if bo != nil {
+		if _, ok := s.cache.Get(key); ok {
+			bo = nil // serve the cached full-fidelity artifact instead
+		} else {
+			bo.apply(&breq)
+			flightKey = key + "|brownout=" + bo.rung.String()
+		}
+	}
+
 	fn := func() (any, bool, error) {
-		out, err := s.solveWorker(ctx, sys, g, jobCap, &req)
+		if adaptSt != nil && adaptSt.Shedding {
+			// Deadline-aware shedding: work that cannot finish inside its
+			// remaining budget is turned away before it occupies a slot.
+			// Only the miss path sheds — a cache hit never gets here.
+			if err := s.shedCheck(ctx, adaptSt); err != nil {
+				return nil, false, err
+			}
+		}
+		out, err := s.solveWorker(ctx, sys, g, jobCap, &breq, bo != nil && bo.heuristic)
 		if err != nil && errors.Is(err, errSolvePanic) {
 			// The panic is already contained and counted; the request gets
 			// one clean retry before failing.
-			out, err = s.solveWorker(ctx, sys, g, jobCap, &req)
+			out, err = s.solveWorker(ctx, sys, g, jobCap, &breq, bo != nil && bo.heuristic)
 		}
 		if err != nil {
 			return nil, false, err
 		}
-		return out, !out.degraded, nil
+		if bo != nil {
+			out.brownout = bo.rung.String()
+			s.metrics.BrownoutSolves.Add(1)
+		}
+		return out, !out.degraded && bo == nil, nil
 	}
 	var val any
 	var how hitKind
@@ -656,7 +769,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		how = hitMiss
 		val, _, err = fn()
 	} else {
-		val, how, err = s.cache.DoMaybe(ctx, key, fn)
+		val, how, err = s.cache.DoMaybe(ctx, flightKey, fn)
 	}
 	if err != nil {
 		s.solveError(w, err)
@@ -690,6 +803,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		resp.DegradedRung = out.rung
 		resp.DegradedReason = out.reason
 		resp.SolveRetries = out.retries
+		resp.Brownout = out.brownout
 		if out.realized != nil {
 			resp.Realized = NewRealizedJSON(out.realized)
 		}
@@ -726,7 +840,7 @@ func (s *Server) inlineTrace(r *http.Request) *obs.Document {
 // the solve path is recovered here — counted, turned into errSolvePanic, and
 // the worker slot released cleanly — so a poisoned request can never take
 // the daemon (or a pooled worker) down with it.
-func (s *Server) solveWorker(ctx context.Context, sys *powercap.System, g *powercap.Graph, jobCap float64, req *SolveRequest) (out *solveOutcome, err error) {
+func (s *Server) solveWorker(ctx context.Context, sys *powercap.System, g *powercap.Graph, jobCap float64, req *SolveRequest, heuristic bool) (out *solveOutcome, err error) {
 	release, err := s.acquire(ctx)
 	if err != nil {
 		return nil, err
@@ -749,6 +863,26 @@ func (s *Server) solveWorker(ctx context.Context, sys *powercap.System, g *power
 	}
 
 	t0 := time.Now()
+	if heuristic {
+		// Deepest brownout rung: the slack-aware heuristic alone, no LP.
+		// Breaker state is neither consulted nor charged — a brownout is a
+		// capacity decision, not a backend failure.
+		res, serr := sys.HeuristicOutcomeCtx(ctx, g, jobCap)
+		s.metrics.SolveLatency.Observe(time.Since(t0))
+		if serr != nil {
+			return nil, serr
+		}
+		s.metrics.Solves.Add(1)
+		s.metrics.Degraded.Add(1)
+		s.metrics.FallbackHeuristic.Add(1)
+		return &solveOutcome{
+			sched:    res.Schedule,
+			realized: res.Realized,
+			degraded: true,
+			rung:     res.Rung.String(),
+			reason:   res.Reason,
+		}, nil
+	}
 	if req.Windows > 1 || req.CoarsenEps > 0 {
 		return s.solveWindowed(ctx, sys, g, jobCap, req, t0)
 	}
@@ -1043,15 +1177,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":      status,
 		"workers":     s.workers,
 		"queue_depth": s.queueDepth,
-		"queue_used":  len(s.queue),
+		"queue_used":  s.queueUsed(),
 		"inflight":    s.metrics.Inflight.Load(),
 		"cached":      s.cache.Len(),
 		"breakers":    s.breakerStates(),
-	})
+	}
+	if s.adaptRT != nil {
+		st := s.adaptState.Load()
+		body["adapt"] = map[string]any{
+			"enabled":     true,
+			"rung":        st.Rung.String(),
+			"epoch":       st.Epoch,
+			"pressure":    st.Pressure,
+			"workers":     st.Workers,
+			"queue_depth": st.QueueDepth,
+			"draining":    st.Draining,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // breakerStates aggregates circuit-breaker state per ladder rung across the
@@ -1100,6 +1247,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.sysMu.Unlock()
 	writeMeta(w, "pcschedd_systems_pooled", "powercap.System instances pooled by efficiency-scale vector.", "gauge")
 	fmt.Fprintf(w, "pcschedd_systems_pooled %d\n", pooled)
+	writeMeta(w, "pcschedd_queue_occupancy", "Fraction of the effective admission queue in use (0-1).", "gauge")
+	fmt.Fprintf(w, "pcschedd_queue_occupancy %g\n", s.queueOccupancy())
+	rung, aworkers, aqdepth := 0, s.workers, s.queueDepth
+	if st := s.adaptState.Load(); st != nil {
+		rung, aworkers, aqdepth = int(st.Rung), st.Workers, st.QueueDepth
+	}
+	var tokens float64
+	if rt := s.adaptRT; rt != nil {
+		tokens = rt.bucket.TokensAt(time.Now())
+	}
+	writeMeta(w, "pcschedd_brownout_rung", "Current brownout ladder rung (0 = full fidelity).", "gauge")
+	fmt.Fprintf(w, "pcschedd_brownout_rung %d\n", rung)
+	writeMeta(w, "pcschedd_adapt_workers", "Effective worker slots after adaptive parking.", "gauge")
+	fmt.Fprintf(w, "pcschedd_adapt_workers %d\n", aworkers)
+	writeMeta(w, "pcschedd_adapt_queue_depth", "Effective admission queue depth after adaptive parking.", "gauge")
+	fmt.Fprintf(w, "pcschedd_adapt_queue_depth %d\n", aqdepth)
+	writeMeta(w, "pcschedd_retry_budget_tokens", "Tokens remaining in the retry budget bucket.", "gauge")
+	fmt.Fprintf(w, "pcschedd_retry_budget_tokens %g\n", tokens)
 	writeMeta(w, "pcschedd_build_info", "Build metadata as labels; the value is always 1.", "gauge")
 	fmt.Fprintf(w, "pcschedd_build_info{go_version=%q} 1\n", runtime.Version())
 }
@@ -1123,7 +1288,10 @@ func (s *Server) solveError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errQueueFull):
 		s.metrics.Rejected.Add(1)
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		s.writeTooBusy(w, err.Error())
+	case errors.Is(err, errShedDeadline):
+		s.metrics.ShedDeadline.Add(1)
+		s.writeTooBusy(w, err.Error())
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		s.metrics.Canceled.Add(1)
 		writeError(w, http.StatusGatewayTimeout, err.Error())

@@ -1,0 +1,170 @@
+package twin
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"powercap/internal/service"
+)
+
+var miniWorkloads = []Workload{
+	{Name: "CoMD", Ranks: 2, Iters: 3, Seed: 1, Scale: 0.1},
+	{Name: "SP", Ranks: 2, Iters: 3, Seed: 2, Scale: 0.1},
+}
+
+func miniScenario(seed uint64) Scenario {
+	return Scenario{
+		Name: "mini",
+		Seed: seed,
+		Phases: []Phase{
+			{Name: "steady", DurMS: 200, RatePerS: 60},
+			{Name: "burst", DurMS: 100, RatePerS: 300},
+		},
+		Workloads: miniWorkloads,
+		Caps:      []float64{50, 55, 60, 65},
+		ZipfS:     1.2,
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a := miniScenario(42).Schedule()
+	b := miniScenario(42).Schedule()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same scenario produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	c := miniScenario(43).Schedule()
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	last := -1.0
+	for _, r := range a {
+		if r.AtMS <= last {
+			t.Fatalf("arrival times not strictly increasing: %g after %g", r.AtMS, last)
+		}
+		if r.AtMS > 300 {
+			t.Fatalf("arrival %g ms beyond scenario duration", r.AtMS)
+		}
+		last = r.AtMS
+	}
+}
+
+func TestScheduleRatesAndZipf(t *testing.T) {
+	sc := Scenario{
+		Seed: 7,
+		Phases: []Phase{
+			{Name: "quiet", DurMS: 1000, RatePerS: 20},
+			{Name: "flash", DurMS: 1000, RatePerS: 400},
+		},
+		Workloads: miniWorkloads,
+		Caps:      []float64{50, 55, 60, 65},
+		ZipfS:     1.2,
+	}
+	sched := sc.Schedule()
+	quiet, flash := 0, 0
+	capCount := map[float64]int{}
+	for _, r := range sched {
+		if r.AtMS < 1000 {
+			quiet++
+		} else {
+			flash++
+		}
+		capCount[r.CapPerSocketW]++
+	}
+	// ~20 vs ~400 arrivals; huge margin, no flakiness at fixed seed.
+	if flash < quiet*5 {
+		t.Fatalf("flash phase %d arrivals vs quiet %d, want ≥5×", flash, quiet)
+	}
+	// Zipf skew: the rank-0 cap dominates the tail cap.
+	if capCount[50] <= capCount[65]*2 {
+		t.Fatalf("cap 50 drawn %d times vs cap 65 %d, want clear Zipf skew", capCount[50], capCount[65])
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	in := []byte(`{"request_id":"abc123","makespan_s":1.5,"elapsed_ms":42.1,"trace":{"x":1},"cached":true}`)
+	got := Canonicalize(in)
+	want := `{"cached":true,"makespan_s":1.5}`
+	if got != want {
+		t.Fatalf("canonicalized %q, want %q", got, want)
+	}
+	if got := Canonicalize([]byte("not json\n")); got != "not json" {
+		t.Fatalf("non-JSON passthrough %q", got)
+	}
+	// Key order in the input must not matter.
+	a := Canonicalize([]byte(`{"b":1,"a":2}`))
+	b := Canonicalize([]byte(`{"a":2,"b":1}`))
+	if a != b {
+		t.Fatalf("key order leaked into canonical form: %q vs %q", a, b)
+	}
+}
+
+func freshServer(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(service.New(service.Config{Workers: 2}))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestRecordReplayDeterministic(t *testing.T) {
+	sc := miniScenario(11)
+	sc.Phases = []Phase{{Name: "serial", DurMS: 100, RatePerS: 100}} // ~10 requests
+
+	// Two recordings against two fresh identical daemons must agree byte
+	// for byte: serial issue order makes cache behavior deterministic.
+	tapeA, err := Record(freshServer(t), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapeB, err := Record(freshServer(t), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tapeA.Entries) == 0 {
+		t.Fatal("empty tape")
+	}
+	if tapeA.Digest() != tapeB.Digest() {
+		t.Fatalf("independent recordings diverge: %s vs %s", tapeA.Digest(), tapeB.Digest())
+	}
+
+	// Replaying the tape against two more fresh daemons: zero mismatches
+	// and byte-identical summaries.
+	repA, err := tapeA.Replay(freshServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := tapeA.Replay(freshServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.Mismatches != 0 {
+		t.Fatalf("replay mismatches: %s", repA.First)
+	}
+	if repA.Summary() != repB.Summary() {
+		t.Fatalf("replay summaries diverge:\n  %s\n  %s", repA.Summary(), repB.Summary())
+	}
+}
+
+func TestRunClassifiesResponses(t *testing.T) {
+	sc := miniScenario(5)
+	sc.Phases = []Phase{{Name: "steady", DurMS: 150, RatePerS: 100}}
+	res := Run(freshServer(t), sc, RunOptions{MaxInflight: 4})
+	if res.Requests == 0 || res.TransportErr != 0 {
+		t.Fatalf("run: %s", res)
+	}
+	if res.OK == 0 {
+		t.Fatalf("no goodput from an unloaded server: %s", res)
+	}
+	if sum := res.OK + res.Rej429 + res.Drain503 + res.Timeout504 + res.Err5xx; sum != res.Requests {
+		t.Fatalf("classification does not partition: %d classified of %d (%s)", sum, res.Requests, res)
+	}
+	if res.CapViolations != 0 {
+		t.Fatalf("cap violations on a clean run: %s", res)
+	}
+	if res.GoodputPerS <= 0 || res.P95MS <= 0 {
+		t.Fatalf("missing derived stats: %s", res)
+	}
+}

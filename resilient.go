@@ -61,3 +61,12 @@ func (s *System) UpperBoundResilient(g *Graph, jobCapW float64, whole bool) (*Re
 func (s *System) UpperBoundResilientCtx(ctx context.Context, g *Graph, jobCapW float64, whole bool) (*ResilientOutcome, error) {
 	return s.Ladder().Solve(ctx, s.solver(), g, jobCapW, !whole)
 }
+
+// HeuristicOutcomeCtx solves with the ladder's slack-aware heuristic rung
+// only — no LP at all. The result is simulator-validated and cap-clean but
+// always tagged Degraded ("brownout:heuristic"). This is the deepest rung
+// of the service's adaptive brownout ladder, not a replacement for the
+// fallback path: breaker state is neither consulted nor charged.
+func (s *System) HeuristicOutcomeCtx(ctx context.Context, g *Graph, jobCapW float64) (*ResilientOutcome, error) {
+	return s.Ladder().SolveHeuristic(ctx, s.solver(), g, jobCapW)
+}
