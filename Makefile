@@ -50,13 +50,18 @@ realization-smoke:
 chaos-smoke:
 	$(GO) test -race -run 'TestChaosSoak|TestTwinChaosRecovery' -count=1 -v ./internal/service/
 
-# Observability smoke: race-detected span-layer tests, then a traced solve
-# against a real pcschedd — validates the inline Chrome trace JSON (nesting
-# checked strictly), request-ID propagation into header/body/access-log,
-# double /metrics scrape with counter monotonicity, and /debug/pprof.
+# Observability smoke: race-detected span/flight-recorder/SLO-engine tests,
+# then a traced solve against a real pcschedd — validates the inline Chrome
+# trace JSON (nesting checked strictly), request-ID propagation into
+# header/body/access-log, double /metrics scrape with counter monotonicity,
+# and /debug/pprof. The second daemon leg (race-detected end to end) arms an
+# lp-stall fault window via PCSCHEDD_FAULTS and requires the flight dump to
+# name the brownout rung and the SLO burn spike, plus a SIGQUIT dump that
+# round-trips as wide-event JSON (DESIGN.md §16).
 obs-smoke:
-	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/slo/
 	$(GO) test -run TestObsSmoke -count=1 -v ./cmd/pcschedd/
+	$(GO) test -race -run TestFlightRecorderSmoke -count=1 -v ./cmd/pcschedd/
 
 # Large-trace path smoke: race-detected runs of the coarsening, windowed
 # decomposition, and synthetic-generator tests (including the property that

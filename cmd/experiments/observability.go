@@ -11,6 +11,7 @@ import (
 
 	"powercap"
 	"powercap/internal/obs"
+	"powercap/internal/slo"
 )
 
 // The "observability" exhibit measures the tracing layer of DESIGN.md §11
@@ -22,6 +23,14 @@ import (
 // one atomic load — the measured per-site cost times the number of sites a
 // solve executes must stay under 2% of the solve's wall time, and the
 // direct enabled-vs-disabled wall-time comparison is reported alongside.
+//
+// Third, the always-on forensics path (DESIGN.md §16): the hypothesis is
+// that recording one wide event into the flight recorder plus one SLO
+// observation — the fixed per-request cost the recorder adds to EVERY
+// request, traced or not — stays under 2% of even a fast solve's wall time
+// and allocates nothing. Both are measured directly (ns/op and allocs/op)
+// and gated.
+//
 // With -benchjson the measurements are written as BENCH_observability.json.
 
 // spanCount is one span name's occurrence count in the traced run.
@@ -54,11 +63,17 @@ type observabilityReport struct {
 	EnabledOverheadPct  float64 `json:"enabled_overhead_pct"`  // measured enabled vs disabled wall
 	Trials              int     `json:"trials_per_mode"`
 
+	// Always-on forensics budget (DESIGN.md §16).
+	FlightRecordNSPerEvent float64 `json:"flight_record_ns_per_event"`
+	FlightRecordAllocs     int64   `json:"flight_record_allocs_per_event"`
+	SLOObserveNSPerSample  float64 `json:"slo_observe_ns_per_sample"`
+	ForensicsOverheadPct   float64 `json:"forensics_overhead_pct"` // (record + observe) / disabled solve wall
+
 	Generated string `json:"generated"`
 }
 
 func runObservability(cfg config) error {
-	header("Observability", "span coverage of a traced solve and the disabled-path overhead budget (DESIGN.md §11)")
+	header("Observability", "span coverage, disabled-path overhead, and the always-on forensics budget (DESIGN.md §11, §16)")
 
 	const perSocketW = 55.0
 	w, err := powercap.WorkloadByName("CoMD", powercap.WorkloadParams{
@@ -194,6 +209,40 @@ func runObservability(cfg config) error {
 	fmt.Printf("enabled overhead:   %.2f%% (%.1f ms traced vs %.1f ms untraced, min of %d)\n",
 		enabledPct, ms(minEnabled), ms(minDisabled), trials)
 
+	// --- Always-on forensics budget: one wide-event record plus one SLO
+	// observation per request, measured against the same solve wall time.
+	fr := obs.NewFlightRecorder(0)
+	ev := obs.WideEvent{
+		TimeUnixNS: 1, RequestID: "bench-0123456789abcdef", Path: "/v1/solve",
+		Status: 200, DurMS: 12.5, Workload: w.Name, CapW: jobCap,
+		Cache: "miss", CacheKey: "0123456789abcdef0123456789abcdef", Rung: "sparse",
+		DeadlineMS: 60000, SolveMS: 12.1, AdaptRung: "full", Pressure: 0.25,
+		SLOFastBurn: 0.4, SLOSlowBurn: 0.1,
+		Kernel: obs.KernelHealth{Solves: 4, SimplexPivots: 900, Refactorizations: 2, MaxEtaLen: 64},
+	}
+	recBench := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fr.Record(ev)
+		}
+	})
+	recNS := float64(recBench.NsPerOp())
+	recAllocs := recBench.AllocsPerOp()
+
+	eng := slo.New(slo.Config{})
+	now := time.Now()
+	sloBench := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.Observe(now, 200, 10*time.Millisecond)
+		}
+	})
+	sloNS := float64(sloBench.NsPerOp())
+	forensicsPct := 100 * (recNS + sloNS) / float64(minDisabled.Nanoseconds())
+
+	fmt.Printf("\nflight record:      %.1f ns/event, %d allocs/event (budget: 0)\n", recNS, recAllocs)
+	fmt.Printf("slo observe:        %.1f ns/sample\n", sloNS)
+	fmt.Printf("forensics overhead: %.5f%% of %.1f ms solve (budget ≤2%%)\n", forensicsPct, ms(minDisabled))
+
 	report := observabilityReport{
 		Workload: w.Name, Ranks: cfg.ranks, Iters: cfg.iters, CapPerSocketW: perSocketW,
 		Spans: len(recs), DroppedSpans: dropped, SpanNames: names,
@@ -201,7 +250,9 @@ func runObservability(cfg config) error {
 		DisabledNSPerSite: nsPerSite, SteadySpanSites: steadySites,
 		DisabledWallMS: ms(minDisabled), EnabledWallMS: ms(minEnabled),
 		DisabledOverheadPct: disabledPct, EnabledOverheadPct: enabledPct,
-		Trials:    trials,
+		Trials:                 trials,
+		FlightRecordNSPerEvent: recNS, FlightRecordAllocs: recAllocs,
+		SLOObserveNSPerSample: sloNS, ForensicsOverheadPct: forensicsPct,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 	}
 	if cfg.benchJSON != "" {
@@ -222,6 +273,10 @@ func runObservability(cfg config) error {
 		return fmt.Errorf("observability: span coverage %.2f%% below the 95%% budget", coverage)
 	case disabledPct > 2:
 		return fmt.Errorf("observability: disabled overhead %.4f%% exceeds the 2%% budget", disabledPct)
+	case recAllocs > 0:
+		return fmt.Errorf("observability: flight record allocates %d per event, want 0", recAllocs)
+	case forensicsPct > 2:
+		return fmt.Errorf("observability: forensics overhead %.5f%% exceeds the 2%% budget", forensicsPct)
 	}
 	return nil
 }

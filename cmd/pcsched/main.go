@@ -196,6 +196,12 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			}
 			fmt.Fprintf(stdout, "LP bound:  %.3f s (%d LP solves, %d simplex pivots)\n",
 				sched.MakespanS, sched.Stats.Solves, sched.Stats.SimplexIter)
+			// One numerical-health line (DESIGN.md §16) whenever the kernel
+			// had to work for stability — silent on a clean solve.
+			if st := sched.Stats; st.NaNRecoveries > 0 || st.BlandActivations > 0 || st.FactorTauRetries > 0 {
+				fmt.Fprintf(stdout, "LP health: %d NaN recoveries, %d Bland activations, %d strict-pivot retries, %d pivot rejections, row-norm ratio %.1f\n",
+					st.NaNRecoveries, st.BlandActivations, st.FactorTauRetries, st.PivotRejections, st.RowNormRatio)
+			}
 		}
 
 		printScheduleSummary(stdout, w, sched)

@@ -9,11 +9,18 @@
 //	pcschedd [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	         [-timeout 60s] [-max-timeout 5m] [-grace 30s] [-quiet]
 //	         [-adapt] [-epoch 1s]
+//	         [-slo-latency 2s] [-flight-slots 256] [-flight-dir DIR]
 //
 // The daemon prints the bound address on startup ("-addr 127.0.0.1:0"
 // picks a free port — useful for harnesses) and shuts down gracefully on
 // SIGINT/SIGTERM: in-flight solves complete and respond, new work gets
 // 503, and the process exits once drained or the grace period lapses.
+// SIGQUIT dumps the flight recorder (DESIGN.md §16) as one JSON document
+// to stderr without stopping the daemon.
+//
+// PCSCHEDD_FAULTS arms the deterministic fault-injection registry at
+// startup ("seed=7,lp-stall=1.0,lp-nan=0.25") — test harnesses only; the
+// daemon logs a loud warning when armed.
 //
 // -adapt arms the adaptive overload control plane (DESIGN.md §15): once
 // per -epoch the daemon samples its own metrics and adapts admission
@@ -34,11 +41,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"powercap/internal/adapt"
+	"powercap/internal/faultinject"
 	"powercap/internal/service"
+	"powercap/internal/slo"
 )
 
 func main() {
@@ -62,6 +73,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		quiet      = fs.Bool("quiet", false, "suppress per-request log lines")
 		adaptOn    = fs.Bool("adapt", false, "arm the adaptive overload control plane (brownout ladder, retry budget, capacity adaptation)")
 		epoch      = fs.Duration("epoch", 0, "control-plane sampling epoch (0 = 1s; needs -adapt)")
+		sloLatency = fs.Duration("slo-latency", 0, "latency SLO threshold: requests slower than this burn the latency objective (0 = 2s)")
+		flightN    = fs.Int("flight-slots", 0, "flight recorder ring capacity, rounded up to a power of two (0 = 256)")
+		flightDir  = fs.String("flight-dir", "", "directory for automatic flight-recorder snapshots on panic/breaker-open (empty = os.TempDir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,14 +88,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *quiet {
 		reqLog = nil
 	}
+	// PCSCHEDD_FAULTS arms deterministic fault injection before the service
+	// exists, so the very first solve sees the configured fault pattern.
+	// Strictly a harness hook — a production daemon never sets it.
+	if spec := os.Getenv("PCSCHEDD_FAULTS"); spec != "" {
+		seed, rates, err := parseFaults(spec)
+		if err != nil {
+			return fmt.Errorf("PCSCHEDD_FAULTS: %w", err)
+		}
+		faultinject.Configure(seed, rates)
+		logger.Warn("FAULT INJECTION ARMED — test harness mode", "spec", spec)
+	}
+
 	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cacheSize,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		Log:            reqLog,
-		Adapt:          adapt.Config{Enabled: *adaptOn, Epoch: *epoch},
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheSize:         *cacheSize,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		Log:               reqLog,
+		Adapt:             adapt.Config{Enabled: *adaptOn, Epoch: *epoch},
+		SLO:               slo.Config{LatencyThreshold: *sloLatency},
+		FlightSlots:       *flightN,
+		FlightSnapshotDir: *flightDir,
 	})
 	// With -adapt off this is a no-op; with it on, the control-plane loop
 	// runs until Drain checkpoints and stops it on shutdown.
@@ -98,6 +127,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	srv := &http.Server{Handler: svc}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	// SIGQUIT dumps the flight recorder to stderr and keeps serving —
+	// signal.Notify overrides the Go runtime's kill-with-stacks default, so
+	// an operator can grab forensics from a live daemon without downtime.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	defer signal.Stop(quitc)
+	go func() {
+		for range quitc {
+			logger.Info("SIGQUIT: dumping flight recorder to stderr")
+			if err := svc.Flight().WriteJSON(stderr, 0, "sigquit"); err != nil {
+				logger.Warn("flight dump failed", "err", err)
+			}
+			fmt.Fprintln(stderr)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -122,4 +167,51 @@ func run(args []string, stdout, stderr io.Writer) error {
 	<-errc // Serve has returned http.ErrServerClosed
 	logger.Info("shutdown: done")
 	return nil
+}
+
+// parseFaults parses the PCSCHEDD_FAULTS spec: comma-separated key=value
+// pairs where the key is "seed" or a fault class name (lp-nan, lp-stall,
+// cache-error, worker-panic, slow-solve) and the value is a probability in
+// [0,1] (uint64 for seed). Example: "seed=7,lp-stall=1.0,lp-nan=0.25".
+func parseFaults(spec string) (uint64, map[faultinject.Class]float64, error) {
+	var seed uint64 = 1
+	rates := make(map[faultinject.Class]float64)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return 0, nil, fmt.Errorf("bad pair %q (want key=value)", part)
+		}
+		if k == "seed" {
+			s, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return 0, nil, fmt.Errorf("bad seed %q: %w", v, err)
+			}
+			seed = s
+			continue
+		}
+		var cls faultinject.Class
+		found := false
+		for _, c := range faultinject.Classes() {
+			if c.String() == k {
+				cls, found = c, true
+				break
+			}
+		}
+		if !found {
+			return 0, nil, fmt.Errorf("unknown fault class %q", k)
+		}
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil || p < 0 || p > 1 {
+			return 0, nil, fmt.Errorf("bad probability %q for %s", v, k)
+		}
+		rates[cls] = p
+	}
+	if len(rates) == 0 {
+		return 0, nil, fmt.Errorf("no fault classes in spec %q", spec)
+	}
+	return seed, rates, nil
 }

@@ -114,7 +114,16 @@ type Config struct {
 
 	// TargetP95S contributes a latency term to pressure: p95 request
 	// latency at 2× target saturates the term at 1. Zero disables it.
+	// Superseded by the SLO burn term whenever Signals carries SLO
+	// samples — the burn rate is windowed (it recovers after an incident,
+	// where the cumulative p95 never does) and folds availability in.
 	TargetP95S float64
+
+	// BurnSaturation is the SLO burn rate at which the burn term saturates
+	// pressure at 1 (default 10: consuming error budget at 10× the
+	// sustainable rate is a full-pressure emergency). The term is linear
+	// below that, so burn 1 — exactly sustainable — contributes only 0.1.
+	BurnSaturation float64
 
 	// Brownout solve-mode parameters applied at the corresponding rungs.
 	CoarsenEps float64 // RungCoarsen+: coarsening epsilon (seconds)
@@ -190,6 +199,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.MaxRetryAfterS <= 0 {
 		cfg.MaxRetryAfterS = 30
 	}
+	if cfg.BurnSaturation <= 0 {
+		cfg.BurnSaturation = 10
+	}
 	if cfg.RetryBurst <= 0 {
 		cfg.RetryBurst = cfg.Workers + cfg.QueueDepth
 	}
@@ -218,6 +230,16 @@ type Signals struct {
 	AvgSolveS float64 // mean backend solve latency this epoch; 0 = no sample
 	ReqP95S   float64 // p95 end-to-end request latency
 	EpochS    float64 // measured epoch length in seconds (defaults to cfg.Epoch)
+
+	// SLOBurn is the worst fast-window error-budget burn rate across the
+	// service's objectives (see internal/slo), and SLOSamples the number
+	// of fast-window observations behind it. When SLOSamples > 0 the burn
+	// term replaces the raw-p95 term in Pressure: the controller descends
+	// because the error budget is burning, which the flight recorder can
+	// show per request, rather than because a cumulative histogram
+	// remembers an old incident.
+	SLOBurn    float64
+	SLOSamples uint64
 }
 
 // rejectFrac is the fraction of this epoch's requests turned away.
@@ -252,7 +274,18 @@ func (cfg Config) Pressure(s Signals) float64 {
 	if s.BreakersOpen > 0 && p < 1 {
 		p = 1
 	}
-	if cfg.TargetP95S > 0 && s.ReqP95S > 0 {
+	switch {
+	case s.SLOSamples > 0:
+		// Error-budget burn, linear to saturation (see BurnSaturation).
+		bt := s.SLOBurn / cfg.BurnSaturation
+		if bt > 1 {
+			bt = 1
+		}
+		if bt > p {
+			p = bt
+		}
+	case cfg.TargetP95S > 0 && s.ReqP95S > 0:
+		// Legacy latency term for callers without an SLO engine:
 		// 0 at target, saturates at 2× target.
 		lt := (s.ReqP95S - cfg.TargetP95S) / cfg.TargetP95S
 		if lt > 1 {

@@ -218,15 +218,7 @@ func (s *Solver) solveBuilt(ctx context.Context, b *builtLP, capW float64, warmB
 	if err != nil {
 		return nil, err
 	}
-	st.Solves++
-	st.Vars += b.prob.NumVars()
-	st.Rows += b.prob.NumConstraints()
-	st.SimplexIter += sol.Iters
-	st.DualIter += sol.Stats.DualIters
-	st.Refactorizations += sol.Stats.Refactorizations
-	if sol.Stats.WarmStarted {
-		st.WarmStarts++
-	}
+	st.AddSolve(b.prob.NumVars(), b.prob.NumConstraints(), sol)
 
 	switch sol.Status {
 	case lp.Optimal:

@@ -108,7 +108,9 @@ type Schedule struct {
 	Stats Stats
 }
 
-// Stats summarizes LP solver effort for a schedule.
+// Stats summarizes LP solver effort for a schedule, including the kernel's
+// numerical-health counters (DESIGN.md §16): effort fields accumulate,
+// MaxEtaLen and RowNormRatio keep the worst instance seen.
 type Stats struct {
 	Solves      int // LP instances solved
 	Vars        int // total variables across instances
@@ -118,6 +120,15 @@ type Stats struct {
 	DualIter         int // dual simplex pivots spent repairing warm starts
 	WarmStarts       int // solves that actually reused a prior basis
 	Refactorizations int // sparse-backend basis reinversions
+
+	MaxEtaLen        int     // peak basis-update file length across solves
+	PivotRejections  int     // LU threshold-pivoting row rejections
+	FactorTauRetries int     // factorizations retried under strict pivoting
+	NaNRecoveries    int     // refactorize-and-retry repairs of NaN/Inf state
+	BlandActivations int     // anti-cycling fallback engagements
+	PresolveRows     int     // rows eliminated by presolve
+	PresolveCols     int     // columns eliminated by presolve
+	RowNormRatio     float64 // worst max/min row-norm ratio (scaling proxy)
 }
 
 // Add accumulates other into s (used when merging sweep-point stats).
@@ -129,6 +140,45 @@ func (s *Stats) Add(other Stats) {
 	s.DualIter += other.DualIter
 	s.WarmStarts += other.WarmStarts
 	s.Refactorizations += other.Refactorizations
+	if other.MaxEtaLen > s.MaxEtaLen {
+		s.MaxEtaLen = other.MaxEtaLen
+	}
+	s.PivotRejections += other.PivotRejections
+	s.FactorTauRetries += other.FactorTauRetries
+	s.NaNRecoveries += other.NaNRecoveries
+	s.BlandActivations += other.BlandActivations
+	s.PresolveRows += other.PresolveRows
+	s.PresolveCols += other.PresolveCols
+	if other.RowNormRatio > s.RowNormRatio {
+		s.RowNormRatio = other.RowNormRatio
+	}
+}
+
+// AddSolve folds one LP solution — effort and health counters — into s.
+// The two solve paths (whole-problem and windowed) share this so a counter
+// added to SolveStats cannot reach one path and silently miss the other.
+func (s *Stats) AddSolve(vars, rows int, sol *lp.Solution) {
+	s.Solves++
+	s.Vars += vars
+	s.Rows += rows
+	s.SimplexIter += sol.Iters
+	s.DualIter += sol.Stats.DualIters
+	s.Refactorizations += sol.Stats.Refactorizations
+	if sol.Stats.WarmStarted {
+		s.WarmStarts++
+	}
+	if sol.Stats.MaxEtaLen > s.MaxEtaLen {
+		s.MaxEtaLen = sol.Stats.MaxEtaLen
+	}
+	s.PivotRejections += sol.Stats.PivotRejections
+	s.FactorTauRetries += sol.Stats.FactorTauRetries
+	s.NaNRecoveries += sol.Stats.NaNRecoveries
+	s.BlandActivations += sol.Stats.BlandActivations
+	s.PresolveRows += sol.Stats.PresolveRows
+	s.PresolveCols += sol.Stats.PresolveCols
+	if r := sol.Stats.RowNormRatio(); r > s.RowNormRatio {
+		s.RowNormRatio = r
+	}
 }
 
 // Solver builds and solves fixed-vertex-order LPs against a machine model.

@@ -68,6 +68,41 @@ type Engine interface {
 	// Due reports that enough updates accumulated that the caller should
 	// refactorize (to bound fill-in and floating-point drift).
 	Due() bool
+
+	// Health exposes the engine's numerical-health counters. The returned
+	// pointer stays valid for the engine's lifetime; see Stats for the
+	// clearing contract.
+	Health() *Stats
+}
+
+// Stats counts numerical-health events inside an engine: the forensic
+// counters the solver surfaces per solve. Engines are pooled across solves
+// and Factorize resets the factors internally (including mid-solve
+// reinversions), so Reset and Factorize deliberately do NOT clear these —
+// the solver calls Clear at solve start and harvests at solve end, and the
+// counters therefore span every factorization attempt within one solve.
+type Stats struct {
+	// MaxEtaLen is the peak eta-file length observed — the growth proxy
+	// for update-file conditioning (a long file means many pivots absorbed
+	// since the factors were last clean).
+	MaxEtaLen int
+	// PivotRejections counts candidate rows rejected by the LU threshold
+	// test during factorization: sparsity-driven (Markowitz-tie-broken)
+	// pivoting skipping numerically admissible-but-small rows.
+	PivotRejections int
+	// TauRetries counts factorizations that hit a vanishing pivot under
+	// relaxed threshold pivoting and fell back to strict partial pivoting.
+	TauRetries int
+}
+
+// Clear zeroes the counters; called by the solver at solve start.
+func (s *Stats) Clear() { *s = Stats{} }
+
+// noteEta records an eta-file length observation.
+func (s *Stats) noteEta(n int) {
+	if n > s.MaxEtaLen {
+		s.MaxEtaLen = n
+	}
 }
 
 // refactorEvery bounds eta growth between reinversions for both engines.

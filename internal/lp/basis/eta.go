@@ -12,6 +12,7 @@ import "math"
 type Eta struct {
 	file    ef
 	updates int
+	health  Stats
 
 	alpha   []float64
 	rowUsed []bool
@@ -83,6 +84,9 @@ func (e *Eta) Factorize(a Columns, cols []int) ([]int, bool) {
 		e.rowUsed[best] = true
 		e.slots[best] = j
 	}
+	// PFI reinversion rebuilds the inverse as etas, so the file length
+	// itself (m etas) is this engine's baseline "growth".
+	e.health.noteEta(e.file.len())
 	return e.slots, true
 }
 
@@ -96,6 +100,7 @@ func (e *Eta) Btran(v []float64) { e.file.btran(v) }
 func (e *Eta) Update(r int, alpha []float64) {
 	e.file.append(r, alpha)
 	e.updates++
+	e.health.noteEta(e.file.len())
 }
 
 // Updates implements Engine.
@@ -103,3 +108,6 @@ func (e *Eta) Updates() int { return e.updates }
 
 // Due implements Engine.
 func (e *Eta) Due() bool { return e.updates >= refactorEvery }
+
+// Health implements Engine.
+func (e *Eta) Health() *Stats { return &e.health }

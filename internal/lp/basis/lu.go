@@ -43,6 +43,7 @@ type LU struct {
 
 	file    ef
 	updates int
+	health  Stats
 
 	// Scratch.
 	w       []float64
@@ -143,6 +144,7 @@ func (e *LU) Factorize(a Columns, cols []int) ([]int, bool) {
 	}
 	// Threshold pivoting chased sparsity into a vanishing pivot; retry with
 	// pure partial pivoting before giving up.
+	e.health.TauRetries++
 	if e.factorizeTau(a, cols, 1.0) {
 		return cols, true
 	}
@@ -219,6 +221,7 @@ func (e *LU) factorizeTau(a Columns, cols []int, tau float64) bool {
 				continue
 			}
 			if math.Abs(e.w[r]) < thresh {
+				e.health.PivotRejections++
 				continue
 			}
 			if piv < 0 || e.rowCnt[r] < pivCnt || (e.rowCnt[r] == pivCnt && r < piv) {
@@ -326,6 +329,7 @@ func (e *LU) Btran(v []float64) {
 func (e *LU) Update(r int, alpha []float64) {
 	e.file.append(r, alpha)
 	e.updates++
+	e.health.noteEta(e.file.len())
 }
 
 // Updates implements Engine.
@@ -333,3 +337,6 @@ func (e *LU) Updates() int { return e.updates }
 
 // Due implements Engine.
 func (e *LU) Due() bool { return e.updates >= refactorEvery }
+
+// Health implements Engine.
+func (e *LU) Health() *Stats { return &e.health }

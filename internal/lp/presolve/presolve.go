@@ -151,6 +151,12 @@ type Reduction struct {
 	ColsRemoved int
 	// Scaled reports whether equilibration engaged.
 	Scaled bool
+	// RowNormMax/RowNormMin are the extreme max-abs row norms of the final
+	// reduced matrix (post-scaling when scaling engaged) — the scaling
+	// condition proxy surfaced in SolveStats. Zero when the reduced
+	// problem has no nonzero rows.
+	RowNormMax float64
+	RowNormMin float64
 
 	steps []step
 }
@@ -511,6 +517,7 @@ func (r *Reduction) scale() {
 		}
 	}
 	if maxA == 0 || !finite(maxA) || !finite(minA) || maxA/minA <= scaleSpread {
+		r.measureRowNorms()
 		return
 	}
 	r.Scaled = true
@@ -546,6 +553,36 @@ func (r *Reduction) scale() {
 	}
 	for j := range p.Cost {
 		p.Cost[j] *= r.ColScale[j]
+	}
+	r.measureRowNorms()
+}
+
+// measureRowNorms records the scaling condition proxy — the extreme
+// max-abs row norms of the matrix exactly as the backend will factorize it
+// (after any equilibration). A wide max/min ratio survives power-of-two
+// scaling only when the spread lives inside single rows, which is where
+// threshold pivoting starts rejecting rows and eta growth accelerates.
+func (r *Reduction) measureRowNorms() {
+	lo, hi := math.Inf(1), 0.0
+	for i := range r.P.Rows {
+		n := 0.0
+		for _, v := range r.P.Rows[i].Vals {
+			if a := math.Abs(v); a > n {
+				n = a
+			}
+		}
+		if n == 0 || !finite(n) {
+			continue
+		}
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if hi > 0 && finite(lo) {
+		r.RowNormMax, r.RowNormMin = hi, lo
 	}
 }
 

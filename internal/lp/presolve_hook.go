@@ -118,6 +118,8 @@ func solvePresolved(p *Problem, o *Options) (*Solution, error) {
 	}
 	sol.Stats.PresolveRows = red.RowsRemoved
 	sol.Stats.PresolveCols = red.ColsRemoved
+	sol.Stats.RowNormMax = red.RowNormMax
+	sol.Stats.RowNormMin = red.RowNormMin
 	if sol.Status != Optimal {
 		out := emptySolution(p, sol.Status)
 		out.Iters = sol.Iters

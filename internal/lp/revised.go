@@ -128,6 +128,10 @@ func (rv *revised) reset(f *spForm, o *Options) {
 		}
 	}
 	rv.stats.Engine = rv.eng.Name()
+	// Engines are pooled and never clear their own health counters (their
+	// Reset runs inside mid-solve reinversions too); the solve boundary is
+	// here.
+	rv.eng.Health().Clear()
 	if o.Pricing.resolve() == PricingSteepest {
 		if rv.pr == nil {
 			rv.pr = newPricer(f)
@@ -366,6 +370,7 @@ func (rv *revised) primal(iters *int) Status {
 		if *iters >= watchdog && !bland {
 			bland = true
 			rv.stats.BlandActivated = true
+			rv.stats.BlandActivations++
 		}
 		var enter int
 		if rv.pr != nil {
@@ -462,6 +467,7 @@ func (rv *revised) primal(iters *int) Status {
 			if stall >= rv.stallWindow {
 				bland = true
 				rv.stats.BlandActivated = true
+				rv.stats.BlandActivations++
 			}
 		}
 		lastObj = obj
@@ -552,6 +558,7 @@ func (rv *revised) dual(iters *int) Status {
 		if *iters >= watchdog && !bland {
 			bland = true
 			rv.stats.BlandActivated = true
+			rv.stats.BlandActivations++
 		}
 		// Leaving row: most negative basic value (smallest row index under
 		// the anti-cycling fallback).
@@ -695,6 +702,7 @@ func (rv *revised) dual(iters *int) Status {
 			if stall >= rv.stallWindow {
 				bland = true
 				rv.stats.BlandActivated = true
+				rv.stats.BlandActivations++
 			}
 		}
 		lastInfeas = infeas
@@ -756,16 +764,31 @@ func solveSparse(p *Problem, o *Options) (*Solution, error) {
 	defer rv.release()
 	if len(o.WarmBasis) > 0 {
 		if sol, ok := rv.solveWarm(p, o.WarmBasis); ok {
+			rv.harvestHealth(&sol.Stats)
 			return sol, nil
 		}
 		// Unusable warm basis: reset the arena and solve cold.
 		rv.reset(f, o)
 	}
 	sol := rv.solveCold(p)
+	rv.harvestHealth(&sol.Stats)
 	if sol.Status == statusNumerical {
 		return nil, &NumericalError{Backend: "sparse", Reason: rv.numReason, Pivots: sol.Iters}
 	}
 	return sol, nil
+}
+
+// harvestHealth folds the basis engine's health counters (cleared at reset,
+// accumulated across every factorization and pivot of this solve) and the
+// NaN-recovery count into a finished solution's stats. It runs after the
+// terminal Solution exists so every exit path — extract, infeasible,
+// iteration limit, cancellation — carries the same forensic counters.
+func (rv *revised) harvestHealth(st *SolveStats) {
+	h := rv.eng.Health()
+	st.MaxEtaLen = h.MaxEtaLen
+	st.PivotRejections = h.PivotRejections
+	st.FactorTauRetries = h.TauRetries
+	st.NaNRecoveries = rv.nanRetries
 }
 
 // solveCold runs two-phase primal simplex from the slack/artificial basis.

@@ -280,10 +280,39 @@ type SolveStats struct {
 	// WarmStarted reports whether a supplied warm basis was actually used
 	// (false when it was absent, unusable, or the backend ignored it).
 	WarmStarted bool
-	// BlandActivated reports whether the anti-cycling fallback engaged.
-	BlandActivated bool
+	// BlandActivated reports whether the anti-cycling fallback engaged;
+	// BlandActivations counts how many times it switched on (it can engage,
+	// relax on objective progress, and re-engage within one solve).
+	BlandActivated   bool
+	BlandActivations int `json:",omitempty"`
+	// MaxEtaLen is the peak basis-update (eta) file length — the growth
+	// proxy for basis conditioning (sparse backend).
+	MaxEtaLen int `json:",omitempty"`
+	// PivotRejections counts factorization rows the LU engine's threshold
+	// (Markowitz-tie-broken) pivoting rejected; FactorTauRetries counts
+	// factorizations retried under strict partial pivoting after the
+	// relaxed threshold hit a vanishing pivot.
+	PivotRejections  int `json:",omitempty"`
+	FactorTauRetries int `json:",omitempty"`
+	// NaNRecoveries counts refactorize-and-retry repairs of non-finite
+	// working state (see revised.recoverNumerical).
+	NaNRecoveries int `json:",omitempty"`
+	// RowNormMax and RowNormMin are the extreme row norms (max-abs per row)
+	// of the constraint matrix handed to the backend after presolve
+	// scaling; their ratio is the scaling condition proxy.
+	RowNormMax float64 `json:",omitempty"`
+	RowNormMin float64 `json:",omitempty"`
 	// Wall is the end-to-end solve time.
 	Wall time.Duration
+}
+
+// RowNormRatio is the scaling condition proxy: max/min row norm of the
+// matrix the backend actually factorized (0 when unknown).
+func (s SolveStats) RowNormRatio() float64 {
+	if s.RowNormMin <= 0 {
+		return 0
+	}
+	return s.RowNormMax / s.RowNormMin
 }
 
 // Pivots is the total pivot count across phases.

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(4)
+	if got := f.Snapshot(0); len(got) != 0 {
+		t.Fatalf("empty recorder snapshot: %d events", len(got))
+	}
+	for i := 0; i < 6; i++ {
+		f.Record(WideEvent{TimeUnixNS: int64(i), RequestID: fmt.Sprintf("r%d", i)})
+	}
+	if f.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", f.Total())
+	}
+	got := f.Snapshot(0)
+	if len(got) != 4 {
+		t.Fatalf("full snapshot: %d events, want 4 (ring capacity)", len(got))
+	}
+	for i, ev := range got {
+		if want := fmt.Sprintf("r%d", i+2); ev.RequestID != want {
+			t.Errorf("event %d: RequestID = %q, want %q (oldest first)", i, ev.RequestID, want)
+		}
+	}
+	last := f.Snapshot(2)
+	if len(last) != 2 || last[0].RequestID != "r4" || last[1].RequestID != "r5" {
+		t.Fatalf("Snapshot(2) = %+v, want r4,r5", last)
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(WideEvent{RequestID: "only"})
+	got := f.Snapshot(0)
+	if len(got) != 1 || got[0].RequestID != "only" {
+		t.Fatalf("Snapshot = %+v, want the single recorded event", got)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Record(WideEvent{TimeUnixNS: int64(g*1000 + i), RequestID: "rq"})
+				if i%17 == 0 {
+					_ = f.Snapshot(8)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if f.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", f.Total())
+	}
+	for _, ev := range f.Snapshot(0) {
+		if ev.RequestID != "rq" {
+			t.Fatalf("torn read: %+v", ev)
+		}
+	}
+}
+
+// TestFlightRecordNoAllocs pins the acceptance criterion: recording a wide
+// event while nobody is dumping performs zero allocations.
+func TestFlightRecordNoAllocs(t *testing.T) {
+	f := NewFlightRecorder(64)
+	ev := WideEvent{
+		TimeUnixNS: 1, RequestID: "abcd1234", Path: "/v1/solve", Status: 200,
+		DurMS: 1.5, Workload: "CoMD", Rung: "sparse", Cache: "miss",
+		Kernel: KernelHealth{Solves: 1, SimplexPivots: 40},
+	}
+	allocs := testing.AllocsPerRun(200, func() { f.Record(ev) })
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestFlightRecorderWriteJSON(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Record(WideEvent{RequestID: "aa", Status: 200})
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf, 0, "test"); err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Reason string      `json:"reason"`
+		Total  uint64      `json:"total_recorded"`
+		Events []WideEvent `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if d.Reason != "test" || d.Total != 1 || len(d.Events) != 1 || d.Events[0].RequestID != "aa" {
+		t.Fatalf("dump = %+v", d)
+	}
+}
+
+func TestFlightSnapshotToDisk(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlightRecorder(4)
+	f.Record(WideEvent{RequestID: "zz"})
+	path, err := f.SnapshotToDisk(dir, "breaker-open:dense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path == "" {
+		t.Fatal("first snapshot was rate-limited")
+	}
+	if base := filepath.Base(path); strings.ContainsAny(base, ":/ ") {
+		t.Fatalf("unsafe snapshot filename %q", base)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d flightDump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if d.Reason != "breaker-open:dense" || len(d.Events) != 1 {
+		t.Fatalf("snapshot = %+v", d)
+	}
+	// A second snapshot inside the rate-limit window is silently skipped.
+	path2, err := f.SnapshotToDisk(dir, "panic")
+	if err != nil || path2 != "" {
+		t.Fatalf("rate-limited snapshot: path=%q err=%v", path2, err)
+	}
+}
+
+// TestWideEventJSONRoundTrip is the vet-style schema check: every field of
+// WideEvent (recursively) must carry a json tag and survive a
+// marshal/unmarshal round trip with a non-zero value. This catches fields
+// that JSON cannot represent (funcs, channels, NaN floats), missing tags,
+// and duplicate tag names — the dump is only forensically useful if every
+// recorded field is actually in the dump.
+func TestWideEventJSONRoundTrip(t *testing.T) {
+	ev := WideEvent{}
+	fillNonZero(t, reflect.ValueOf(&ev).Elem(), "WideEvent")
+	checkTags(t, reflect.TypeOf(ev), "WideEvent", map[string]bool{})
+
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatalf("marshal fully-populated WideEvent: %v", err)
+	}
+	var back WideEvent
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(ev, back) {
+		t.Fatalf("round trip lost data:\n fwd: %+v\nback: %+v", ev, back)
+	}
+}
+
+// fillNonZero sets every field of a struct value to a distinct non-zero
+// value so omitempty cannot hide a non-round-trippable field.
+func fillNonZero(t *testing.T, v reflect.Value, path string) {
+	t.Helper()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := path + "." + v.Type().Field(i).Name
+		switch f.Kind() {
+		case reflect.String:
+			f.SetString("x" + v.Type().Field(i).Name)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(int64(i + 1))
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(uint64(i + 1))
+		case reflect.Float32, reflect.Float64:
+			f.SetFloat(float64(i) + 0.5)
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.Struct:
+			fillNonZero(t, f, name)
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				switch f.Index(j).Kind() {
+				case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+					f.Index(j).SetInt(int64(j + 1))
+				default:
+					t.Fatalf("%s: array element kind %s not handled — extend the vet check", name, f.Index(j).Kind())
+				}
+			}
+		default:
+			t.Fatalf("%s has kind %s: wide events must be flat value types (no maps, slices, pointers, funcs)", name, f.Kind())
+		}
+	}
+}
+
+// checkTags requires a json tag on every exported field and rejects
+// duplicate tag names across the flattened event.
+func checkTags(t *testing.T, typ reflect.Type, path string, seen map[string]bool) {
+	t.Helper()
+	for i := 0; i < typ.NumField(); i++ {
+		sf := typ.Field(i)
+		tag := sf.Tag.Get("json")
+		if tag == "" || tag == "-" {
+			t.Errorf("%s.%s has no json tag — it would dump under its Go name or not at all", path, sf.Name)
+			continue
+		}
+		name := strings.Split(tag, ",")[0]
+		if sf.Type.Kind() == reflect.Struct {
+			checkTags(t, sf.Type, path+"."+sf.Name, map[string]bool{})
+			continue
+		}
+		if seen[name] {
+			t.Errorf("%s.%s: duplicate json tag %q", path, sf.Name, name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestSanitizeReason(t *testing.T) {
+	for in, want := range map[string]string{
+		"":                    "dump",
+		"sigquit":             "sigquit",
+		"breaker-open:dense":  "breaker-open.dense",
+		"panic: bad business": "panic..bad.business",
+	} {
+		if got := sanitizeReason(in); got != want {
+			t.Errorf("sanitizeReason(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -20,6 +20,7 @@ type Breaker struct {
 	failures int
 	state    breakerState
 	openedAt time.Time
+	onOpen   func() // fired outside the lock on a closed→open transition
 }
 
 type breakerState int32
@@ -67,15 +68,32 @@ func (b *Breaker) Success() {
 	b.state = breakerClosed
 }
 
+// SetNotify installs fn to be called whenever the breaker transitions to
+// open (initial trip or a failed half-open probe). fn runs outside the
+// breaker lock, on the goroutine whose Failure tripped it, so it may take
+// other locks but must not block for long — the service uses it to snapshot
+// the flight recorder.
+func (b *Breaker) SetNotify(fn func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onOpen = fn
+}
+
 // Failure records a failed attempt: a half-open probe re-opens immediately;
 // a closed breaker opens once the consecutive-failure threshold is reached.
 func (b *Breaker) Failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	opened := false
 	b.failures++
 	if b.state == breakerHalfOpen || b.failures >= b.threshold {
+		opened = b.state != breakerOpen
 		b.state = breakerOpen
 		b.openedAt = b.now()
+	}
+	notify := b.onOpen
+	b.mu.Unlock()
+	if opened && notify != nil {
+		notify()
 	}
 }
 

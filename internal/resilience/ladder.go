@@ -129,6 +129,11 @@ type Outcome struct {
 	// retries among them.
 	Attempts int
 	Retries  int
+	// RungAttempts and RungRetries break Attempts/Retries down per rung in
+	// ladder order (sparse, sparse-eta, dense, heuristic, static) — the
+	// per-rung rescue counts the flight recorder stores with each request.
+	RungAttempts [NumRungs]int
+	RungRetries  [NumRungs]int
 }
 
 // NumRungs is the ladder depth, exported for callers sizing DeadlineFracs
@@ -189,6 +194,16 @@ func (l *Ladder) SetDeadlineFracs(fracs []float64) {
 func (l *Ladder) DeadlineFracs() []float64 {
 	cur := *l.fracs.Load()
 	return append([]float64(nil), cur[:]...)
+}
+
+// SetBreakerNotify installs fn to be called (outside any breaker lock, on
+// the goroutine whose failure tripped it) whenever a rung's breaker
+// transitions to open — the flight-recorder snapshot hook.
+func (l *Ladder) SetBreakerNotify(fn func(rung string)) {
+	for r, b := range l.breakers {
+		name := Rung(r).String()
+		b.SetNotify(func() { fn(name) })
+	}
 }
 
 // BreakerStates reports each rung's circuit-breaker state for /healthz.
@@ -261,14 +276,16 @@ func (l *Ladder) SolveHeuristic(ctx context.Context, sv *core.Solver, g *dag.Gra
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{
+	out := &Outcome{
 		Schedule: sched,
 		Realized: realized,
 		Rung:     RungHeuristic,
 		Degraded: true,
 		Reason:   "brownout:heuristic",
 		Attempts: 1,
-	}, nil
+	}
+	out.RungAttempts[RungHeuristic] = 1
+	return out, nil
 }
 
 // attempt runs one rung with its retry budget. Numerical failures are
@@ -277,6 +294,7 @@ func (l *Ladder) attempt(ctx context.Context, sv *core.Solver, g *dag.Graph, cap
 	var lastErr error
 	for try := 0; ; try++ {
 		out.Attempts++
+		out.RungAttempts[rung]++
 		actx, sp := obs.Start(ctx, "resilience."+rung.String())
 		sp.SetAttr("try", try)
 		sp.SetAttr("breaker", br.State())
@@ -296,6 +314,7 @@ func (l *Ladder) attempt(ctx context.Context, sv *core.Solver, g *dag.Graph, cap
 		var ne *lp.NumericalError
 		if errors.As(err, &ne) && try < l.cfg.Retries {
 			out.Retries++
+			out.RungRetries[rung]++
 			l.sleep(l.backoff(try))
 			continue
 		}

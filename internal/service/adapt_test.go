@@ -13,6 +13,7 @@ import (
 	"powercap"
 	"powercap/internal/adapt"
 	"powercap/internal/faultinject"
+	"powercap/internal/slo"
 )
 
 // Service-level tests of the adaptive overload control plane: brownout
@@ -398,6 +399,11 @@ func TestTwinChaosRecovery(t *testing.T) {
 		},
 	}
 	cfg.Adapt = adapt.Config{Enabled: true}
+	// The twin compresses hours of traffic into milliseconds, so the SLO
+	// windows feeding the controller must compress with it: a wall-clock
+	// 5m fast window would hold the storm's errors for the whole test and
+	// pin the burn-driven pressure high long after the faults clear.
+	cfg.SLO = slo.Config{FastWindow: 50 * time.Millisecond, SlowWindow: 500 * time.Millisecond, Buckets: 10}
 	s, ts := newTestServer(t, cfg)
 
 	// NaNs alone are repaired in place by the solver's refactorization
@@ -438,6 +444,9 @@ func TestTwinChaosRecovery(t *testing.T) {
 	time.Sleep(60 * time.Millisecond) // past BreakerCooldown
 	recovered := -1
 	for i := 0; i < 30; i++ {
+		// Let the compressed SLO window rotate between epochs, so the
+		// storm's errors age out the way hours do in production.
+		time.Sleep(5 * time.Millisecond)
 		code, _ := postJSON(t, ts.URL+"/v1/solve",
 			SolveRequest{Workload: fastWL, CapPerSocketW: 100 + float64(i)})
 		if code != http.StatusOK {

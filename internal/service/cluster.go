@@ -283,14 +283,29 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		}
 		return out, !degraded, nil
 	}
+	ev := wideEventFrom(r.Context())
+	ev.Workload = fmt.Sprintf("cluster[%d]", len(jobs))
+	ev.CapW = budget
+	ev.CacheKey = key
+	if dl, ok := ctx.Deadline(); ok {
+		ev.DeadlineMS = float64(time.Until(dl)) / float64(time.Millisecond)
+	}
+
+	tSolve := time.Now()
 	val, how, err := s.cache.DoMaybe(ctx, key, fn)
+	ev.SolveMS = msSince(tSolve)
+	ev.Cache = hitKindString(how, false)
 	if err != nil {
+		ev.Err = err.Error()
 		s.solveError(w, err)
 		return
 	}
 	s.countHit(how)
 
 	out := val.(*clusterOutcome)
+	if how == hitMiss && out.alloc != nil {
+		ev.Kernel = kernelHealthFrom(out.alloc.Stats)
+	}
 	resp := NewClusterResponse(cjobs, wnames, budget, opts, out.alloc, out.budgetErr, out.keys)
 	resp.RequestID = RequestIDFrom(r.Context())
 	resp.Cached = how != hitMiss
@@ -342,9 +357,11 @@ func (s *Server) clusterWorker(ctx context.Context, jobs []clusterJob, budget fl
 		// The job's final schedule is exactly what a whole-graph /v1/solve
 		// at the granted cap would compute; park it under that key so the
 		// follow-up solve (a client fetching its job's full schedule) is a
-		// cache hit.
+		// cache hit. The parked entry remembers which allocation produced
+		// it, so the follow-up's response and wide event carry the cluster
+		// request ID — the correlation forensics needs.
 		k := jobs[i].sys.ScheduleKey(jobs[i].g, ja.CapW, true, "", 0, 0)
-		s.cache.Put(k, &solveOutcome{sched: ja.Schedule})
+		s.cache.Put(k, &solveOutcome{sched: ja.Schedule, clusterOrigin: RequestIDFrom(ctx)})
 		out.keys[i] = k
 	}
 	s.metrics.ClusterAllocations.Add(1)
@@ -357,6 +374,7 @@ func (s *Server) clusterWorker(ctx context.Context, jobs []clusterJob, budget fl
 	s.metrics.Solves.Add(uint64(alloc.Solves))
 	s.metrics.WarmStarts.Add(uint64(alloc.Stats.WarmStarts))
 	s.metrics.Pivots.Add(uint64(alloc.Stats.SimplexIter))
+	s.countLPStats(alloc.Stats)
 	return out, nil
 }
 

@@ -110,6 +110,22 @@ type Metrics struct {
 	AdaptEpochs      atomic.Uint64
 	AdaptTransitions atomic.Uint64
 	BrownoutSolves   atomic.Uint64
+	// LP numerical-health families (DESIGN.md §16), accumulated across
+	// every backend solve: basis reinversions, LU threshold-pivoting row
+	// rejections, factorizations retried under strict pivoting, NaN/Inf
+	// refactorize-and-retry repairs, anti-cycling (Bland) fallbacks, and
+	// presolve eliminations. LPMaxEtaLen tracks the worst product-form
+	// update-file growth and LPRowNormRatio the worst post-scaling max/min
+	// row-norm ratio — the two conditioning proxies.
+	LPRefactorizations atomic.Uint64
+	LPPivotRejections  atomic.Uint64
+	LPTauRetries       atomic.Uint64
+	LPNaNRecoveries    atomic.Uint64
+	LPBlandActivations atomic.Uint64
+	LPPresolveRows     atomic.Uint64
+	LPPresolveCols     atomic.Uint64
+	LPMaxEtaLen        FloatMaxGauge
+	LPRowNormRatio     FloatMaxGauge
 	// TracedRequests counts requests that asked for (and got) an inline
 	// trace (?trace=1); TraceSpansDropped accumulates spans those traces
 	// discarded at their bound, so truncation is visible fleet-wide.
@@ -402,6 +418,13 @@ func (m *Metrics) Render(w io.Writer) {
 		{"pcschedd_adapt_epochs_total", "Adaptive control-plane epochs stepped.", m.AdaptEpochs.Load()},
 		{"pcschedd_adapt_transitions_total", "Brownout-ladder transitions (either direction).", m.AdaptTransitions.Load()},
 		{"pcschedd_brownout_solves_total", "Solves rerouted onto a cheaper mode by the active brownout rung.", m.BrownoutSolves.Load()},
+		{"pcschedd_lp_refactorizations_total", "Sparse-backend basis reinversions across all solves.", m.LPRefactorizations.Load()},
+		{"pcschedd_lp_pivot_rejections_total", "LU threshold-pivoting row rejections during factorization.", m.LPPivotRejections.Load()},
+		{"pcschedd_lp_factor_tau_retries_total", "Factorizations that fell back from relaxed to strict partial pivoting.", m.LPTauRetries.Load()},
+		{"pcschedd_lp_nan_recoveries_total", "Refactorize-and-retry repairs of non-finite solver state.", m.LPNaNRecoveries.Load()},
+		{"pcschedd_lp_bland_activations_total", "Anti-cycling (Bland's rule) fallback engagements.", m.LPBlandActivations.Load()},
+		{"pcschedd_lp_presolve_rows_total", "Constraint rows eliminated by presolve across all solves.", m.LPPresolveRows.Load()},
+		{"pcschedd_lp_presolve_cols_total", "Columns eliminated by presolve across all solves.", m.LPPresolveCols.Load()},
 	}
 	for _, c := range counters {
 		writeMeta(w, c.name, c.help, "counter")
@@ -422,6 +445,11 @@ func (m *Metrics) Render(w io.Writer) {
 	fmt.Fprintf(w, "pcschedd_window_seam_violation_watts_max %g\n", m.WindowSeamViolationW.Load())
 	writeMeta(w, "pcschedd_window_stitch_gap_pct_max", "Worst stitched-vs-simulated makespan gap (percent) since start.", "gauge")
 	fmt.Fprintf(w, "pcschedd_window_stitch_gap_pct_max %g\n", m.WindowStitchGapPct.Load())
+
+	writeMeta(w, "pcschedd_lp_max_eta_len", "Peak basis-update (eta) file length observed across all solves.", "gauge")
+	fmt.Fprintf(w, "pcschedd_lp_max_eta_len %g\n", m.LPMaxEtaLen.Load())
+	writeMeta(w, "pcschedd_lp_row_norm_ratio_max", "Worst post-scaling max/min row-norm ratio (conditioning proxy).", "gauge")
+	fmt.Fprintf(w, "pcschedd_lp_row_norm_ratio_max %g\n", m.LPRowNormRatio.Load())
 
 	writeMeta(w, "pcschedd_cluster_moved_watts_total", "Watt-volume the cluster allocator redistributed away from its starting split.", "counter")
 	fmt.Fprintf(w, "pcschedd_cluster_moved_watts_total %g\n", m.ClusterMovedWatts.Load())

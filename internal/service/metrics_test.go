@@ -200,6 +200,14 @@ func TestMetricsConformance(t *testing.T) {
 		"pcschedd_brownout_solves_total", "pcschedd_brownout_rung",
 		"pcschedd_adapt_workers", "pcschedd_adapt_queue_depth",
 		"pcschedd_retry_budget_tokens",
+		"pcschedd_lp_refactorizations_total", "pcschedd_lp_pivot_rejections_total",
+		"pcschedd_lp_factor_tau_retries_total", "pcschedd_lp_nan_recoveries_total",
+		"pcschedd_lp_bland_activations_total", "pcschedd_lp_presolve_rows_total",
+		"pcschedd_lp_presolve_cols_total", "pcschedd_lp_max_eta_len",
+		"pcschedd_lp_row_norm_ratio_max",
+		"pcschedd_slo_fast_burn", "pcschedd_slo_slow_burn",
+		"pcschedd_slo_window_good", "pcschedd_slo_window_total",
+		"pcschedd_flightrecorder_events_total",
 	} {
 		if !seen[fam] {
 			t.Errorf("expected family %s missing from /metrics", fam)
@@ -304,6 +312,29 @@ func TestMetricsConformance(t *testing.T) {
 	for _, stage := range []string{"resilience.ladder", "core.solve", "lp.solve", "problem.build"} {
 		if !stageSeen[stage] {
 			t.Errorf("stage histogram for %q missing (have %v)", stage, stageSeen)
+		}
+	}
+
+	// The SLO families must break out both objectives and both windows
+	// unconditionally — a scrape before traffic still sees every series.
+	sloObj := map[string]bool{}
+	sloWin := map[string]bool{}
+	for _, s := range samples {
+		if s.name == "pcschedd_slo_fast_burn" {
+			sloObj[s.labels["objective"]] = true
+		}
+		if s.name == "pcschedd_slo_window_total" {
+			sloWin[s.labels["window"]] = true
+		}
+	}
+	for _, obj := range []string{"availability", "latency"} {
+		if !sloObj[obj] {
+			t.Errorf("pcschedd_slo_fast_burn missing objective %q", obj)
+		}
+	}
+	for _, win := range []string{"fast", "slow"} {
+		if !sloWin[win] {
+			t.Errorf("pcschedd_slo_window_total missing window %q", win)
 		}
 	}
 }

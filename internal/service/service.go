@@ -55,6 +55,7 @@ import (
 	"powercap/internal/adapt"
 	"powercap/internal/faultinject"
 	"powercap/internal/obs"
+	"powercap/internal/slo"
 	"powercap/internal/trace"
 )
 
@@ -87,6 +88,17 @@ type Config struct {
 	// to a build without the control plane. The Workers/QueueDepth/
 	// CacheSize baselines are taken from this Config, not from Adapt.
 	Adapt adapt.Config
+	// SLO configures the burn-rate engine (DESIGN.md §16); the zero value
+	// selects the defaults (99% availability, 95% of requests under 2s).
+	// The engine is always on — it feeds /healthz, /metrics, the flight
+	// recorder, and (when the control plane is enabled) the controller's
+	// pressure signal.
+	SLO slo.Config
+	// FlightSlots sizes the always-on flight-recorder ring (default
+	// obs.DefaultFlightSlots); FlightSnapshotDir is where panic and
+	// breaker-open dumps land (default os.TempDir()).
+	FlightSlots       int
+	FlightSnapshotDir string
 	// Log receives one structured line per request (nil = discard).
 	Log *slog.Logger
 }
@@ -108,6 +120,14 @@ type Server struct {
 	sem     chan struct{} // worker slots
 	queue   chan struct{} // admission tokens: workers + queue depth
 	mux     *http.ServeMux
+
+	// flight is the always-on wide-event ring (DESIGN.md §16): one record
+	// per API request, dumpable at /debug/flightrecorder and snapshotted to
+	// flightDir on panics and breaker-open transitions. slo is the
+	// burn-rate engine every request's outcome feeds.
+	flight    *obs.FlightRecorder
+	slo       *slo.Engine
+	flightDir string
 
 	// draining flips before drainMu is write-locked, so a request either
 	// sees the flag or holds a read lock Drain waits on — never neither.
@@ -176,6 +196,9 @@ func New(cfg Config) *Server {
 		cache:          newCache(cfg.CacheSize),
 		sem:            make(chan struct{}, cfg.Workers),
 		queue:          make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		flight:         obs.NewFlightRecorder(cfg.FlightSlots),
+		slo:            slo.New(cfg.SLO),
+		flightDir:      cfg.FlightSnapshotDir,
 	}
 	if cfg.Adapt.Enabled {
 		// The controller adapts around the service's configured
@@ -194,6 +217,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/cluster", s.api(s.handleCluster))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightRecorder)
 	// Runtime profiles on the service mux (the daemon does not use
 	// http.DefaultServeMux, so the net/http/pprof side-effect registration
 	// alone would be unreachable). Index serves the named profiles (heap,
@@ -213,6 +237,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Metrics exposes the server's counters (for tests and the bench harness).
 func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Flight exposes the wide-event flight recorder (for the daemon's SIGQUIT
+// dump and tests).
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
+// SLO exposes the burn-rate engine (for tests and the bench harness).
+func (s *Server) SLO() *slo.Engine { return s.slo }
 
 // Drain gracefully shuts the API down: new requests are rejected with 503
 // while every request already past admission runs to completion and gets
@@ -276,6 +307,13 @@ func (s *Server) systemFor(eff []float64) *powercap.System {
 	sys := powercap.NewSystem(s.model)
 	sys.EffScale = eff
 	sys.Resilience = s.resilience
+	// A rung's breaker tripping open is exactly the moment an operator
+	// wants the recent request history preserved: snapshot the flight
+	// recorder off the solve goroutine (the notify contract forbids
+	// blocking; SnapshotToDisk rate-limits itself against flapping).
+	sys.Ladder().SetBreakerNotify(func(rung string) {
+		go s.flight.SnapshotToDisk(s.flightDir, "breaker-open-"+rung)
+	})
 	s.sysPool[string(key)] = sys
 	return sys
 }
@@ -313,6 +351,39 @@ func newRequestID() string {
 		return fmt.Sprintf("seq-%012x", reqSeq.Add(1))
 	}
 	return hex.EncodeToString(b[:])
+}
+
+// requestIDToken reports whether an inbound X-Request-Id is safe to adopt:
+// a short token of URL- and log-safe characters. Anything else is ignored
+// and a fresh ID generated — client identifiers are convenience, never a
+// header-injection vector.
+func requestIDToken(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// wideEventKey carries the request's in-progress wide event so handlers can
+// fill solve-level fields; api() completes and records it.
+type wideEventKey struct{}
+
+// wideEventFrom returns the request's wide event. Outside an api-wrapped
+// handler it returns a discarded scratch event, so fills are always safe.
+func wideEventFrom(ctx context.Context) *obs.WideEvent {
+	if ev, ok := ctx.Value(wideEventKey{}).(*obs.WideEvent); ok {
+		return ev
+	}
+	return &obs.WideEvent{}
 }
 
 // RequestIDFrom returns the request ID generated for this request, or ""
@@ -359,12 +430,38 @@ func (s *Server) api(h func(http.ResponseWriter, *http.Request)) http.HandlerFun
 		s.metrics.Inflight.Add(1)
 		defer s.metrics.Inflight.Add(-1)
 
-		// Request identity: generated before decode, attached to the
-		// context, echoed in the response header (so even error responses
-		// carry it) and in the JSON body, and stamped on the access line.
-		reqID := newRequestID()
+		// Request identity: attached to the context, echoed in the response
+		// header (so even error responses carry it) and in the JSON body,
+		// and stamped on the access line. A client-supplied X-Request-Id is
+		// adopted when it is a safe token, so cross-service forensics (a
+		// /v1/cluster allocation and the follow-up per-job solves) correlate
+		// under the caller's identifier; otherwise one is generated.
+		reqID := r.Header.Get("X-Request-Id")
+		if !requestIDToken(reqID) {
+			reqID = newRequestID()
+		}
 		w.Header().Set("X-Request-Id", reqID)
 		ctx := context.WithValue(r.Context(), requestIDKey{}, reqID)
+
+		// The wide event travels with the request: handlers fill the solve
+		// fields, api() stamps outcome/latency and records it. Admission-time
+		// control state is captured here so a browned request's record shows
+		// the pressure and burn that caused the rerouting.
+		ev := &obs.WideEvent{RequestID: reqID, Path: r.URL.Path}
+		if st := s.adaptState.Load(); st != nil {
+			ev.AdaptEpoch = st.Epoch
+			ev.AdaptRung = st.Rung.String()
+			ev.Pressure = st.Pressure
+		}
+		for _, ob := range s.slo.Status(start) {
+			if ob.FastBurn > ev.SLOFastBurn {
+				ev.SLOFastBurn = ob.FastBurn
+			}
+			if ob.SlowBurn > ev.SLOSlowBurn {
+				ev.SLOSlowBurn = ob.SlowBurn
+			}
+		}
+		ctx = context.WithValue(ctx, wideEventKey{}, ev)
 
 		// Every request solves under a bounded trace; the spans feed the
 		// per-stage latency histograms once the handler returns, and
@@ -384,6 +481,7 @@ func (s *Server) api(h func(http.ResponseWriter, *http.Request)) http.HandlerFun
 				if p := recover(); p != nil {
 					s.metrics.Panics.Add(1)
 					rec.status = http.StatusInternalServerError
+					ev.Err = fmt.Sprintf("panic: %v", p)
 					if s.logger != nil {
 						s.logger.Error("panic recovered",
 							"request_id", reqID,
@@ -393,6 +491,11 @@ func (s *Server) api(h func(http.ResponseWriter, *http.Request)) http.HandlerFun
 					if !rec.wrote {
 						writeError(rec, http.StatusInternalServerError,
 							fmt.Sprintf("internal error: %v", p))
+					}
+					// Preserve the request history that led here (rate-limited,
+					// best-effort; the panic is already contained).
+					if path, serr := s.flight.SnapshotToDisk(s.flightDir, "panic"); serr == nil && path != "" && s.logger != nil {
+						s.logger.Info("flight recorder snapshot", "reason", "panic", "path", path)
 					}
 				}
 			}()
@@ -413,6 +516,15 @@ func (s *Server) api(h func(http.ResponseWriter, *http.Request)) http.HandlerFun
 
 		dur := time.Since(start)
 		s.metrics.RequestLatency.Observe(dur)
+
+		// Close out the forensic record: outcome, latency, and the SLO
+		// sample. 429s are deliberate backpressure — the engine excludes
+		// them — so shedding under overload cannot amplify its own burn.
+		s.slo.Observe(time.Now(), rec.status, dur)
+		ev.TimeUnixNS = start.UnixNano()
+		ev.Status = rec.status
+		ev.DurMS = float64(dur) / float64(time.Millisecond)
+		s.flight.Record(*ev)
 		if s.logger != nil {
 			s.logger.Info("request",
 				"request_id", reqID,
@@ -511,13 +623,24 @@ type SolveRequest struct {
 	TimeoutMS  float64 `json:"timeout_ms,omitempty"`
 }
 
-// StatsJSON mirrors SolverStats for responses.
+// StatsJSON mirrors SolverStats for responses: solver effort plus the
+// numerical-health counters (eta growth, pivot rejections, rescue counts,
+// presolve eliminations, scaling proxy) DESIGN.md §16 describes.
 type StatsJSON struct {
 	Solves           int `json:"solves"`
 	SimplexPivots    int `json:"simplex_pivots"`
 	DualPivots       int `json:"dual_pivots"`
 	WarmStarts       int `json:"warm_starts"`
 	Refactorizations int `json:"refactorizations"`
+
+	MaxEtaLen        int     `json:"max_eta_len,omitempty"`
+	PivotRejections  int     `json:"pivot_rejections,omitempty"`
+	FactorTauRetries int     `json:"factor_tau_retries,omitempty"`
+	NaNRecoveries    int     `json:"nan_recoveries,omitempty"`
+	BlandActivations int     `json:"bland_activations,omitempty"`
+	PresolveRows     int     `json:"presolve_rows,omitempty"`
+	PresolveCols     int     `json:"presolve_cols,omitempty"`
+	RowNormRatio     float64 `json:"row_norm_ratio,omitempty"`
 }
 
 // NewStatsJSON converts solver stats to the response schema (shared with
@@ -529,7 +652,48 @@ func NewStatsJSON(st powercap.SolverStats) *StatsJSON {
 		DualPivots:       st.DualIter,
 		WarmStarts:       st.WarmStarts,
 		Refactorizations: st.Refactorizations,
+		MaxEtaLen:        st.MaxEtaLen,
+		PivotRejections:  st.PivotRejections,
+		FactorTauRetries: st.FactorTauRetries,
+		NaNRecoveries:    st.NaNRecoveries,
+		BlandActivations: st.BlandActivations,
+		PresolveRows:     st.PresolveRows,
+		PresolveCols:     st.PresolveCols,
+		RowNormRatio:     st.RowNormRatio,
 	}
+}
+
+// kernelHealthFrom maps solver stats onto the wide event's kernel slice.
+func kernelHealthFrom(st powercap.SolverStats) obs.KernelHealth {
+	return obs.KernelHealth{
+		Solves:           st.Solves,
+		SimplexPivots:    st.SimplexIter,
+		DualPivots:       st.DualIter,
+		WarmStarts:       st.WarmStarts,
+		Refactorizations: st.Refactorizations,
+		MaxEtaLen:        st.MaxEtaLen,
+		PivotRejections:  st.PivotRejections,
+		FactorTauRetries: st.FactorTauRetries,
+		NaNRecoveries:    st.NaNRecoveries,
+		BlandActivations: st.BlandActivations,
+		PresolveRows:     st.PresolveRows,
+		PresolveCols:     st.PresolveCols,
+	}
+}
+
+// countLPStats folds one finished solve's numerical-health counters into the
+// pcschedd_lp_* metric families.
+func (s *Server) countLPStats(st powercap.SolverStats) {
+	m := &s.metrics
+	m.LPRefactorizations.Add(uint64(st.Refactorizations))
+	m.LPPivotRejections.Add(uint64(st.PivotRejections))
+	m.LPTauRetries.Add(uint64(st.FactorTauRetries))
+	m.LPNaNRecoveries.Add(uint64(st.NaNRecoveries))
+	m.LPBlandActivations.Add(uint64(st.BlandActivations))
+	m.LPPresolveRows.Add(uint64(st.PresolveRows))
+	m.LPPresolveCols.Add(uint64(st.PresolveCols))
+	m.LPMaxEtaLen.StoreMax(float64(st.MaxEtaLen))
+	m.LPRowNormRatio.StoreMax(st.RowNormRatio)
 }
 
 // RealizedJSON reports a realized schedule's validation in responses.
@@ -632,9 +796,13 @@ type SolveResponse struct {
 	Brownout string `json:"brownout,omitempty"`
 
 	// Cached is true when the response came from the LRU or an in-flight
-	// identical solve rather than a fresh backend run.
-	Cached    bool    `json:"cached"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	// identical solve rather than a fresh backend run. ClusterOrigin, set
+	// on hits against a schedule parked by /v1/cluster, is that
+	// allocation's request ID — the forensic link from a job's follow-up
+	// solve back to the market run that granted its cap.
+	Cached        bool    `json:"cached"`
+	ClusterOrigin string  `json:"cluster_origin,omitempty"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
 
 	// Trace is the request's Chrome trace-event document, inlined when the
 	// request asked for it with ?trace=1; load it in chrome://tracing or
@@ -660,6 +828,12 @@ type solveOutcome struct {
 	// cheaper mode ("" for a full-fidelity solve). Browned outcomes are never
 	// cacheable regardless of degraded.
 	brownout string
+	// rungAttempts is the per-rung solve-attempt trail (ladder descent
+	// order) the flight recorder stores with the request.
+	rungAttempts [obs.NumLadderRungs]int32
+	// clusterOrigin is the request ID of the /v1/cluster allocation that
+	// parked this entry ("" for entries from /v1/solve itself).
+	clusterOrigin string
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -716,6 +890,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 
+	ev := wideEventFrom(r.Context())
+	ev.Workload = name
+	ev.CapW = jobCap
+	ev.Whole = req.Whole
+	if dl, ok := ctx.Deadline(); ok {
+		ev.DeadlineMS = float64(time.Until(dl)) / float64(time.Millisecond)
+	}
+
 	// Brownout (adaptive control plane, DESIGN.md §15): under sustained
 	// pressure the request may be rerouted onto a cheaper solve mode. A
 	// `?degraded=forbid` request is never browned (guardrail precedence),
@@ -760,37 +942,62 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		return out, !out.degraded && bo == nil, nil
 	}
+	// Solve shape as admitted (after any brownout rewrite) — what actually
+	// ran, which is what forensics wants.
+	ev.Windows = breq.Windows
+	ev.CoarsenEps = breq.CoarsenEps
+	ev.CacheKey = flightKey
+
+	tSolve := time.Now()
 	var val any
 	var how hitKind
+	bypass := false
 	if faultinject.Armed() && faultinject.Fire(faultinject.CacheError) {
 		// Injected cache-backend failure: bypass the cache and solve
 		// directly. Correctness never depends on the cache.
 		s.metrics.CacheErrors.Add(1)
 		how = hitMiss
+		bypass = true
 		val, _, err = fn()
 	} else {
 		val, how, err = s.cache.DoMaybe(ctx, flightKey, fn)
 	}
+	ev.SolveMS = msSince(tSolve)
+	ev.Cache = hitKindString(how, bypass)
 	if err != nil {
+		ev.Err = err.Error()
 		s.solveError(w, err)
 		return
 	}
 	s.countHit(how)
 
 	out := val.(*solveOutcome)
+	ev.Rung = out.rung
+	ev.Degraded = out.degraded
+	ev.DegradedReason = out.reason
+	ev.Brownout = out.brownout
+	ev.SolveRetries = out.retries
+	ev.ClusterOrigin = out.clusterOrigin
+	if how == hitMiss && out.sched != nil {
+		// Kernel health belongs to the flight that ran the solve; hits and
+		// coalesced waiters spent no kernel effort of their own.
+		ev.Kernel = kernelHealthFrom(out.sched.Stats)
+		ev.RungAttempts = out.rungAttempts
+	}
 	if out.degraded && degradedPolicy == "forbid" {
 		writeError(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("degraded schedule (%s) refused by ?degraded=forbid", out.reason))
 		return
 	}
 	resp := &SolveResponse{
-		RequestID:   RequestIDFrom(r.Context()),
-		Key:         key,
-		GraphDigest: powercap.GraphDigest(g),
-		Workload:    name,
-		JobCapW:     jobCap,
-		Cached:      how != hitMiss,
-		ElapsedMS:   msSince(start),
+		RequestID:     RequestIDFrom(r.Context()),
+		Key:           key,
+		GraphDigest:   powercap.GraphDigest(g),
+		Workload:      name,
+		JobCapW:       jobCap,
+		Cached:        how != hitMiss,
+		ClusterOrigin: out.clusterOrigin,
+		ElapsedMS:     msSince(start),
 	}
 	if out.infeasible {
 		resp.Infeasible = true
@@ -875,13 +1082,15 @@ func (s *Server) solveWorker(ctx context.Context, sys *powercap.System, g *power
 		s.metrics.Solves.Add(1)
 		s.metrics.Degraded.Add(1)
 		s.metrics.FallbackHeuristic.Add(1)
-		return &solveOutcome{
+		out = &solveOutcome{
 			sched:    res.Schedule,
 			realized: res.Realized,
 			degraded: true,
 			rung:     res.Rung.String(),
 			reason:   res.Reason,
-		}, nil
+		}
+		out.rungAttempts = rungAttempts32(res.RungAttempts)
+		return out, nil
 	}
 	if req.Windows > 1 || req.CoarsenEps > 0 {
 		return s.solveWindowed(ctx, sys, g, jobCap, req, t0)
@@ -904,6 +1113,7 @@ func (s *Server) solveWorker(ctx context.Context, sys *powercap.System, g *power
 		reason:   res.Reason,
 		retries:  res.Retries,
 	}
+	out.rungAttempts = rungAttempts32(res.RungAttempts)
 	if req.Realize != "" && !res.Degraded {
 		out.realized, serr = sys.RealizeScheduleCtx(ctx, g, res.Schedule, req.Realize)
 		if serr != nil {
@@ -914,6 +1124,7 @@ func (s *Server) solveWorker(ctx context.Context, sys *powercap.System, g *power
 	s.metrics.SolveRetries.Add(uint64(res.Retries))
 	s.metrics.WarmStarts.Add(uint64(res.Schedule.Stats.WarmStarts))
 	s.metrics.Pivots.Add(uint64(res.Schedule.Stats.SimplexIter))
+	s.countLPStats(res.Schedule.Stats)
 	if res.Degraded {
 		s.metrics.Degraded.Add(1)
 		switch res.Rung {
@@ -969,7 +1180,19 @@ func (s *Server) solveWindowed(ctx context.Context, sys *powercap.System, g *pow
 	}
 	s.metrics.WarmStarts.Add(uint64(ws.Stats.WarmStarts))
 	s.metrics.Pivots.Add(uint64(ws.Stats.SimplexIter))
+	s.countLPStats(ws.Stats)
 	return out, nil
+}
+
+// rungAttempts32 narrows the ladder's per-rung attempt counts to the wide
+// event's flat int32 array (the counts are tiny; the narrower type keeps
+// the always-on ring compact).
+func rungAttempts32(a [obs.NumLadderRungs]int) [obs.NumLadderRungs]int32 {
+	var out [obs.NumLadderRungs]int32
+	for i, v := range a {
+		out[i] = int32(v)
+	}
+	return out
 }
 
 // SweepRequest asks for the LP bound across a family of per-socket caps,
@@ -1090,6 +1313,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.WarmStarts.Add(uint64(agg.WarmStarts))
 	s.metrics.Pivots.Add(uint64(agg.SimplexIter))
+	s.countLPStats(agg)
+	ev := wideEventFrom(r.Context())
+	ev.Workload = name
+	ev.Kernel = kernelHealthFrom(agg)
 	resp.Stats = NewStatsJSON(agg)
 	resp.ElapsedMS = msSince(start)
 	resp.Trace = s.inlineTrace(r)
@@ -1185,6 +1412,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"inflight":    s.metrics.Inflight.Load(),
 		"cached":      s.cache.Len(),
 		"breakers":    s.breakerStates(),
+		"slo":         s.slo.Status(time.Now()),
 	}
 	if s.adaptRT != nil {
 		st := s.adaptState.Load()
@@ -1267,6 +1495,63 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "pcschedd_retry_budget_tokens %g\n", tokens)
 	writeMeta(w, "pcschedd_build_info", "Build metadata as labels; the value is always 1.", "gauge")
 	fmt.Fprintf(w, "pcschedd_build_info{go_version=%q} 1\n", runtime.Version())
+
+	// SLO burn rates and window counts live on the Server (the engine is
+	// not a plain counter), so they render here. Every objective renders
+	// unconditionally — the conformance test requires each declared family
+	// to carry samples.
+	now := time.Now()
+	writeMeta(w, "pcschedd_slo_fast_burn", "Error-budget burn rate over the fast window, by objective (1 = exactly sustainable).", "gauge")
+	for _, ob := range s.slo.Status(now) {
+		fmt.Fprintf(w, "pcschedd_slo_fast_burn{objective=%q} %g\n", ob.Name, ob.FastBurn)
+	}
+	writeMeta(w, "pcschedd_slo_slow_burn", "Error-budget burn rate over the slow window, by objective.", "gauge")
+	for _, ob := range s.slo.Status(now) {
+		fmt.Fprintf(w, "pcschedd_slo_slow_burn{objective=%q} %g\n", ob.Name, ob.SlowBurn)
+	}
+	writeMeta(w, "pcschedd_slo_window_good", "Good events in the sliding SLO windows, by objective and window.", "gauge")
+	for _, ob := range s.slo.Status(now) {
+		fmt.Fprintf(w, "pcschedd_slo_window_good{objective=%q,window=\"fast\"} %d\n", ob.Name, ob.FastGood)
+		fmt.Fprintf(w, "pcschedd_slo_window_good{objective=%q,window=\"slow\"} %d\n", ob.Name, ob.SlowGood)
+	}
+	writeMeta(w, "pcschedd_slo_window_total", "Classified events in the sliding SLO windows, by objective and window.", "gauge")
+	for _, ob := range s.slo.Status(now) {
+		fmt.Fprintf(w, "pcschedd_slo_window_total{objective=%q,window=\"fast\"} %d\n", ob.Name, ob.FastTotal)
+		fmt.Fprintf(w, "pcschedd_slo_window_total{objective=%q,window=\"slow\"} %d\n", ob.Name, ob.SlowTotal)
+	}
+	writeMeta(w, "pcschedd_flightrecorder_events_total", "Wide events recorded by the flight recorder since start.", "counter")
+	fmt.Fprintf(w, "pcschedd_flightrecorder_events_total %d\n", s.flight.Total())
+}
+
+// handleFlightRecorder dumps the last n wide events (?n=, default 64, 0 =
+// the whole ring) as indented JSON, newest last.
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	n := 64
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad n %q (want a non-negative integer; 0 = whole ring)", q))
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.flight.WriteJSON(w, n, "debug-endpoint")
+}
+
+// hitKindString names a cache outcome for the wide event.
+func hitKindString(how hitKind, bypass bool) string {
+	if bypass {
+		return "bypass"
+	}
+	switch how {
+	case hitMiss:
+		return "miss"
+	case hitCoalesced:
+		return "coalesced"
+	default:
+		return "hit"
+	}
 }
 
 // countHit records the cache outcome of a successful lookup.
